@@ -1,0 +1,39 @@
+//! # cc-apsp — algebraic shortest paths in the congested clique
+//!
+//! The flow algorithms of §5–§6 find augmenting paths with the algebraic
+//! APSP methods of Censor-Hillel, Kaski, Korhonen, Lenzen, Paz & Suomela
+//! \[CKKL+19\]: `O(n^{0.158})` rounds for `(1+o(1))`-approximate weighted
+//! directed APSP. The exponent `0.158 = 1 − 2/ω` requires fast rectangular
+//! matrix multiplication, which no implementable algorithm attains; per
+//! `DESIGN.md` §2.3 this crate substitutes **exact min-plus repeated
+//! squaring** (identical outputs — distances plus successor matrix, which
+//! strictly dominate the approximation guarantee the flow algorithms
+//! need) under two switchable round-accounting models:
+//!
+//! * [`RoundModel::Semiring`] — the honest implementable cost:
+//!   `O(n^{1/3})` rounds per distance product (\[CKKL+19\] semiring
+//!   matmul), `⌈log₂ n⌉` products per APSP;
+//! * [`RoundModel::FastMatMul`] — the paper's accounting: `⌈n^{0.158}⌉`
+//!   rounds for the whole APSP call, tagged as a charged oracle cost.
+//!
+//! ```
+//! use cc_model::Clique;
+//! use cc_apsp::{apsp_from_arcs, RoundModel};
+//!
+//! // 0 → 1 → 2 with weights 2 and 3.
+//! let mut clique = Clique::new(3);
+//! let apsp = apsp_from_arcs(&mut clique, 3, &[(0, 1, 2), (1, 2, 3)], RoundModel::Semiring);
+//! assert_eq!(apsp.dist(0, 2), Some(5));
+//! assert_eq!(apsp.path(0, 2), Some(vec![0, 1, 2]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approx;
+mod minplus;
+mod sssp;
+
+pub use approx::{approx_apsp, ApproxApsp};
+pub use minplus::{apsp_from_arcs, Apsp, RoundModel, INFINITY};
+pub use sssp::{sssp_bellman_ford, SsspOutcome};

@@ -1,0 +1,38 @@
+//! E3 kernel: preconditioned Chebyshev iteration (Corollary 2.3).
+
+use cc_linalg::{chebyshev_solve, laplacian_from_edges, GroundedCholesky};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chebyshev_solve");
+    group.sample_size(20);
+    let edges: Vec<(usize, usize, f64)> = (0..63).map(|i| (i, i + 1, 1.0)).collect();
+    let lap = laplacian_from_edges(64, &edges);
+    let chol = GroundedCholesky::new(&lap).unwrap();
+    let mut b = vec![0.0; 64];
+    b[0] = 1.0;
+    b[63] = -1.0;
+    for &kappa in &[4.0f64, 64.0, 512.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(kappa as u64), &kappa, |bench, &k| {
+            bench.iter(|| {
+                chebyshev_solve(
+                    |v| lap.matvec(v),
+                    |r| {
+                        let mut z = chol.solve(r);
+                        for zi in z.iter_mut() {
+                            *zi /= k;
+                        }
+                        z
+                    },
+                    &b,
+                    k,
+                    1e-8,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

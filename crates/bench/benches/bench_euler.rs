@@ -1,0 +1,24 @@
+//! E4 kernel: Eulerian orientation (Theorem 1.4).
+
+use cc_euler::eulerian_orientation;
+use cc_graph::generators;
+use cc_model::Clique;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eulerian_orientation");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let g = generators::random_eulerian(n, 3, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                eulerian_orientation(&mut clique, &g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 kernel: one Laplacian solve (Theorem 1.1) at eps = 1e-8.
+
+use cc_core::{LaplacianSolver, SolverOptions};
+use cc_graph::generators;
+use cc_model::Clique;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian_solve");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = generators::random_connected(n, 4 * n, 16, 7);
+        let mut clique = Clique::new(n);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                solver.solve(&mut clique, &b, 1e-8)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

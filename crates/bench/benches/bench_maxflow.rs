@@ -1,0 +1,35 @@
+//! E6/E8 kernel: exact max flow — IPM pipeline vs the baselines.
+
+use cc_apsp::RoundModel;
+use cc_graph::generators;
+use cc_maxflow::{max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions};
+use cc_model::Clique;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_flow");
+    group.sample_size(10);
+    let g = generators::random_flow_network(16, 48, 8, 2);
+    group.bench_function("ipm_pipeline", |bench| {
+        bench.iter(|| {
+            let mut clique = Clique::new(16);
+            max_flow_ipm(&mut clique, &g, 0, 15, &IpmOptions::default())
+        })
+    });
+    group.bench_function("ford_fulkerson", |bench| {
+        bench.iter(|| {
+            let mut clique = Clique::new(16);
+            max_flow_ford_fulkerson(&mut clique, &g, 0, 15, RoundModel::FastMatMul)
+        })
+    });
+    group.bench_function("trivial", |bench| {
+        bench.iter(|| {
+            let mut clique = Clique::new(16);
+            max_flow_trivial(&mut clique, &g, 0, 15)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

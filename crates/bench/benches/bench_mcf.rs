@@ -1,0 +1,25 @@
+//! E7 kernel: unit-capacity min cost flow (Theorem 1.3).
+
+use cc_graph::generators;
+use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions};
+use cc_model::Clique;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_cost_flow");
+    group.sample_size(10);
+    let (g, sigma) = generators::bipartite_assignment(6, 3, 8, 2);
+    group.bench_function("ipm_pipeline", |bench| {
+        bench.iter(|| {
+            let mut clique = Clique::new(g.n() + 2);
+            min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("ssp_reference", |bench| {
+        bench.iter(|| ssp_min_cost_flow(&g, &sigma).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 kernel: Cohen's flow rounding (Lemma 4.2).
+
+use cc_euler::{round_flow, FlowRoundingOptions};
+use cc_graph::generators;
+use cc_maxflow::dinic;
+use cc_model::Clique;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_rounding");
+    group.sample_size(10);
+    let g = generators::random_flow_network(48, 120, 4, 9);
+    let (opt, _) = dinic(&g, 0, 47);
+    for &k in &[8u32, 16] {
+        let delta = 1.0 / (1u64 << k) as f64;
+        let scale = ((0.75 / delta).round()) * delta;
+        let frac: Vec<f64> = opt.iter().map(|&f| f as f64 * scale).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(48);
+                round_flow(&mut clique, &g, &frac, 0, 47, delta, &FlowRoundingOptions::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E2 kernel: deterministic sparsifier construction (Theorem 3.3).
+
+use cc_graph::generators;
+use cc_model::Clique;
+use cc_sparsify::{build_sparsifier, SparsifyParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_sparsifier");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = generators::random_connected(n, 4 * n, 16, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                build_sparsifier(&mut clique, &g, &SparsifyParams::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

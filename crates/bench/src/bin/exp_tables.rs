@@ -1,0 +1,34 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p cc-bench --release --bin exp_tables            # all
+//! cargo run -p cc-bench --release --bin exp_tables -- e1 e4   # selected
+//! ```
+
+use cc_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all = args.is_empty();
+    let want = |k: &str| all || args.iter().any(|a| a == k);
+    type Experiment = (&'static str, fn() -> Table);
+    let experiments: Vec<Experiment> = vec![
+        ("e1", e1_laplacian),
+        ("e1b", e1b_solver_ablation),
+        ("e2", e2_sparsifier),
+        ("e2b", e2b_sparsifier_ablation),
+        ("e3", e3_chebyshev),
+        ("e4", e4_euler),
+        ("e4b", e4b_orientation_ablation),
+        ("e5", e5_rounding),
+        ("e6", e6_maxflow),
+        ("e7", e7_mcf),
+        ("e8", e8_comparison),
+    ];
+    for (key, run) in experiments {
+        if want(key) {
+            eprintln!("running {key}…");
+            println!("{}\n", run());
+        }
+    }
+}

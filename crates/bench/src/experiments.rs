@@ -1,0 +1,622 @@
+//! The experiment suite (DESIGN.md §4). Every function regenerates one
+//! table of `EXPERIMENTS.md`.
+
+use cc_apsp::RoundModel;
+use cc_core::{LaplacianSolver, SolverOptions};
+use cc_euler::{
+    eulerian_orientation, is_eulerian_orientation, orient_trails_with_strategy, round_flow,
+    FlowRoundingOptions, MarkingStrategy, OrientationCriterion,
+};
+use cc_graph::{generators, DiGraph, Graph};
+use cc_linalg::{chebyshev_iteration_bound, GroundedCholesky};
+use cc_maxflow::{dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions};
+use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions};
+use cc_model::Clique;
+use cc_sparsify::{build_randomized_sparsifier, build_sparsifier, verify_sparsifier, SparsifyParams};
+
+use crate::Table;
+
+/// A named graph-family constructor used by the E1 sweep.
+type FamilyBuilder = Box<dyn Fn(usize) -> Graph>;
+
+fn st_rhs(n: usize) -> Vec<f64> {
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    b
+}
+
+/// E1 (Theorem 1.1): Laplacian solver rounds vs `n` and vs `log(1/ε)`.
+///
+/// Paper prediction: rounds `= n^{o(1)} · log(U/ε)` — sub-polynomial in
+/// `n` (column `rounds/log n` flattens), linear in the accuracy digits
+/// (column `rounds/log(1/ε)` constant per graph).
+pub fn e1_laplacian() -> Table {
+    let mut t = Table::new(
+        "E1 — Theorem 1.1: Laplacian solve rounds (per-solve, after sparsifier build)",
+        &[
+            "family", "n", "m", "U", "eps", "kappa", "iters", "rounds",
+            "rounds/ln(1/eps)", "rel.err", "err<=eps",
+        ],
+    );
+    let families: Vec<(&str, FamilyBuilder)> = vec![
+        ("expander", Box::new(generators::expander)),
+        (
+            "random(U=16)",
+            Box::new(|n| generators::random_connected(n, 4 * n, 16, 7)),
+        ),
+        (
+            "grid",
+            Box::new(|n| {
+                let side = (n as f64).sqrt() as usize;
+                generators::grid(side, side)
+            }),
+        ),
+    ];
+    for (name, build) in &families {
+        for &n in &[32usize, 64, 128] {
+            let g = build(n);
+            let n = g.n();
+            let mut clique = Clique::new(n);
+            let solver =
+                LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+            for &eps in &[1e-2, 1e-5, 1e-8] {
+                let before = clique.ledger().total_rounds();
+                let out = solver.solve(&mut clique, &st_rhs(n), eps);
+                let rounds = clique.ledger().total_rounds() - before;
+                let err = out.relative_error();
+                t.push(vec![
+                    name.to_string(),
+                    n.to_string(),
+                    g.m().to_string(),
+                    format!("{:.0}", g.max_weight()),
+                    format!("{eps:.0e}"),
+                    format!("{:.2}", out.kappa),
+                    out.iterations.to_string(),
+                    rounds.to_string(),
+                    format!("{:.2}", rounds as f64 / (1.0 / eps).ln()),
+                    format!("{err:.2e}"),
+                    (err <= eps * 1.05).to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// E2 (Theorem 3.3): sparsifier size, certified α (honesty-checked against
+/// the exact generalized eigenvalue bounds on small instances), rounds.
+///
+/// Paper prediction: `|E(H)| = O(n log n log U)`, `α = log^{O(r²)} n`,
+/// rounds `O(log n log U · n^{O(1/r²)})`.
+pub fn e2_sparsifier() -> Table {
+    let mut t = Table::new(
+        "E2 — Theorem 3.3: deterministic spectral sparsifier",
+        &[
+            "family", "n", "m", "U", "|E(H)|", "|E(H)|/(n ln n)", "levels", "alpha",
+            "exact alpha", "honest", "rounds(impl)", "rounds(charged)",
+        ],
+    );
+    let cases: Vec<(&str, Graph)> = vec![
+        ("expander", generators::expander(64)),
+        ("complete", generators::complete(48)),
+        ("barbell", generators::barbell(24)),
+        ("grid", generators::grid(8, 8)),
+        ("random U=4", generators::random_connected(64, 256, 4, 3)),
+        ("random U=256", generators::random_connected(64, 256, 256, 3)),
+        ("random n=128", generators::random_connected(128, 640, 16, 5)),
+    ];
+    for (name, g) in cases {
+        let mut clique = Clique::new(g.n());
+        let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+        // Exact pencil verification is O(n³) dense — run it everywhere here
+        // (n ≤ 128) as the honesty check of the certified α.
+        let bounds = verify_sparsifier(&g, &h);
+        let exact_alpha = bounds.alpha();
+        t.push(vec![
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            format!("{:.0}", g.max_weight()),
+            h.edge_count().to_string(),
+            format!("{:.2}", h.edge_count() as f64 / (g.n() as f64 * (g.n() as f64).ln())),
+            h.levels().to_string(),
+            format!("{:.3}", h.alpha()),
+            format!("{exact_alpha:.3}"),
+            (exact_alpha <= h.alpha() * (1.0 + 1e-6)).to_string(),
+            clique.ledger().implemented_rounds().to_string(),
+            clique.ledger().charged_rounds().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3 (Corollary 2.3): Chebyshev iterations vs `√κ · log(1/ε)`.
+///
+/// Paper prediction: the ratio `iters / (√κ ln(1/ε))` is bounded by a
+/// constant (1 + o(1) as κ grows).
+pub fn e3_chebyshev() -> Table {
+    let mut t = Table::new(
+        "E3 — Corollary 2.3: preconditioned Chebyshev iteration count",
+        &["kappa", "eps", "iterations", "sqrt(k)*ln(1/eps)", "ratio", "verified err<=eps"],
+    );
+    // Verify the bound really delivers on a concrete system: path graph
+    // preconditioned by (1/κ-scaled) exact inverse = spectrum [1/κ, 1].
+    let edges: Vec<(usize, usize, f64)> = (0..23).map(|i| (i, i + 1, 1.0)).collect();
+    let lap = cc_linalg::laplacian_from_edges(24, &edges);
+    let chol = GroundedCholesky::new(&lap).unwrap();
+    let mut b = st_rhs(24);
+    cc_linalg::vec_ops::remove_mean(&mut b);
+    let x_star = chol.solve(&b);
+    for &kappa in &[2.0f64, 8.0, 32.0, 128.0, 512.0] {
+        for &eps in &[1e-3, 1e-6, 1e-9] {
+            let iters = chebyshev_iteration_bound(kappa, eps);
+            // Worst-case-ish concrete run: B = κ·L (so B-solve = L†/κ).
+            let out = cc_linalg::chebyshev_solve(
+                |v| lap.matvec(v),
+                |r| {
+                    let mut z = chol.solve(r);
+                    for zi in z.iter_mut() {
+                        *zi /= kappa;
+                    }
+                    z
+                },
+                &b,
+                kappa,
+                eps,
+            );
+            let err = cc_linalg::relative_a_error(
+                |v| cc_linalg::laplacian_quadratic_form(&edges, v),
+                &out.x,
+                &x_star,
+            );
+            let scale = kappa.sqrt() * (1.0 / eps).ln();
+            t.push(vec![
+                format!("{kappa:.0}"),
+                format!("{eps:.0e}"),
+                iters.to_string(),
+                format!("{scale:.1}"),
+                format!("{:.3}", iters as f64 / scale),
+                (err <= eps * 1.05).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E4 (Theorem 1.4): Eulerian orientation rounds vs `log n · log* n`.
+///
+/// Paper prediction: the normalized column `rounds / log₂(2m)` stays
+/// bounded by a constant (`log* n ≤ 5` throughout the sweep).
+pub fn e4_euler() -> Table {
+    let mut t = Table::new(
+        "E4 — Theorem 1.4: Eulerian orientation rounds",
+        &["n", "m", "darts", "rounds", "log2(2m)", "rounds/log2(2m)", "valid"],
+    );
+    for &n in &[16usize, 64, 256, 1024, 4096] {
+        let g = generators::random_eulerian(n, 3, 5);
+        let mut clique = Clique::new(n);
+        let oriented = eulerian_orientation(&mut clique, &g);
+        let rounds = clique.ledger().total_rounds();
+        let scale = ((2 * g.m()) as f64).log2();
+        t.push(vec![
+            n.to_string(),
+            g.m().to_string(),
+            (2 * g.m()).to_string(),
+            rounds.to_string(),
+            format!("{scale:.1}"),
+            format!("{:.1}", rounds as f64 / scale),
+            is_eulerian_orientation(&g, &oriented).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E5 (Lemma 4.2): flow rounding rounds vs `log(1/Δ)`.
+///
+/// Paper prediction: rounds grow linearly in `log(1/Δ)` (column
+/// `rounds/log(1/Δ)` roughly constant), value never decreases.
+pub fn e5_rounding() -> Table {
+    let mut t = Table::new(
+        "E5 — Lemma 4.2: flow rounding rounds vs Δ",
+        &["1/delta", "iterations", "rounds", "rounds/log2(1/delta)", "value ok", "integral"],
+    );
+    let g = generators::random_flow_network(48, 120, 4, 9);
+    let (opt, _) = dinic(&g, 0, 47);
+    for &k in &[4u32, 8, 12, 16, 20] {
+        let delta = 1.0 / (1u64 << k) as f64;
+        // A fractional flow with genuine low-order Δ-bits: scale the whole
+        // optimum by an ODD multiple of Δ near 3/4 (conservation preserved,
+        // and every scaling iteration has odd-flow edges to orient).
+        let odd = ((0.75 / delta).round() as u64) | 1;
+        let scale = odd as f64 * delta;
+        let frac: Vec<f64> = opt.iter().map(|&f| f as f64 * scale).collect();
+        let frac_value: f64 = g
+            .edges()
+            .iter()
+            .zip(&frac)
+            .map(|(e, &f)| if e.from == 0 { f } else if e.to == 0 { -f } else { 0.0 })
+            .sum();
+        let mut clique = Clique::new(48);
+        let out = round_flow(&mut clique, &g, &frac, 0, 47, delta, &FlowRoundingOptions::default());
+        let rounds = clique.ledger().total_rounds();
+        let value = g.flow_value(&out.flow, 0);
+        t.push(vec![
+            format!("2^{k}"),
+            out.iterations.to_string(),
+            rounds.to_string(),
+            format!("{:.1}", rounds as f64 / k as f64),
+            (value as f64 >= frac_value - 1e-9).to_string(),
+            g.is_feasible_flow(&out.flow, &g.st_demand(0, 47, value)).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E6 (Theorem 1.2): max flow — IPM pipeline vs Ford–Fulkerson vs trivial.
+///
+/// Paper prediction: IPM rounds scale like `m^{3/7+o(1)} U^{1/7}`; FF like
+/// `|f*|·n^{0.158}`; trivial like `n` (in words of size `log U`). At
+/// simulable sizes the trivial baseline wins on raw rounds — the shape
+/// columns show the asymptotic ordering.
+pub fn e6_maxflow() -> Table {
+    let mut t = Table::new(
+        "E6 — Theorem 1.2: exact max flow, IPM pipeline vs deterministic baselines",
+        &[
+            "n", "m", "U", "|f*|", "ipm rounds", "ipm/m^(3/7)U^(1/7)", "ipm steps",
+            "rounded/|f*|", "repair", "ff rounds", "trivial rounds", "exact",
+        ],
+    );
+    let cases: Vec<(usize, usize, i64, u64)> = vec![
+        (12, 24, 1, 1),
+        (12, 24, 8, 1),
+        (16, 48, 8, 2),
+        (24, 72, 8, 3),
+        (24, 72, 64, 3),
+        (32, 128, 8, 4),
+    ];
+    for (n, extra, u, seed) in cases {
+        let g = generators::random_flow_network(n, extra, u, seed);
+        let (_, want) = dinic(&g, 0, n - 1);
+        let mut c1 = Clique::new(n);
+        let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default());
+        let ipm_rounds = c1.ledger().total_rounds();
+        let mut c2 = Clique::new(n);
+        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::FastMatMul);
+        let mut c3 = Clique::new(n);
+        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1);
+        let shape = (g.m() as f64).powf(3.0 / 7.0) * (u as f64).powf(1.0 / 7.0);
+        t.push(vec![
+            n.to_string(),
+            g.m().to_string(),
+            u.to_string(),
+            want.to_string(),
+            ipm_rounds.to_string(),
+            format!("{:.0}", ipm_rounds as f64 / shape),
+            ipm.stats.progress_steps.to_string(),
+            if want > 0 {
+                format!("{:.2}", ipm.stats.rounded_value as f64 / want as f64)
+            } else {
+                "-".into()
+            },
+            ipm.stats.repair_paths.to_string(),
+            c2.ledger().total_rounds().to_string(),
+            c3.ledger().total_rounds().to_string(),
+            (ipm.value == want && ff.value == want && tr.value == want).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E7 (Theorem 1.3): unit-capacity min cost flow.
+///
+/// Paper prediction: rounds `Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))`;
+/// the repair loop needs `Õ(m^{3/7})` augmentations. The table reports the
+/// measured shape plus exactness against the SSP reference.
+pub fn e7_mcf() -> Table {
+    let mut t = Table::new(
+        "E7 — Theorem 1.3: unit-capacity min cost flow (assignment workloads)",
+        &[
+            "k", "n", "m", "W", "rounds", "rounds/m^(3/7)", "steps", "satisfied",
+            "repair", "cancelled", "exact",
+        ],
+    );
+    for &(k, w, seed) in &[(4usize, 8i64, 1u64), (6, 8, 2), (8, 8, 3), (8, 64, 3), (12, 8, 4)] {
+        let (g, sigma) = generators::bipartite_assignment(k, 3, w, seed);
+        let (_, want) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        let mut clique = Clique::new(g.n() + 2);
+        let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap();
+        let rounds = clique.ledger().total_rounds();
+        let shape = (g.m() as f64).powf(3.0 / 7.0);
+        t.push(vec![
+            k.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            w.to_string(),
+            rounds.to_string(),
+            format!("{:.0}", rounds as f64 / shape),
+            out.stats.progress_steps.to_string(),
+            format!("{:.2}", out.stats.ipm_progress),
+            out.stats.repair_paths.to_string(),
+            out.stats.cancelled_cycles.to_string(),
+            (out.cost == want).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E8 (§1.1): the "who wins where" comparison the paper's related-work
+/// section walks through — FF's `O(|f*| n^{0.158})` vs the trivial
+/// algorithm's `O(n log U)` (the paper: FF only wins while
+/// `|f*| = o(n^{0.842} log U)`).
+///
+/// Workload: fixed `n`, a **dense** background (so gathering everything
+/// really costs Θ(m/n) = Θ(n) rounds) plus `k` disjoint unit `s`-`t`
+/// routes capping `|f*| = k`. Sweeping `k` exposes the crossover: FF's
+/// rounds grow linearly in `|f*|` while the trivial algorithm's stay flat.
+pub fn e8_comparison() -> Table {
+    let mut t = Table::new(
+        "E8 — §1.1 comparison: fixed n = 66 dense network, |f*| = k sweep",
+        &[
+            "n", "m", "|f*|", "ff rounds", "ff formula k*n^0.158", "trivial rounds",
+            "trivial formula 3m/n", "ff wins",
+        ],
+    );
+    let middles = 64usize;
+    let n = middles + 2;
+    for &k in &[1usize, 4, 16, 64] {
+        let mut g = DiGraph::new(n);
+        // |f*| = k: s has exactly k unit out-edges.
+        for i in 0..k {
+            g.add_edge(0, 2 + i, 1, 0);
+        }
+        for i in 0..middles {
+            g.add_edge(2 + i, 1, 1, 0);
+        }
+        // Dense background among the middles (does not raise |f*|).
+        for i in 0..middles {
+            for j in 0..middles {
+                if i != j {
+                    g.add_edge(2 + i, 2 + j, 1, 0);
+                }
+            }
+        }
+        let mut c_ff = Clique::new(n);
+        let ff = max_flow_ford_fulkerson(&mut c_ff, &g, 0, 1, RoundModel::FastMatMul);
+        assert_eq!(ff.value, k as i64);
+        let mut c_tr = Clique::new(n);
+        let tr = max_flow_trivial(&mut c_tr, &g, 0, 1);
+        assert_eq!(tr.value, k as i64);
+        let ff_rounds = c_ff.ledger().total_rounds();
+        let tr_rounds = c_tr.ledger().total_rounds();
+        t.push(vec![
+            n.to_string(),
+            g.m().to_string(),
+            k.to_string(),
+            ff_rounds.to_string(),
+            format!("{:.0}", k as f64 * (n as f64).powf(0.158)),
+            tr_rounds.to_string(),
+            format!("{:.0}", 3.0 * g.m() as f64 / n as f64),
+            (ff_rounds < tr_rounds).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E1b ablation: the Theorem 1.1 solver with the deterministic
+/// (Theorem 3.3) sparsifier against the randomized effective-resistance
+/// sampler of the paper's \[FV22\] remark — same Chebyshev engine, the
+/// preconditioner quality (certified α) drives the per-solve round count.
+pub fn e1b_solver_ablation() -> Table {
+    let mut t = Table::new(
+        "E1b — ablation: solver rounds with deterministic vs randomized preconditioner",
+        &["preconditioner", "n", "alpha", "kappa", "iters @1e-8", "build rounds (impl+charged)", "err<=eps"],
+    );
+    let g = generators::random_connected(64, 384, 8, 21);
+    let b = {
+        let mut b = vec![0.0; 64];
+        b[0] = 1.0;
+        b[63] = -1.0;
+        b
+    };
+    // Deterministic.
+    {
+        let mut clique = Clique::new(64);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let build_rounds = clique.ledger().total_rounds();
+        let out = solver.solve(&mut clique, &b, 1e-8);
+        t.push(vec![
+            "deterministic (Thm 3.3)".into(),
+            "64".into(),
+            format!("{:.3}", solver.sparsifier().alpha()),
+            format!("{:.3}", solver.kappa()),
+            out.iterations.to_string(),
+            build_rounds.to_string(),
+            (out.relative_error() <= 1e-8 * 1.05).to_string(),
+        ]);
+    }
+    // Randomized at two sampling budgets.
+    for &(label, q) in &[("randomized q=8n ln n", None), ("randomized q=300", Some(300usize))] {
+        let mut clique = Clique::new(64);
+        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 77, q);
+        let build_rounds = clique.ledger().total_rounds();
+        let solver =
+            cc_core::LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
+        let out = solver.solve(&mut clique, &b, 1e-8);
+        t.push(vec![
+            label.into(),
+            "64".into(),
+            format!("{:.3}", solver.sparsifier().alpha()),
+            format!("{:.3}", solver.kappa()),
+            out.iterations.to_string(),
+            build_rounds.to_string(),
+            (out.relative_error() <= 1e-8 * 1.05).to_string(),
+        ]);
+    }
+    t
+}
+
+/// E2b ablation: the deterministic sparsifier (Theorem 3.3) against the
+/// randomized effective-resistance sampler the paper's \[FV22\] remark
+/// points to, and against the `φ` knob of the expander decomposition.
+///
+/// Expected: the deterministic construction gets *smaller* sparsifiers
+/// with comparable certified α; the randomized one charges only
+/// `polylog n` oracle rounds (the paper's "replace the solver to convert
+/// `n^{o(1)}` into `poly log n`" trade-off). Larger `φ` cuts more,
+/// giving more levels and better-conditioned clusters.
+pub fn e2b_sparsifier_ablation() -> Table {
+    let mut t = Table::new(
+        "E2b — ablation: deterministic vs randomized sparsifiers; φ sweep",
+        &["variant", "n", "m", "|E(H)|", "alpha (certified)", "levels", "impl rounds", "charged rounds"],
+    );
+    let g = generators::random_connected(64, 512, 8, 13);
+    // Deterministic with the φ ladder — on the grid, whose conductance
+    // actually responds to φ (larger φ cuts the grid into certified
+    // expander patches: more levels, smaller per-cluster α).
+    let grid = generators::grid(8, 8);
+    for &(label, phi) in &[("det grid φ=default", None), ("det grid φ=0.20", Some(0.20)), ("det grid φ=0.45", Some(0.45))] {
+        let mut clique = Clique::new(64);
+        let params = SparsifyParams { phi, ..Default::default() };
+        let h = build_sparsifier(&mut clique, &grid, &params);
+        t.push(vec![
+            label.to_string(),
+            grid.n().to_string(),
+            grid.m().to_string(),
+            h.edge_count().to_string(),
+            format!("{:.3}", h.alpha()),
+            h.levels().to_string(),
+            clique.ledger().implemented_rounds().to_string(),
+            clique.ledger().charged_rounds().to_string(),
+        ]);
+    }
+    {
+        let mut clique = Clique::new(64);
+        let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+        t.push(vec![
+            "det random".to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            h.edge_count().to_string(),
+            format!("{:.3}", h.alpha()),
+            h.levels().to_string(),
+            clique.ledger().implemented_rounds().to_string(),
+            clique.ledger().charged_rounds().to_string(),
+        ]);
+    }
+    // Randomized at two sample sizes.
+    for &(label, q) in &[("rand q=4n ln n", None), ("rand q=256", Some(256usize))] {
+        let mut clique = Clique::new(64);
+        let h = build_randomized_sparsifier(&mut clique, &g, 99, q);
+        t.push(vec![
+            label.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            h.edge_count().to_string(),
+            format!("{:.3}", h.alpha()),
+            h.levels().to_string(),
+            clique.ledger().implemented_rounds().to_string(),
+            clique.ledger().charged_rounds().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E4b ablation: deterministic Cole–Vishkin marking vs the randomized
+/// sampling the paper notes after Theorem 1.4.
+///
+/// Expected: both orient correctly; the randomized variant spends no
+/// `O(log* n)` coloring rounds per iteration but pays occasionally-longer
+/// token walks — at these sizes the two are within a small factor, with
+/// the deterministic `log*` overhead visible in the per-log column.
+pub fn e4b_orientation_ablation() -> Table {
+    let mut t = Table::new(
+        "E4b — ablation: deterministic vs randomized cycle contraction",
+        &["n", "m", "det rounds", "rand rounds", "det/log2(2m)", "rand/log2(2m)", "both valid"],
+    );
+    for &n in &[64usize, 256, 1024] {
+        let g = generators::random_eulerian(n, 3, 5);
+        let mut c1 = Clique::new(n);
+        let o1 = eulerian_orientation(&mut c1, &g);
+        let mut c2 = Clique::new(n);
+        let o2 = orient_trails_with_strategy(
+            &mut c2,
+            &g,
+            &OrientationCriterion::default(),
+            MarkingStrategy::Randomized { seed: 17 },
+        );
+        let scale = ((2 * g.m()) as f64).log2();
+        t.push(vec![
+            n.to_string(),
+            g.m().to_string(),
+            c1.ledger().total_rounds().to_string(),
+            c2.ledger().total_rounds().to_string(),
+            format!("{:.1}", c1.ledger().total_rounds() as f64 / scale),
+            format!("{:.1}", c2.ledger().total_rounds() as f64 / scale),
+            (is_eulerian_orientation(&g, &o1) && is_eulerian_orientation(&g, &o2)).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The experiment suite is exercised end-to-end by the integration
+    // tests; here we keep the cheap invariants so `cargo test` stays fast.
+
+    #[test]
+    fn e3_ratio_is_bounded() {
+        let t = e3_chebyshev();
+        for row in t.rows() {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio <= 1.2, "ratio {ratio} too large");
+            assert_eq!(row[5], "true");
+        }
+    }
+
+    #[test]
+    fn e5_rounding_is_linear_in_log_delta() {
+        let t = e5_rounding();
+        let mut per_k: Vec<f64> = Vec::new();
+        for row in t.rows() {
+            per_k.push(row[3].parse().unwrap());
+            assert_eq!(row[4], "true");
+            assert_eq!(row[5], "true");
+        }
+        // The per-log cost varies by less than 3x across the Δ sweep.
+        let max = per_k.iter().cloned().fold(0.0f64, f64::max);
+        let min = per_k.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.0, "per-log rounds not stable: {per_k:?}");
+    }
+
+    #[test]
+    fn e1b_all_preconditioners_reach_epsilon() {
+        let t = e1b_solver_ablation();
+        assert_eq!(t.rows().len(), 3);
+        for row in t.rows() {
+            assert_eq!(row[6], "true", "row {row:?}");
+            let alpha: f64 = row[2].parse().unwrap();
+            assert!(alpha >= 1.0);
+        }
+    }
+
+    #[test]
+    fn e4b_both_strategies_valid_and_randomized_cheaper_per_log() {
+        let t = e4b_orientation_ablation();
+        for row in t.rows() {
+            assert_eq!(row[6], "true");
+            let det: f64 = row[4].parse().unwrap();
+            let rand: f64 = row[5].parse().unwrap();
+            assert!(rand < det, "randomized must save the log* factor: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e8_ff_round_counts_scale_with_flow() {
+        let t = e8_comparison();
+        let rounds: Vec<u64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

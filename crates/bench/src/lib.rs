@@ -1,0 +1,19 @@
+//! # cc-bench — the experiment harness of the reproduction
+//!
+//! One function per experiment of `DESIGN.md` §4 (E1–E8). Each returns the
+//! rows it prints, so the `exp_tables` binary, the Criterion benches, and
+//! the integration tests all share one implementation. The recorded
+//! paper-vs-measured outcomes live in `EXPERIMENTS.md`.
+//!
+//! The measured quantity is **rounds** (the model's only cost); Criterion
+//! additionally tracks wall-clock time of the kernels so regressions in
+//! the simulator itself are visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

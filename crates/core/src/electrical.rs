@@ -1,0 +1,323 @@
+//! Electrical flows on top of the Laplacian solver.
+//!
+//! Both interior point methods (Appendix B and C of the paper) reduce each
+//! iteration to an *electrical flow* computation: given per-edge
+//! resistances `r_e` and a demand vector `χ`, find vertex potentials
+//! `φ = L† χ` for the Laplacian of conductances `1/r_e`, and route
+//! `f_e = (φ_u − φ_v)/r_e` on every edge. This module packages that
+//! reduction over [`crate::LaplacianSolver`].
+
+use cc_graph::Graph;
+use cc_model::Clique;
+use cc_sparsify::{build_sparsifier_with_template, SparsifierTemplate};
+
+use crate::{CoreError, LaplacianSolver, SolverOptions};
+
+/// An undirected network with positive edge resistances, ready to answer
+/// electrical flow queries in the congested clique.
+#[derive(Debug, Clone)]
+pub struct ElectricalNetwork {
+    edges: Vec<(usize, usize, f64)>,
+    resistances: Vec<f64>,
+    solver: LaplacianSolver,
+}
+
+/// Result of an electrical flow computation.
+#[derive(Debug, Clone)]
+pub struct ElectricalFlow {
+    /// Vertex potentials `φ ≈ L†χ` (zero mean per component).
+    pub potentials: Vec<f64>,
+    /// Edge flows `f_e = (φ_u − φ_v)/r_e`, oriented `u → v` per the edge
+    /// list passed to [`ElectricalNetwork::build`].
+    pub flows: Vec<f64>,
+    /// Energy `Σ_e r_e f_e²` of the computed flow.
+    pub energy: f64,
+    /// Chebyshev iterations (= broadcast rounds) the solve used.
+    pub iterations: usize,
+}
+
+impl ElectricalNetwork {
+    /// Builds the network from `(u, v, resistance)` triples on `n`
+    /// vertices, constructing the deterministic sparsifier of the
+    /// conductance graph in `clique`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resistance is not strictly positive or an endpoint is
+    /// out of range.
+    pub fn build(
+        clique: &mut Clique,
+        n: usize,
+        edges: &[(usize, usize, f64)],
+        options: &SolverOptions,
+    ) -> Result<Self, CoreError> {
+        let g = conductance_graph(n, edges);
+        let solver = LaplacianSolver::build(clique, &g, options)?;
+        Ok(Self {
+            edges: edges.iter().map(|&(u, v, _)| (u, v, 0.0)).collect(),
+            resistances: edges.iter().map(|&(_, _, r)| r).collect(),
+            solver,
+        })
+    }
+
+    /// Like [`ElectricalNetwork::build`], additionally returning a
+    /// [`SparsifierTemplate`] so later networks on the *same edge support*
+    /// (the interior point methods change only resistances) can skip the
+    /// expander re-decomposition via
+    /// [`ElectricalNetwork::build_from_template`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ElectricalNetwork::build`].
+    pub fn build_capturing(
+        clique: &mut Clique,
+        n: usize,
+        edges: &[(usize, usize, f64)],
+        options: &SolverOptions,
+    ) -> Result<(Self, SparsifierTemplate), CoreError> {
+        let g = conductance_graph(n, edges);
+        let (sparsifier, template) =
+            build_sparsifier_with_template(clique, &g, &options.sparsify);
+        let solver = LaplacianSolver::with_sparsifier(&g, sparsifier, options)?;
+        Ok((
+            Self {
+                edges: edges.iter().map(|&(u, v, _)| (u, v, 0.0)).collect(),
+                resistances: edges.iter().map(|&(_, _, r)| r).collect(),
+                solver,
+            },
+            template,
+        ))
+    }
+
+    /// Builds the network by instantiating a previously captured
+    /// [`SparsifierTemplate`] for the new resistances — no expander
+    /// re-decomposition, per-cluster certificates recomputed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template's edge support differs from `edges`.
+    pub fn build_from_template(
+        clique: &mut Clique,
+        n: usize,
+        edges: &[(usize, usize, f64)],
+        template: &SparsifierTemplate,
+        options: &SolverOptions,
+    ) -> Result<Self, CoreError> {
+        let g = conductance_graph(n, edges);
+        let sparsifier = template.instantiate(clique, &g);
+        let solver = LaplacianSolver::with_sparsifier(&g, sparsifier, options)?;
+        Ok(Self {
+            edges: edges.iter().map(|&(u, v, _)| (u, v, 0.0)).collect(),
+            resistances: edges.iter().map(|&(_, _, r)| r).collect(),
+            solver,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.solver.n()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The per-edge resistances.
+    pub fn resistances(&self) -> &[f64] {
+        &self.resistances
+    }
+
+    /// Computes the electrical flow for demand `chi` to solver accuracy
+    /// `eps` (relative `L`-norm error, Theorem 1.1), charging rounds to
+    /// `clique`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chi.len() != n` or `eps ≤ 0`.
+    pub fn flow(&self, clique: &mut Clique, chi: &[f64], eps: f64) -> ElectricalFlow {
+        let out = self.solver.solve(clique, chi, eps);
+        let potentials = out.x;
+        let mut flows = Vec::with_capacity(self.edges.len());
+        let mut energy = 0.0;
+        for (&(u, v, _), &r) in self.edges.iter().zip(&self.resistances) {
+            let f = (potentials[u] - potentials[v]) / r;
+            energy += r * f * f;
+            flows.push(f);
+        }
+        ElectricalFlow {
+            potentials,
+            flows,
+            energy,
+            iterations: out.iterations,
+        }
+    }
+
+    /// Approximate effective resistance between `s` and `t`:
+    /// `R_eff = φ_s − φ_t` for the unit `s`-`t` electrical flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either vertex is out of range.
+    pub fn effective_resistance(
+        &self,
+        clique: &mut Clique,
+        s: usize,
+        t: usize,
+        eps: f64,
+    ) -> f64 {
+        assert!(s != t && s < self.n() && t < self.n(), "bad terminals");
+        let mut chi = vec![0.0; self.n()];
+        chi[s] = 1.0;
+        chi[t] = -1.0;
+        let flow = self.flow(clique, &chi, eps);
+        flow.potentials[s] - flow.potentials[t]
+    }
+}
+
+/// Conductance graph of a resistor list (weight = 1/r).
+fn conductance_graph(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v, r) in edges {
+        assert!(r > 0.0, "resistances must be positive, got {r}");
+        assert!(r.is_finite(), "resistances must be finite");
+        g.add_edge(u, v, 1.0 / r);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_resistances(edges: &[(usize, usize)]) -> Vec<(usize, usize, f64)> {
+        edges.iter().map(|&(u, v)| (u, v, 1.0)).collect()
+    }
+
+    #[test]
+    fn series_resistors_add() {
+        // 0 -1Ω- 1 -2Ω- 2: R_eff(0,2) = 3.
+        let mut clique = Clique::new(3);
+        let net = ElectricalNetwork::build(
+            &mut clique,
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0)],
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let r = net.effective_resistance(&mut clique, 0, 2, 1e-10);
+        assert!((r - 3.0).abs() < 1e-8, "got {r}");
+    }
+
+    #[test]
+    fn parallel_resistors_combine() {
+        // Two 1Ω edges in parallel: R_eff = 1/2.
+        let mut clique = Clique::new(2);
+        let net = ElectricalNetwork::build(
+            &mut clique,
+            2,
+            &[(0, 1, 1.0), (0, 1, 1.0)],
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let r = net.effective_resistance(&mut clique, 0, 1, 1e-10);
+        assert!((r - 0.5).abs() < 1e-8, "got {r}");
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let edges = unit_resistances(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let mut clique = Clique::new(4);
+        let net =
+            ElectricalNetwork::build(&mut clique, 4, &edges, &SolverOptions::default()).unwrap();
+        let mut chi = vec![0.0; 4];
+        chi[0] = 2.0;
+        chi[3] = -2.0;
+        let flow = net.flow(&mut clique, &chi, 1e-10);
+        // Net outflow at every vertex matches the demand.
+        let mut net_out = [0.0; 4];
+        for (i, &(u, v, _)) in net.edges.iter().enumerate() {
+            net_out[u] += flow.flows[i];
+            net_out[v] -= flow.flows[i];
+        }
+        for (got, want) in net_out.iter().zip(&chi) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn energy_equals_chi_dot_phi() {
+        // Thomson principle bookkeeping: E = χᵀφ for the exact flow.
+        let edges = unit_resistances(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut clique = Clique::new(4);
+        let net =
+            ElectricalNetwork::build(&mut clique, 4, &edges, &SolverOptions::default()).unwrap();
+        let mut chi = vec![0.0; 4];
+        chi[1] = 1.0;
+        chi[3] = -1.0;
+        let flow = net.flow(&mut clique, &chi, 1e-11);
+        let chi_phi: f64 = chi.iter().zip(&flow.potentials).map(|(a, b)| a * b).sum();
+        assert!((flow.energy - chi_phi).abs() < 1e-7);
+    }
+
+    #[test]
+    fn template_reuse_answers_match_fresh_builds() {
+        // IPM-style loop: same support, resistances drifting each step.
+        let base: Vec<(usize, usize, f64)> =
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)];
+        let mut clique = Clique::new(4);
+        let (_, template) =
+            ElectricalNetwork::build_capturing(&mut clique, 4, &base, &SolverOptions::default())
+                .unwrap();
+        let mut chi = vec![0.0; 4];
+        chi[0] = 1.0;
+        chi[3] = -1.0;
+        for step in 1..4 {
+            let edges: Vec<(usize, usize, f64)> = base
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v, r))| (u, v, r * (1.0 + 0.5 * (step * (i + 1)) as f64)))
+                .collect();
+            let fresh =
+                ElectricalNetwork::build(&mut clique, 4, &edges, &SolverOptions::default())
+                    .unwrap();
+            let reused = ElectricalNetwork::build_from_template(
+                &mut clique,
+                4,
+                &edges,
+                &template,
+                &SolverOptions::default(),
+            )
+            .unwrap();
+            let a = fresh.flow(&mut clique, &chi, 1e-10);
+            let b = reused.flow(&mut clique, &chi, 1e-10);
+            for (x, y) in a.flows.iter().zip(&b.flows) {
+                assert!((x - y).abs() < 1e-7, "step {step}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_resistance() {
+        let mut clique = Clique::new(2);
+        let _ = ElectricalNetwork::build(
+            &mut clique,
+            2,
+            &[(0, 1, 0.0)],
+            &SolverOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use cc_linalg::LinalgError;
+
+/// Errors raised by the Laplacian solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The sparsifier's internal factorization failed (numerically
+    /// degenerate weights).
+    Factorization(LinalgError),
+    /// The right-hand side has the wrong length.
+    RhsLength {
+        /// Entries supplied.
+        got: usize,
+        /// Entries expected (`n`).
+        expected: usize,
+    },
+    /// The graph has no edges incident to a vertex with nonzero demand —
+    /// no flow/potential can satisfy it (reported, not silently projected,
+    /// when strict feasibility is requested).
+    InfeasibleDemand {
+        /// The offending vertex.
+        vertex: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Factorization(e) => write!(f, "sparsifier factorization failed: {e}"),
+            CoreError::RhsLength { got, expected } => {
+                write!(f, "rhs has {got} entries, expected {expected}")
+            }
+            CoreError::InfeasibleDemand { vertex } => {
+                write!(f, "demand at isolated vertex {vertex} cannot be routed")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Factorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Factorization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::RhsLength { got: 3, expected: 5 };
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::Factorization(LinalgError::NotPositiveDefinite {
+            index: 0,
+            pivot: -1.0,
+        });
+        assert!(Error::source(&e).is_some());
+    }
+}

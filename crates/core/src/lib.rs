@@ -1,0 +1,51 @@
+//! # cc-core — the deterministic congested clique Laplacian solver
+//!
+//! The primary contribution of Forster & de Vos (PODC 2023), Theorem 1.1:
+//!
+//! > There is a deterministic algorithm in the congested clique that, given
+//! > an undirected graph `G` with positive real weights bounded by `U` and
+//! > a vector `b ∈ ℝⁿ`, computes `x` with
+//! > `‖x − L†b‖_{L_G} ≤ ε·‖L†b‖_{L_G}` in `n^{o(1)} log(U/ε)` rounds.
+//!
+//! The implementation follows the paper exactly:
+//!
+//! 1. build a deterministic spectral sparsifier `H` of `G` and make it
+//!    known to every node (`cc-sparsify`, Theorem 3.3);
+//! 2. run preconditioned Chebyshev iteration (Theorem 2.2 / Corollary 2.3)
+//!    with `A = L_G` and `B = α·S_H`:
+//!    * the multiplication by `L_G` is **one broadcast round** — every node
+//!      broadcasts its coordinate, then computes its Laplacian row product
+//!      locally;
+//!    * the solve with `B` is **zero rounds** — `H` is globally known, so
+//!      every node runs the same grounded Cholesky solve internally;
+//!    * vector operations are local.
+//!
+//! Total: `O(√κ · log(1/ε))` rounds of iteration with `κ = α²`, plus the
+//! sparsifier construction.
+//!
+//! ```
+//! use cc_model::Clique;
+//! use cc_graph::generators;
+//! use cc_core::{LaplacianSolver, SolverOptions};
+//!
+//! let g = generators::expander(32);
+//! let mut clique = Clique::new(32);
+//! let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default())?;
+//! let mut b = vec![0.0; 32];
+//! b[0] = 1.0;
+//! b[17] = -1.0;
+//! let out = solver.solve(&mut clique, &b, 1e-8);
+//! assert!(out.relative_error() <= 1e-8);
+//! # Ok::<(), cc_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod electrical;
+mod error;
+mod solver;
+
+pub use electrical::{ElectricalFlow, ElectricalNetwork};
+pub use error::CoreError;
+pub use solver::{solve_laplacian, LaplacianSolver, SolveOutcome, SolverOptions};

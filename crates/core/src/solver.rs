@@ -1,0 +1,470 @@
+//! The Theorem 1.1 solver.
+
+use cc_graph::Graph;
+use cc_linalg::{
+    chebyshev_iteration_bound, laplacian_from_edges, CsrMatrix, LaplacianNorm,
+};
+use cc_model::{decode_f64, encode_f64, Clique};
+use cc_sparsify::{build_sparsifier, SparsifierSolver, SparsifyParams, SpectralSparsifier};
+
+use crate::CoreError;
+
+/// Options of [`LaplacianSolver::build`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverOptions {
+    /// Parameters of the sparsifier construction (Theorem 3.3).
+    pub sparsify: SparsifyParams,
+    /// Quantize every broadcast scalar to this many fractional fixed-point
+    /// bits — the strict `O(log n)`-bit word regime (paper footnote 2).
+    /// `None` (default) ships full `f64` payloads, one word each.
+    pub message_frac_bits: Option<u32>,
+    /// Skip computing the exact reference solution per solve.
+    /// [`SolveOutcome::relative_error`] then returns `NaN`. The interior
+    /// point methods enable this: they issue hundreds of solves and never
+    /// read the reference, whose `O(n³)` factorization would dominate
+    /// wall-clock (not rounds — the reference is a measurement artifact).
+    pub skip_reference: bool,
+}
+
+/// Result of one [`LaplacianSolver::solve`] call.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The approximate solution `x ≈ L†b` (zero mean per component).
+    pub x: Vec<f64>,
+    /// Chebyshev iterations executed (each is one broadcast round).
+    pub iterations: usize,
+    /// The `κ = α²` condition bound used.
+    pub kappa: f64,
+    /// Laplacian seminorm evaluator of the input graph, for error checks.
+    norm: LaplacianNorm,
+    /// Exact reference solution (internal, for [`SolveOutcome::relative_error`];
+    /// absent when the solver was built with `skip_reference`).
+    x_star: Option<Vec<f64>>,
+}
+
+impl SolveOutcome {
+    /// The achieved relative error `‖x − L†b‖_{L_G} / ‖L†b‖_{L_G}`
+    /// (the error functional of Theorem 1.1), computed against an exact
+    /// internal reference solve of the same right-hand side. Returns `NaN`
+    /// when the solver was built with
+    /// [`SolverOptions::skip_reference`].
+    pub fn relative_error(&self) -> f64 {
+        let Some(x_star) = &self.x_star else {
+            return f64::NAN;
+        };
+        let denom = self.norm.norm(x_star);
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.norm.distance(&self.x, x_star) / denom
+    }
+}
+
+/// The deterministic congested clique Laplacian solver (Theorem 1.1),
+/// reusable across right-hand sides for a fixed graph.
+#[derive(Debug, Clone)]
+pub struct LaplacianSolver {
+    n: usize,
+    message_frac_bits: Option<u32>,
+    laplacian: CsrMatrix,
+    edges: Vec<(usize, usize, f64)>,
+    components: Vec<usize>,
+    comp_count: usize,
+    sparsifier: SpectralSparsifier,
+    inner: SparsifierSolver,
+    /// Lazily factored exact Laplacian (only built when a reference
+    /// solution is requested).
+    exact: std::cell::OnceCell<cc_linalg::GroundedCholesky>,
+    skip_reference: bool,
+    kappa: f64,
+}
+
+impl LaplacianSolver {
+    /// Builds the solver: constructs the deterministic spectral sparsifier
+    /// in the clique (charging its rounds to `clique`) and factors it
+    /// internally at every node.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Factorization`] if the gadget Laplacian cannot be
+    /// factored (degenerate weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clique.n() < g.n()`.
+    pub fn build(
+        clique: &mut Clique,
+        g: &Graph,
+        options: &SolverOptions,
+    ) -> Result<Self, CoreError> {
+        let sparsifier = build_sparsifier(clique, g, &options.sparsify);
+        let inner = sparsifier.solver()?;
+        let edges = g.edge_triples();
+        let laplacian = laplacian_from_edges(g.n(), &edges);
+        let components = g.components();
+        let comp_count = components.iter().copied().max().map_or(0, |c| c + 1);
+        Ok(Self {
+            n: g.n(),
+            message_frac_bits: options.message_frac_bits,
+            skip_reference: options.skip_reference,
+            kappa: sparsifier.kappa(),
+            laplacian,
+            edges,
+            components,
+            comp_count,
+            sparsifier,
+            inner,
+            exact: std::cell::OnceCell::new(),
+        })
+    }
+
+    /// Builds the solver around a *prebuilt* sparsifier (e.g. the
+    /// randomized effective-resistance sampler of
+    /// `cc_sparsify::build_randomized_sparsifier`) instead of running the
+    /// deterministic Theorem 3.3 construction. The sparsifier's certified
+    /// `α` drives the Chebyshev condition bound exactly as in
+    /// Corollary 2.3.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Factorization`] if the sparsifier cannot be factored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparsifier was built for a different vertex count.
+    pub fn with_sparsifier(
+        g: &Graph,
+        sparsifier: SpectralSparsifier,
+        options: &SolverOptions,
+    ) -> Result<Self, CoreError> {
+        assert_eq!(sparsifier.n(), g.n(), "sparsifier vertex count mismatch");
+        let inner = sparsifier.solver()?;
+        let edges = g.edge_triples();
+        let laplacian = laplacian_from_edges(g.n(), &edges);
+        let components = g.components();
+        let comp_count = components.iter().copied().max().map_or(0, |c| c + 1);
+        Ok(Self {
+            n: g.n(),
+            message_frac_bits: options.message_frac_bits,
+            skip_reference: options.skip_reference,
+            kappa: sparsifier.kappa(),
+            laplacian,
+            edges,
+            components,
+            comp_count,
+            sparsifier,
+            inner,
+            exact: std::cell::OnceCell::new(),
+        })
+    }
+
+    /// Number of vertices of the solved graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sparsifier backing the preconditioner.
+    pub fn sparsifier(&self) -> &SpectralSparsifier {
+        &self.sparsifier
+    }
+
+    /// The certified condition bound `κ = α²` of Corollary 2.3.
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+
+    /// Iterations (= broadcast rounds) a solve at accuracy `eps` will use.
+    pub fn iterations_for(&self, eps: f64) -> usize {
+        chebyshev_iteration_bound(self.kappa, eps.clamp(f64::MIN_POSITIVE, 0.5))
+    }
+
+    /// Projects `b` onto `range(L_G)` (removes the per-component mean) —
+    /// free internally: connectivity is known from the globally known
+    /// sparsifier.
+    fn project(&self, b: &[f64]) -> Vec<f64> {
+        let mut sums = vec![0.0; self.comp_count];
+        let mut counts = vec![0usize; self.comp_count];
+        for (v, &bv) in b.iter().enumerate() {
+            sums[self.components[v]] += bv;
+            counts[self.components[v]] += 1;
+        }
+        b.iter()
+            .enumerate()
+            .map(|(v, &bv)| bv - sums[self.components[v]] / counts[self.components[v]] as f64)
+            .collect()
+    }
+
+    /// Solves `L_G x = b` to relative `L_G`-norm error `eps` (Theorem 1.1).
+    ///
+    /// Rounds charged to `clique`: one broadcast round per Chebyshev
+    /// iteration (the `L_G` mat-vec; `B`-solves and vector operations are
+    /// internal). The returned solution is the zero-mean-per-component
+    /// pseudo-inverse representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `eps ≤ 0`.
+    pub fn solve(&self, clique: &mut Clique, b: &[f64], eps: f64) -> SolveOutcome {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert!(eps > 0.0, "eps must be positive");
+        let eps = eps.min(0.5);
+        let b = self.project(b);
+        let kappa = self.kappa;
+        let alpha = self.sparsifier.alpha();
+        let iterations = chebyshev_iteration_bound(kappa, eps);
+
+        clique.phase("laplacian_solve", |clique| {
+            let frac_bits = self.message_frac_bits;
+            let apply_a = |v: &[f64]| {
+                // One broadcast round: every node ships its coordinate to
+                // everyone, then evaluates its Laplacian row locally.
+                let encode = |x: f64| match frac_bits {
+                    Some(b) => cc_model::encode_f64_fixed(x, b),
+                    None => encode_f64(x),
+                };
+                let decode = |w: u64| match frac_bits {
+                    Some(b) => cc_model::decode_f64_fixed(w, b),
+                    None => decode_f64(w),
+                };
+                let mut words: Vec<u64> = v.iter().map(|&x| encode(x)).collect();
+                words.resize(clique.n(), 0);
+                let view = clique.broadcast_all(&words);
+                let shared: Vec<f64> = view[..self.n].iter().map(|&w| decode(w)).collect();
+                self.laplacian.matvec(&shared)
+            };
+            // B = α·S_H  ⇒  B-solve = (1/α)·S_H†; internal, zero rounds.
+            let solve_b = |r: &[f64]| {
+                let mut z = self.inner.solve(r);
+                for zi in z.iter_mut() {
+                    *zi /= alpha;
+                }
+                z
+            };
+            let out = cc_linalg::chebyshev_solve_fixed(apply_a, solve_b, &b, kappa, iterations);
+            let mut x = out.x;
+            // Canonical representative: zero mean per component (free).
+            x = self.project(&x);
+            let x_star = if self.skip_reference {
+                None
+            } else {
+                let exact = self.exact.get_or_init(|| {
+                    cc_linalg::GroundedCholesky::new(&self.laplacian)
+                        .expect("Laplacian of positive weights factors")
+                });
+                Some(exact.solve(&b))
+            };
+            SolveOutcome {
+                x,
+                iterations: out.iterations,
+                kappa,
+                norm: LaplacianNorm::new(self.edges.clone()),
+                x_star,
+            }
+        })
+    }
+}
+
+/// One-shot convenience: build the solver and solve a single system,
+/// charging all rounds (sparsifier + iterations) to `clique`.
+///
+/// # Errors
+///
+/// Propagates [`LaplacianSolver::build`] errors.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`LaplacianSolver::solve`].
+pub fn solve_laplacian(
+    clique: &mut Clique,
+    g: &Graph,
+    b: &[f64],
+    eps: f64,
+    options: &SolverOptions,
+) -> Result<SolveOutcome, CoreError> {
+    let solver = LaplacianSolver::build(clique, g, options)?;
+    Ok(solver.solve(clique, b, eps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+
+    fn st_rhs(n: usize, s: usize, t: usize) -> Vec<f64> {
+        let mut b = vec![0.0; n];
+        b[s] = 1.0;
+        b[t] = -1.0;
+        b
+    }
+
+    #[test]
+    fn meets_requested_accuracy_across_eps() {
+        let g = generators::random_connected(24, 60, 8, 1);
+        let mut clique = Clique::new(24);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let b = st_rhs(24, 0, 23);
+        for &eps in &[1e-1, 1e-4, 1e-8] {
+            let out = solver.solve(&mut clique, &b, eps);
+            let err = out.relative_error();
+            assert!(err <= eps * 1.05, "eps={eps} err={err} iters={}", out.iterations);
+        }
+    }
+
+    #[test]
+    fn iteration_count_scales_with_log_eps() {
+        let g = generators::expander(32);
+        let mut clique = Clique::new(32);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let i2 = solver.iterations_for(1e-2);
+        let i8 = solver.iterations_for(1e-8);
+        assert!(i8 > i2);
+        // log-linear shape: quadrupling the digits should not blow up more
+        // than ~5x the iterations.
+        assert!(i8 <= 5 * i2.max(1));
+    }
+
+    #[test]
+    fn each_iteration_is_one_broadcast_round() {
+        let g = generators::expander(16);
+        let mut clique = Clique::new(16);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let before = clique.ledger().total_rounds();
+        let out = solver.solve(&mut clique, &st_rhs(16, 0, 8), 1e-6);
+        let spent = clique.ledger().total_rounds() - before;
+        assert_eq!(spent, out.iterations as u64);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(3, 4, 1.0);
+        let mut clique = Clique::new(6);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        // Demand inside each component.
+        let mut b = vec![0.0; 6];
+        b[0] = 1.0;
+        b[2] = -1.0;
+        b[3] = 2.0;
+        b[4] = -2.0;
+        let out = solver.solve(&mut clique, &b, 1e-9);
+        assert!(out.relative_error() <= 1e-8);
+        // Isolated vertex keeps zero.
+        assert_eq!(out.x[5], 0.0);
+    }
+
+    #[test]
+    fn weighted_graph_with_large_u() {
+        let g = generators::random_connected(20, 50, 1 << 12, 3);
+        let mut clique = Clique::new(20);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let out = solver.solve(&mut clique, &st_rhs(20, 0, 19), 1e-7);
+        assert!(out.relative_error() <= 1e-7 * 1.05);
+    }
+
+    #[test]
+    fn one_shot_helper_works() {
+        let g = generators::grid(4, 5);
+        let mut clique = Clique::new(20);
+        let b = st_rhs(20, 0, 19);
+        let out = solve_laplacian(&mut clique, &g, &b, 1e-6, &SolverOptions::default()).unwrap();
+        assert!(out.relative_error() <= 1e-6 * 1.05);
+        assert!(clique.ledger().phase_prefix_total("sparsify") > 0);
+        assert!(clique.ledger().phase_prefix_total("laplacian_solve") > 0);
+    }
+
+    #[test]
+    fn nonzero_mean_rhs_is_projected() {
+        let g = generators::cycle(8);
+        let mut clique = Clique::new(8);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let b = vec![1.0; 8]; // entirely in the nullspace
+        let out = solver.solve(&mut clique, &b, 1e-6);
+        assert!(out.x.iter().all(|&x| x.abs() < 1e-9));
+        assert_eq!(out.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn fixed_point_messages_degrade_gracefully() {
+        // Paper footnote 2: O(log n)-bit words suffice up to polylog
+        // factors. With generous fractional bits the solver still meets a
+        // moderate ε; with very few bits the error visibly degrades.
+        let g = generators::expander(24);
+        let b = st_rhs(24, 0, 12);
+        let run = |bits: Option<u32>, eps: f64| {
+            let mut clique = Clique::new(24);
+            let solver = LaplacianSolver::build(
+                &mut clique,
+                &g,
+                &SolverOptions {
+                    message_frac_bits: bits,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            solver.solve(&mut clique, &b, eps).relative_error()
+        };
+        assert!(run(Some(44), 1e-6) <= 1e-6 * 1.5, "44 bits must suffice for 1e-6");
+        let coarse = run(Some(8), 1e-10);
+        let fine = run(None, 1e-10);
+        assert!(coarse > fine, "8-bit quantization must be visible: {coarse} vs {fine}");
+    }
+
+    #[test]
+    fn randomized_sparsifier_plugs_into_the_solver() {
+        let g = generators::random_connected(24, 100, 4, 6);
+        let mut clique = Clique::new(24);
+        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 3, None);
+        let solver =
+            LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
+        let b = st_rhs(24, 0, 23);
+        let out = solver.solve(&mut clique, &b, 1e-7);
+        assert!(out.relative_error() <= 1e-7 * 1.05);
+    }
+
+    #[test]
+    fn skip_reference_returns_nan_error_but_same_solution() {
+        let g = generators::expander(16);
+        let b = st_rhs(16, 0, 8);
+        let mut c1 = Clique::new(16);
+        let with_ref =
+            LaplacianSolver::build(&mut c1, &g, &SolverOptions::default()).unwrap();
+        let mut c2 = Clique::new(16);
+        let without_ref = LaplacianSolver::build(
+            &mut c2,
+            &g,
+            &SolverOptions {
+                skip_reference: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = with_ref.solve(&mut c1, &b, 1e-8);
+        let z = without_ref.solve(&mut c2, &b, 1e-8);
+        assert_eq!(a.x, z.x, "reference computation must not affect the solution");
+        assert!(a.relative_error().is_finite());
+        assert!(z.relative_error().is_nan());
+    }
+
+    #[test]
+    fn deterministic_solutions() {
+        let g = generators::random_connected(16, 40, 4, 9);
+        let run = || {
+            let mut clique = Clique::new(16);
+            let solver =
+                LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+            solver.solve(&mut clique, &st_rhs(16, 2, 13), 1e-8).x
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn rejects_wrong_rhs_length() {
+        let g = generators::cycle(4);
+        let mut clique = Clique::new(4);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let _ = solver.solve(&mut clique, &[1.0, -1.0], 1e-3);
+    }
+}

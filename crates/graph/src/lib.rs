@@ -1,0 +1,41 @@
+//! # cc-graph — graph substrate for the congested clique algorithms
+//!
+//! Weighted undirected multigraphs ([`Graph`]), directed graphs with
+//! capacities and costs ([`DiGraph`]), cut/conductance utilities, and a
+//! collection of deterministic (seeded) workload generators used by the
+//! experiments of `DESIGN.md` §4.
+//!
+//! In the congested clique, vertex `v` of the input graph is hosted by
+//! processor `v`; a node initially knows exactly its incident edges
+//! (§2.1 of the paper). The types here are the *global* descriptions used
+//! by the simulator to hand each node its local view.
+//!
+//! ```
+//! use cc_graph::Graph;
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1, 1.0);
+//! g.add_edge(1, 2, 2.0);
+//! g.add_edge(2, 3, 1.0);
+//! assert_eq!(g.m(), 3);
+//! assert!(g.is_connected());
+//! assert_eq!(g.degree(1), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+pub mod flow_util;
+pub mod generators;
+pub mod io;
+mod undirected;
+
+pub use digraph::{DiEdge, DiGraph};
+pub use undirected::{Edge, Graph};
+
+/// Index of an edge within its graph's edge list.
+pub type EdgeId = usize;
+
+/// Index of a vertex; coincides with the congested clique node hosting it.
+pub type VertexId = usize;

@@ -1,0 +1,380 @@
+use crate::{EdgeId, VertexId};
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// Positive weight.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// An undirected weighted multigraph on vertices `0..n`.
+///
+/// Parallel edges are allowed (the flow reductions create them);
+/// self-loops are rejected. Edges are identified by insertion order
+/// ([`EdgeId`]), which all algorithms use as the canonical deterministic
+/// ordering.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<(EdgeId, VertexId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or non-positive weights.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId, f64)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Adds an edge and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or non-positive weight.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: f64) -> EdgeId {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range (n={})", self.n);
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(weight > 0.0, "edge weights must be positive, got {weight}");
+        let id = self.edges.len();
+        self.edges.push(Edge { u, v, weight });
+        self.adj[u].push((id, v));
+        self.adj[v].push((id, u));
+        id
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e]
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge list as `(u, v, w)` triples (the format `cc-linalg` consumes).
+    pub fn edge_triples(&self) -> Vec<(VertexId, VertexId, f64)> {
+        self.edges.iter().map(|e| (e.u, e.v, e.weight)).collect()
+    }
+
+    /// Incident `(edge id, other endpoint)` pairs of `v` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn adj(&self, v: VertexId) -> &[(EdgeId, VertexId)] {
+        &self.adj[v]
+    }
+
+    /// Unweighted degree (number of incident edge endpoints).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Weighted degree `Σ_{e ∋ v} w(e)`.
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        self.adj[v].iter().map(|&(e, _)| self.edges[e].weight).sum()
+    }
+
+    /// Largest edge weight (`0` for the empty graph).
+    pub fn max_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).fold(0.0, f64::max)
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// True if every vertex has even (unweighted) degree — the precondition
+    /// of the Eulerian orientation algorithm (Theorem 1.4).
+    pub fn is_eulerian(&self) -> bool {
+        (0..self.n).all(|v| self.degree(v).is_multiple_of(2))
+    }
+
+    /// Connected component id per vertex (ids are dense, in order of the
+    /// smallest vertex of each component).
+    pub fn components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &(_, u) in &self.adj[v] {
+                    if comp[u] == usize::MAX {
+                        comp[u] = next;
+                        stack.push(u);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// True if the graph has at most one connected component containing all
+    /// vertices (the empty graph on 0/1 vertices counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let comp = self.components();
+        comp.iter().all(|&c| c == 0)
+    }
+
+    /// Unweighted volume of a vertex set: `Σ_{v ∈ S} deg(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != n`.
+    pub fn volume(&self, side: &[bool]) -> usize {
+        assert_eq!(side.len(), self.n);
+        (0..self.n).filter(|&v| side[v]).map(|v| self.degree(v)).sum()
+    }
+
+    /// Number of edges crossing the cut `(S, V∖S)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != n`.
+    pub fn cut_size(&self, side: &[bool]) -> usize {
+        assert_eq!(side.len(), self.n);
+        self.edges.iter().filter(|e| side[e.u] != side[e.v]).count()
+    }
+
+    /// Conductance of the cut `(S, V∖S)` per Definition 3.1:
+    /// `|e(S, S̄)| / min(vol S, vol S̄)`. Returns `f64::INFINITY` when one
+    /// side has zero volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != n`.
+    pub fn cut_conductance(&self, side: &[bool]) -> f64 {
+        let vol_s = self.volume(side);
+        let vol_total = 2 * self.m();
+        let vol_sbar = vol_total - vol_s;
+        let denom = vol_s.min(vol_sbar);
+        if denom == 0 {
+            return f64::INFINITY;
+        }
+        self.cut_size(side) as f64 / denom as f64
+    }
+
+    /// Exact conductance `Φ(G)` by exhaustive search — exponential, only
+    /// for validating the expander decomposition on tiny graphs in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 20` (would not terminate in reasonable time) or `n == 0`.
+    pub fn conductance_exact(&self) -> f64 {
+        assert!(self.n > 0 && self.n <= 20, "exhaustive conductance needs 1..=20 vertices");
+        let mut best = f64::INFINITY;
+        for mask in 1..(1u32 << self.n) - 1 {
+            let side: Vec<bool> = (0..self.n).map(|v| mask >> v & 1 == 1).collect();
+            best = best.min(self.cut_conductance(&side));
+        }
+        best
+    }
+
+    /// Subgraph induced by `vertices` (in the given order), returning the
+    /// relabelled graph and the mapping `new id → old id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or out-of-range vertices.
+    pub fn induced(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut old_to_new = vec![usize::MAX; self.n];
+        for (new, &old) in vertices.iter().enumerate() {
+            assert!(old < self.n, "vertex {old} out of range");
+            assert!(old_to_new[old] == usize::MAX, "duplicate vertex {old}");
+            old_to_new[old] = new;
+        }
+        let mut sub = Graph::new(vertices.len());
+        for e in &self.edges {
+            let (nu, nv) = (old_to_new[e.u], old_to_new[e.v]);
+            if nu != usize::MAX && nv != usize::MAX {
+                sub.add_edge(nu, nv, e.weight);
+            }
+        }
+        (sub, vertices.to_vec())
+    }
+
+    /// Subgraph with exactly the edges whose ids satisfy `keep`, on the
+    /// same vertex set.
+    pub fn edge_subgraph(&self, keep: impl Fn(EdgeId) -> bool) -> Graph {
+        let mut sub = Graph::new(self.n);
+        for (id, e) in self.edges.iter().enumerate() {
+            if keep(id) {
+                sub.add_edge(e.u, e.v, e.weight);
+            }
+        }
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> Graph {
+        Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = square();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.weighted_degree(0), 2.0);
+        assert_eq!(g.adj(0).len(), 2);
+        assert_eq!(g.edge(0).other(0), 1);
+        assert_eq!(g.edge(0).other(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        square().edge(0).other(3);
+    }
+
+    #[test]
+    fn parallel_edges_allowed_self_loops_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 2);
+        let result = std::panic::catch_unwind(move || {
+            let mut g = Graph::new(2);
+            g.add_edge(0, 0, 1.0)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = square();
+        assert!(g.is_connected());
+        let g2 = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(!g2.is_connected());
+        let comp = g2.components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn eulerian_detection() {
+        assert!(square().is_eulerian());
+        let mut g = square();
+        g.add_edge(0, 2, 1.0);
+        assert!(!g.is_eulerian());
+    }
+
+    #[test]
+    fn cut_quantities_on_square() {
+        let g = square();
+        let side = vec![true, true, false, false];
+        assert_eq!(g.cut_size(&side), 2);
+        assert_eq!(g.volume(&side), 4);
+        assert!((g.cut_conductance(&side) - 0.5).abs() < 1e-12);
+        assert!(g.cut_conductance(&[false; 4]).is_infinite());
+    }
+
+    #[test]
+    fn exact_conductance_of_cycle() {
+        // C4: best cut takes 2 adjacent vertices: 2 crossing / vol 4 = 1/2.
+        assert!((square().conductance_exact() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = square();
+        let (sub, map) = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2); // edges (1,2) and (2,3)
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn edge_subgraph_filters() {
+        let g = square();
+        let sub = g.edge_subgraph(|e| e % 2 == 0);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(sub.n(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn handshake_lemma(edges in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..4.0), 0..24)) {
+            let clean: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            let g = Graph::from_edges(8, &clean);
+            let degsum: usize = (0..8).map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degsum, 2 * g.m());
+        }
+
+        #[test]
+        fn cut_size_bounded_by_m(
+            edges in proptest::collection::vec((0usize..6, 0usize..6, 0.1f64..4.0), 0..15),
+            side in proptest::collection::vec(proptest::bool::ANY, 6)
+        ) {
+            let clean: Vec<_> = edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+            let g = Graph::from_edges(6, &clean);
+            prop_assert!(g.cut_size(&side) <= g.m());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic conjugate gradient — the reference iterative solver used
+//! to cross-check the Chebyshev engine in tests and benchmarks.
+
+use crate::vec_ops::{axpy, dot, norm2};
+use crate::LinalgError;
+
+/// Result of a conjugate gradient run.
+#[derive(Debug, Clone)]
+pub struct CgOutcome {
+    /// Approximate solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖₂ / ‖b‖₂`.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` for a symmetric positive semi-definite operator given
+/// as a closure, to relative residual `tol`.
+///
+/// For singular `A` (e.g. a Laplacian) the caller must supply `b` in
+/// `range(A)`; CG then converges to the pseudo-inverse solution since the
+/// Krylov space stays inside `range(A)`.
+///
+/// # Errors
+///
+/// [`LinalgError::IterationBudgetExhausted`] if `max_iter` iterations do
+/// not reach the tolerance.
+pub fn conjugate_gradient(
+    apply_a: impl Fn(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<CgOutcome, LinalgError> {
+    let n = b.len();
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok(CgOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    for k in 0..max_iter {
+        if rs.sqrt() / bnorm <= tol {
+            return Ok(CgOutcome {
+                x,
+                iterations: k,
+                residual: rs.sqrt() / bnorm,
+            });
+        }
+        let ap = apply_a(&p);
+        let denom = dot(&p, &ap);
+        if denom <= 0.0 {
+            // Hit the nullspace direction: converged as far as possible.
+            return Ok(CgOutcome {
+                x,
+                iterations: k,
+                residual: rs.sqrt() / bnorm,
+            });
+        }
+        let alpha = rs / denom;
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &ap);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+    }
+    let residual = rs.sqrt() / bnorm;
+    if residual <= tol {
+        Ok(CgOutcome {
+            x,
+            iterations: max_iter,
+            residual,
+        })
+    } else {
+        Err(LinalgError::IterationBudgetExhausted {
+            solver: "conjugate_gradient",
+            iterations: max_iter,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_from_edges;
+    use crate::vec_ops::remove_mean;
+
+    #[test]
+    fn solves_spd_diagonal() {
+        let apply = |x: &[f64]| vec![2.0 * x[0], 3.0 * x[1]];
+        let out = conjugate_gradient(apply, &[4.0, 9.0], 1e-12, 100).unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-10);
+        assert!((out.x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_rhs_is_instant() {
+        let out = conjugate_gradient(|x: &[f64]| x.to_vec(), &[0.0, 0.0], 1e-12, 10).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn solves_singular_laplacian_with_compatible_rhs() {
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 2.0)];
+        let lap = laplacian_from_edges(4, &edges);
+        let mut b = vec![1.0, 2.0, -4.0, 3.0];
+        remove_mean(&mut b);
+        let out = conjugate_gradient(|x| lap.matvec(x), &b, 1e-10, 1000).unwrap();
+        let lx = lap.matvec(&out.x);
+        for (got, want) in lx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Very ill-conditioned 2x2 with a 1-iteration budget.
+        let apply = |x: &[f64]| vec![1e8 * x[0] + x[1], x[0] + 1e-8 * x[1]];
+        let err = conjugate_gradient(apply, &[1.0, 1.0], 1e-14, 1).unwrap_err();
+        assert!(matches!(err, LinalgError::IterationBudgetExhausted { .. }));
+    }
+}

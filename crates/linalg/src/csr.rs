@@ -1,0 +1,229 @@
+use crate::DenseMatrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Construction goes through [`CsrMatrix::from_triplets`], which sums
+/// duplicate entries (convenient for assembling Laplacians from multigraph
+/// edge lists) and sorts column indices within each row, so the layout —
+/// and therefore every floating-point summation order — is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a `rows × cols` matrix from `(row, col, value)` triplets.
+    /// Duplicate coordinates are summed; exact zeros resulting from
+    /// cancellation are kept (harmless) but input triplets with value `0.0`
+    /// are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+            if v != 0.0 {
+                per_row[r].push((c, v));
+            }
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in per_row.iter_mut() {
+            row.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` entries of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Entry `(r, c)` (zero if not stored).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Quadratic form `xᵀ A x` (requires a square matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `x` has the wrong length.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.rows, self.cols, "quadratic form needs a square matrix");
+        crate::vec_ops::dot(x, &self.matvec(x))
+    }
+
+    /// Dense copy (for certification / testing on small instances).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.add_to(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Checks symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if (self.get(c, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0), (2, 2, 1.0)],
+        )
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x), m.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        assert_eq!(sample().get(0, 2), 0.0);
+        assert_eq!(sample().get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(sample().is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, -1.0)]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 0), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_matvec_agrees_with_dense(
+            triplets in proptest::collection::vec((0usize..6, 0usize..6, -10f64..10.0), 0..40),
+            x in proptest::collection::vec(-5f64..5.0, 6)
+        ) {
+            let m = CsrMatrix::from_triplets(6, 6, &triplets);
+            let lhs = m.matvec(&x);
+            let rhs = m.to_dense().matvec(&x);
+            for (a, b) in lhs.iter().zip(&rhs) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

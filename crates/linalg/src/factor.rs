@@ -1,0 +1,306 @@
+//! Exact solves with (singular) graph Laplacians.
+
+use crate::{CsrMatrix, DenseMatrix, LinalgError};
+
+/// Direct solver for Laplacian systems `L x = b`, correct on *singular*
+/// Laplacians: one vertex per connected component is grounded (pinned to
+/// zero), the strictly positive definite reduced system is factored by
+/// dense Cholesky once, and [`GroundedCholesky::solve`] then implements the
+/// pseudo-inverse action `x = L† b` for any right-hand side (the component
+/// of `b` outside `range(L)` is projected away, and the returned solution
+/// has zero mean on every component — the canonical pseudo-inverse
+/// representative).
+///
+/// This is the "solve involving `L_H`" of Corollary 2.3: the sparsifier is
+/// globally known, so every node runs this factorization internally at zero
+/// round cost.
+#[derive(Debug, Clone)]
+pub struct GroundedCholesky {
+    n: usize,
+    /// Component id per vertex.
+    component: Vec<usize>,
+    /// Vertices per component.
+    comp_size: Vec<usize>,
+    /// Map reduced index → vertex.
+    reduced_vertices: Vec<usize>,
+    /// Lower-triangular Cholesky factor of the reduced matrix.
+    lower: DenseMatrix,
+}
+
+impl GroundedCholesky {
+    /// Factors the Laplacian `lap`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `lap` is not square;
+    /// [`LinalgError::NotPositiveDefinite`] if the grounded reduction is not
+    /// positive definite — i.e. the input was not a Laplacian of a graph
+    /// with positive weights.
+    pub fn new(lap: &CsrMatrix) -> Result<Self, LinalgError> {
+        if lap.rows() != lap.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "grounded_cholesky",
+                got: lap.cols(),
+                expected: lap.rows(),
+            });
+        }
+        let n = lap.rows();
+        let component = connected_components(lap);
+        let num_comps = component.iter().copied().max().map_or(0, |m| m + 1);
+        let mut comp_size = vec![0usize; num_comps];
+        for &c in &component {
+            comp_size[c] += 1;
+        }
+        // Ground the first (lowest-id) vertex of every component.
+        let mut grounded = vec![false; n];
+        let mut seen = vec![false; num_comps];
+        for v in 0..n {
+            let c = component[v];
+            if !seen[c] {
+                seen[c] = true;
+                grounded[v] = true;
+            }
+        }
+        let mut reduced_index = vec![None; n];
+        let mut reduced_vertices = Vec::new();
+        for v in 0..n {
+            if !grounded[v] {
+                reduced_index[v] = Some(reduced_vertices.len());
+                reduced_vertices.push(v);
+            }
+        }
+        let k = reduced_vertices.len();
+        let mut reduced = DenseMatrix::zeros(k, k);
+        for (ri, &v) in reduced_vertices.iter().enumerate() {
+            for (c, val) in lap.row(v) {
+                if let Some(rj) = reduced_index[c] {
+                    reduced.add_to(ri, rj, val);
+                }
+            }
+        }
+        let lower = cholesky_lower(&reduced)?;
+        Ok(Self {
+            n,
+            component,
+            comp_size,
+            reduced_vertices,
+            lower,
+        })
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Component id per vertex.
+    pub fn components(&self) -> &[usize] {
+        &self.component
+    }
+
+    /// Applies the pseudo-inverse: returns `x = L† b`.
+    ///
+    /// `b` is first projected onto `range(L)` (per-component mean removed),
+    /// so the call is meaningful for any `b`; the result has zero mean on
+    /// every component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        // Project b onto range(L): remove per-component mean.
+        let num_comps = self.comp_size.len();
+        let mut sums = vec![0.0; num_comps];
+        for (v, &bv) in b.iter().enumerate() {
+            sums[self.component[v]] += bv;
+        }
+        let means: Vec<f64> = sums
+            .iter()
+            .zip(&self.comp_size)
+            .map(|(s, &c)| s / c as f64)
+            .collect();
+        let k = self.reduced_vertices.len();
+        let mut rhs = vec![0.0; k];
+        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
+            rhs[ri] = b[v] - means[self.component[v]];
+        }
+        let y = cholesky_solve(&self.lower, &rhs);
+        let mut x = vec![0.0; self.n];
+        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
+            x[v] = y[ri];
+        }
+        // Shift to the zero-mean representative per component.
+        let mut xsums = vec![0.0; num_comps];
+        for (v, &xv) in x.iter().enumerate() {
+            xsums[self.component[v]] += xv;
+        }
+        for (v, xv) in x.iter_mut().enumerate() {
+            let c = self.component[v];
+            *xv -= xsums[c] / self.comp_size[c] as f64;
+        }
+        x
+    }
+}
+
+/// Connected components over the off-diagonal sparsity pattern.
+fn connected_components(lap: &CsrMatrix) -> Vec<usize> {
+    let n = lap.rows();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for (c, val) in lap.row(v) {
+                if c != v && val != 0.0 && comp[c] == usize::MAX {
+                    comp[c] = next;
+                    stack.push(c);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Dense Cholesky factorization `A = L Lᵀ` returning the lower factor.
+fn cholesky_lower(a: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+    let n = a.rows();
+    let mut l = DenseMatrix::zeros(n, n);
+    // Relative pivot tolerance against the largest diagonal entry.
+    let max_diag = (0..n).map(|i| a.get(i, i).abs()).fold(0.0f64, f64::max);
+    let tol = 1e-12 * max_diag.max(1e-300);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let ljk = l.get(j, k);
+            d -= ljk * ljk;
+        }
+        if d <= tol {
+            return Err(LinalgError::NotPositiveDefinite { index: j, pivot: d });
+        }
+        let d = d.sqrt();
+        l.set(j, j, d);
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / d);
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L Lᵀ x = b` by forward/back substitution.
+fn cholesky_solve(l: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * y[k];
+        }
+        y[i] = s / l.get(i, i);
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::laplacian_from_edges;
+    use crate::vec_ops;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_connected_laplacian() {
+        let edges = vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 0.5)];
+        let lap = laplacian_from_edges(4, &edges);
+        let chol = GroundedCholesky::new(&lap).unwrap();
+        let b = vec![1.0, -0.5, 0.25, -0.75];
+        let x = chol.solve(&b);
+        let lx = lap.matvec(&x);
+        for (got, want) in lx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        // Pseudo-inverse representative: zero mean.
+        assert!(vec_ops::mean(&x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_disconnected_components_and_isolated_vertices() {
+        // Component {0,1}, component {2,3,4}, isolated vertex 5.
+        let edges = vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 2.0)];
+        let lap = laplacian_from_edges(6, &edges);
+        let chol = GroundedCholesky::new(&lap).unwrap();
+        assert_eq!(chol.components()[0], chol.components()[1]);
+        assert_ne!(chol.components()[0], chol.components()[2]);
+        let b = vec![1.0, -1.0, 2.0, -1.0, -1.0, 5.0];
+        let x = chol.solve(&b);
+        let lx = lap.matvec(&x);
+        // b restricted to components with zero sum is reproduced exactly.
+        for i in 0..5 {
+            assert!((lx[i] - b[i]).abs() < 1e-9);
+        }
+        // Isolated vertex: nothing can be routed; x is 0 there.
+        assert_eq!(x[5], 0.0);
+    }
+
+    #[test]
+    fn projects_infeasible_rhs() {
+        let lap = laplacian_from_edges(2, &[(0, 1, 1.0)]);
+        let chol = GroundedCholesky::new(&lap).unwrap();
+        // b has nonzero mean: the solver should act as L† b.
+        let x = chol.solve(&[3.0, 1.0]);
+        let lx = lap.matvec(&x);
+        // L L† b = projection of b = b - mean = [1, -1].
+        assert!((lx[0] - 1.0).abs() < 1e-12);
+        assert!((lx[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_laplacian() {
+        // Negative definite "Laplacian".
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, -1.0), (0, 1, 0.5), (1, 0, 0.5)]);
+        assert!(matches!(
+            GroundedCholesky::new(&m),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn pseudo_inverse_property_on_random_connected_graphs(
+            extra in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..5.0), 0..12),
+            b_raw in proptest::collection::vec(-5f64..5.0, 8)
+        ) {
+            // Spanning path guarantees connectivity, extras are arbitrary.
+            let mut edges: Vec<(usize, usize, f64)> = (0..7).map(|i| (i, i + 1, 1.0)).collect();
+            edges.extend(extra.into_iter().filter(|&(u, v, _)| u != v));
+            let lap = laplacian_from_edges(8, &edges);
+            let chol = GroundedCholesky::new(&lap).unwrap();
+            let mut b = b_raw;
+            vec_ops::remove_mean(&mut b);
+            let x = chol.solve(&b);
+            let lx = lap.matvec(&x);
+            for (got, want) in lx.iter().zip(&b) {
+                prop_assert!((got - want).abs() < 1e-7);
+            }
+        }
+    }
+}

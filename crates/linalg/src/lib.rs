@@ -1,0 +1,65 @@
+//! # cc-linalg — numerical linear algebra for the Laplacian paradigm
+//!
+//! Self-contained numerical machinery backing the deterministic congested
+//! clique algorithms of Forster & de Vos (PODC 2023):
+//!
+//! * [`DenseMatrix`] / [`CsrMatrix`] — dense and sparse symmetric matrices;
+//! * [`laplacian_from_edges`] and friends — graph Laplacians and their
+//!   quadratic forms (`‖x‖_L`, §2.2 of the paper);
+//! * [`symmetric_eigen`] — a dense symmetric eigensolver (Householder
+//!   tridiagonalization followed by implicit-shift QL), used to *certify*
+//!   spectral gaps and sparsifier approximation factors deterministically;
+//! * [`GroundedCholesky`] — exact solves with singular Laplacians by
+//!   grounding one vertex per connected component;
+//! * [`chebyshev_solve`] — preconditioned Chebyshev iteration
+//!   (Theorem 2.2 of the paper), the engine of the Laplacian solver;
+//! * [`conjugate_gradient`] — a deterministic CG reference solver;
+//! * [`power_method`] — deterministic power iteration for extreme
+//!   eigenvalue estimation on larger instances.
+//!
+//! Everything here is deterministic: fixed start vectors, no randomized
+//! pivoting, no hash-ordered iteration.
+//!
+//! ```
+//! use cc_linalg::{laplacian_from_edges, GroundedCholesky};
+//!
+//! // Path graph 0-1-2 with unit weights: solve L x = b, b ⟂ 1.
+//! let lap = laplacian_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+//! let chol = GroundedCholesky::new(&lap)?;
+//! let x = chol.solve(&[1.0, 0.0, -1.0]);
+//! let b = lap.matvec(&x);
+//! assert!((b[0] - 1.0).abs() < 1e-9 && (b[2] + 1.0).abs() < 1e-9);
+//! # Ok::<(), cc_linalg::LinalgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // dense kernels read clearer with explicit indices
+
+mod cheby;
+mod cg;
+mod csr;
+mod dense;
+mod eigen;
+mod error;
+mod factor;
+mod jacobi;
+mod laplacian;
+mod power;
+pub mod vec_ops;
+
+pub use cheby::{
+    chebyshev_iteration_bound, chebyshev_solve, chebyshev_solve_fixed, relative_a_error,
+    ChebyshevOutcome,
+};
+pub use cg::{conjugate_gradient, CgOutcome};
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use factor::GroundedCholesky;
+pub use jacobi::jacobi_eigenvalues;
+pub use laplacian::{
+    laplacian_from_edges, laplacian_quadratic_form, normalized_laplacian_dense, LaplacianNorm,
+};
+pub use power::{power_method, PowerOutcome};

@@ -1,0 +1,183 @@
+//! Elementary operations on `&[f64]` vectors.
+//!
+//! Deliberately free functions over slices (no vector newtype): the
+//! distributed algorithms keep per-node scalars in plain `Vec<f64>`s and
+//! these helpers mirror the "constant number of vector operations" of
+//! Theorem 2.2.
+
+/// Inner product `⟨a, b⟩`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm `‖a‖₂`.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + α·x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a ← α·a`.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for ai in a.iter_mut() {
+        *ai *= alpha;
+    }
+}
+
+/// Component-wise difference `a − b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Component-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Maximum absolute entry `‖a‖_∞` (0 for the empty vector).
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// ℓp norm for `p ≥ 1` (the paper uses `‖ρ‖₃` in the max-flow IPM).
+pub fn norm_p(a: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "norm_p requires p >= 1");
+    a.iter().map(|x| x.abs().powf(p)).sum::<f64>().powf(1.0 / p)
+}
+
+/// Weighted ℓp norm `(Σ w_i |a_i|^p)^{1/p}` (the `‖ρ‖_{ν,p}` of the
+/// min-cost flow IPM).
+///
+/// # Panics
+///
+/// Panics if the lengths differ or `p < 1`.
+pub fn weighted_norm_p(a: &[f64], w: &[f64], p: f64) -> f64 {
+    assert_eq!(a.len(), w.len(), "weighted_norm_p: length mismatch");
+    assert!(p >= 1.0, "weighted_norm_p requires p >= 1");
+    a.iter()
+        .zip(w)
+        .map(|(x, wi)| wi * x.abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Mean of the entries (0 for the empty vector).
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Projects `a` onto the subspace orthogonal to the all-ones vector
+/// (in place): `a ← a − mean(a)·1`.
+pub fn remove_mean(a: &mut [f64]) {
+    let m = mean(a);
+    for ai in a.iter_mut() {
+        *ai -= m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(&mut y, 2.0, &[10.0, 20.0]);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn p_norms() {
+        assert!((norm_p(&[1.0, -1.0], 1.0) - 2.0).abs() < 1e-15);
+        assert!((norm_p(&[3.0, 4.0], 2.0) - 5.0).abs() < 1e-12);
+        assert!((weighted_norm_p(&[2.0], &[3.0], 3.0) - (24.0f64).powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_mean_centres() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        remove_mean(&mut a);
+        assert!(mean(&a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_vectors_are_harmless() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        let mut e: Vec<f64> = vec![];
+        remove_mean(&mut e);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn cauchy_schwarz(a in proptest::collection::vec(-1e3f64..1e3, 1..20),
+                          b in proptest::collection::vec(-1e3f64..1e3, 1..20)) {
+            let k = a.len().min(b.len());
+            let (a, b) = (&a[..k], &b[..k]);
+            prop_assert!(dot(a, b).abs() <= norm2(a) * norm2(b) + 1e-6);
+        }
+
+        #[test]
+        fn triangle_inequality(a in proptest::collection::vec(-1e3f64..1e3, 1..20),
+                               b in proptest::collection::vec(-1e3f64..1e3, 1..20)) {
+            let k = a.len().min(b.len());
+            let (a, b) = (&a[..k], &b[..k]);
+            prop_assert!(norm2(&add(a, b)) <= norm2(a) + norm2(b) + 1e-6);
+        }
+
+        #[test]
+        fn norm_p_monotone_in_p(a in proptest::collection::vec(-10f64..10.0, 1..12)) {
+            // ‖a‖_q ≤ ‖a‖_p for p ≤ q.
+            let n1 = norm_p(&a, 1.0);
+            let n2 = norm_p(&a, 2.0);
+            let n3 = norm_p(&a, 3.0);
+            prop_assert!(n3 <= n2 + 1e-9);
+            prop_assert!(n2 <= n1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The deterministic baselines of §1.1: Ford–Fulkerson over algebraic
+//! reachability, and the trivial gather-everything algorithm.
+
+use cc_apsp::RoundModel;
+use cc_graph::DiGraph;
+use cc_model::Clique;
+
+use crate::ipm::MaxFlowOutcome;
+use crate::residual::augment_to_optimality;
+use crate::{dinic, IpmStats};
+
+/// Ford–Fulkerson in the congested clique: `|f*|`-style iterations, each
+/// one `s`-`t` reachability computed algebraically (`O(n^{0.158})` rounds
+/// under [`RoundModel::FastMatMul`] — the §1.1 baseline costing
+/// `O(|f*| · n^{0.158})` rounds). Bottleneck augmentation is used, so the
+/// iteration count is at most (and typically far below) `|f*|`.
+///
+/// # Panics
+///
+/// Panics if terminals are invalid or the clique is smaller than the graph.
+pub fn max_flow_ford_fulkerson(
+    clique: &mut Clique,
+    g: &DiGraph,
+    s: usize,
+    t: usize,
+    model: RoundModel,
+) -> MaxFlowOutcome {
+    assert!(clique.n() >= g.n(), "clique too small");
+    clique.phase("ford_fulkerson", |clique| {
+        let mut flow = vec![0i64; g.m()];
+        let stats = augment_to_optimality(clique, g, &mut flow, s, t, model);
+        let value = g.flow_value(&flow, s);
+        MaxFlowOutcome {
+            flow,
+            value,
+            stats: IpmStats {
+                repair_paths: stats.paths,
+                ..IpmStats::default()
+            },
+        }
+    })
+}
+
+/// The trivial deterministic algorithm of §1.1: make all knowledge global
+/// (all-gather every edge), then solve internally at each node with Dinic.
+/// Round cost: the all-gather of `3m` words — `O(m/n + max-degree/n)`
+/// rounds, i.e. `O(n)` for dense graphs (`O(n log U)` in the paper's
+/// bit-level accounting; capacities fit one word here).
+///
+/// # Panics
+///
+/// Panics if terminals are invalid or the clique is smaller than the graph.
+pub fn max_flow_trivial(clique: &mut Clique, g: &DiGraph, s: usize, t: usize) -> MaxFlowOutcome {
+    assert!(clique.n() >= g.n(), "clique too small");
+    assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
+    clique.phase("trivial_gather", |clique| {
+        // Each node contributes its outgoing edges: (from, to, capacity).
+        let mut per_node: Vec<Vec<u64>> = vec![Vec::new(); clique.n()];
+        for e in g.edges() {
+            per_node[e.from].extend_from_slice(&[
+                e.from as u64,
+                e.to as u64,
+                e.capacity as u64,
+            ]);
+        }
+        let _ = clique.allgather(&per_node);
+        // Everything is global: solve internally (free in the model).
+        let (flow, value) = dinic(g, s, t);
+        MaxFlowOutcome {
+            flow,
+            value,
+            stats: IpmStats::default(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+
+    #[test]
+    fn baselines_agree_with_dinic() {
+        for seed in 0..5 {
+            let g = generators::random_flow_network(10, 25, 5, seed);
+            let (_, want) = dinic(&g, 0, 9);
+
+            let mut c1 = Clique::new(10);
+            let ff = max_flow_ford_fulkerson(&mut c1, &g, 0, 9, RoundModel::FastMatMul);
+            assert_eq!(ff.value, want, "ff seed {seed}");
+
+            let mut c2 = Clique::new(10);
+            let tr = max_flow_trivial(&mut c2, &g, 0, 9);
+            assert_eq!(tr.value, want, "trivial seed {seed}");
+
+            // Trivial should cost far fewer rounds on tiny instances, and
+            // both must charge something.
+            assert!(c1.ledger().total_rounds() > 0);
+            assert!(c2.ledger().total_rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn trivial_rounds_scale_with_volume_not_iterations() {
+        let g = generators::random_flow_network(16, 40, 8, 3);
+        let mut clique = Clique::new(16);
+        let _ = max_flow_trivial(&mut clique, &g, 0, 15);
+        let rounds = clique.ledger().total_rounds();
+        // allgather of 3m words over n nodes plus balancing.
+        let expect_ceiling = 2 * (3 * g.m() as u64).div_ceil(16) + 16;
+        assert!(rounds <= expect_ceiling, "rounds {rounds} > {expect_ceiling}");
+    }
+
+    #[test]
+    fn ff_rounds_grow_with_flow_value() {
+        // Unit-capacity parallel paths: value = k, FF does k augmentations.
+        let build = |k: usize| {
+            let mut g = DiGraph::new(2 + k);
+            for i in 0..k {
+                g.add_edge(0, 2 + i, 1, 0);
+                g.add_edge(2 + i, 1, 1, 0);
+            }
+            g
+        };
+        let mut r = Vec::new();
+        for &k in &[2usize, 4, 8] {
+            let g = build(k);
+            let mut clique = Clique::new(2 + k);
+            let out = max_flow_ford_fulkerson(&mut clique, &g, 0, 1, RoundModel::FastMatMul);
+            assert_eq!(out.value, k as i64);
+            r.push(clique.ledger().total_rounds());
+        }
+        assert!(r[0] < r[1] && r[1] < r[2], "rounds {r:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimum cut extraction — the optimality certificate of a maximum flow.
+
+use cc_graph::{DiGraph, EdgeId, VertexId};
+
+/// A minimum `s`-`t` cut certifying a maximum flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// `side[v]` is true iff `v` lies on the source side.
+    pub side: Vec<bool>,
+    /// Ids of the (forward) edges crossing from the source side to the
+    /// sink side, ascending.
+    pub edges: Vec<EdgeId>,
+    /// Total capacity of the crossing edges.
+    pub capacity: i64,
+}
+
+/// Extracts the canonical minimum cut from a **maximum** flow: the source
+/// side is the set of vertices reachable from `s` in the residual graph.
+/// By max-flow/min-cut, `capacity == flow value` certifies optimality;
+/// callers can assert that equality as an end-to-end check.
+///
+/// # Panics
+///
+/// Panics if `flow` has the wrong length, violates capacities, or the
+/// residual graph still contains an augmenting path (the flow was not
+/// maximum — the "cut" would not separate `s` from `t`).
+pub fn min_cut_from_max_flow(g: &DiGraph, flow: &[i64], s: VertexId, t: VertexId) -> MinCut {
+    assert_eq!(flow.len(), g.m(), "flow length mismatch");
+    assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
+    for (i, e) in g.edges().iter().enumerate() {
+        assert!(
+            flow[i] >= 0 && flow[i] <= e.capacity,
+            "flow violates capacity on edge {i}"
+        );
+    }
+    let n = g.n();
+    let mut side = vec![false; n];
+    side[s] = true;
+    let mut stack = vec![s];
+    while let Some(v) = stack.pop() {
+        for (i, e) in g.edges().iter().enumerate() {
+            if e.from == v && !side[e.to] && flow[i] < e.capacity {
+                side[e.to] = true;
+                stack.push(e.to);
+            }
+            if e.to == v && !side[e.from] && flow[i] > 0 {
+                side[e.from] = true;
+                stack.push(e.from);
+            }
+        }
+    }
+    assert!(!side[t], "flow is not maximum: t is residual-reachable from s");
+    let mut edges = Vec::new();
+    let mut capacity = 0;
+    for (i, e) in g.edges().iter().enumerate() {
+        if side[e.from] && !side[e.to] {
+            edges.push(i);
+            capacity += e.capacity;
+        }
+    }
+    MinCut {
+        side,
+        edges,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic;
+    use cc_graph::generators;
+
+    #[test]
+    fn cut_capacity_equals_flow_value() {
+        for seed in 0..8 {
+            let g = generators::random_flow_network(12, 28, 5, seed);
+            let (flow, value) = dinic(&g, 0, 11);
+            let cut = min_cut_from_max_flow(&g, &flow, 0, 11);
+            assert_eq!(cut.capacity, value, "seed {seed}");
+            assert!(cut.side[0]);
+            assert!(!cut.side[11]);
+            // Every crossing edge is saturated; every reverse crossing
+            // edge carries zero (complementary slackness).
+            for (i, e) in g.edges().iter().enumerate() {
+                if cut.side[e.from] && !cut.side[e.to] {
+                    assert_eq!(flow[i], e.capacity);
+                }
+                if cut.side[e.to] && !cut.side[e.from] {
+                    assert_eq!(flow[i], 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_edge_is_the_cut() {
+        let g = DiGraph::from_capacities(4, &[(0, 1, 9), (1, 2, 1), (2, 3, 9)]);
+        let (flow, _) = dinic(&g, 0, 3);
+        let cut = min_cut_from_max_flow(&g, &flow, 0, 3);
+        assert_eq!(cut.edges, vec![1]);
+        assert_eq!(cut.capacity, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not maximum")]
+    fn rejects_non_maximum_flow() {
+        let g = DiGraph::from_capacities(2, &[(0, 1, 2)]);
+        let _ = min_cut_from_max_flow(&g, &[1], 0, 1);
+    }
+}

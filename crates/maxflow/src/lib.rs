@@ -1,0 +1,52 @@
+//! # cc-maxflow — deterministic exact maximum flow in the congested clique
+//!
+//! Theorem 1.2 of Forster & de Vos (PODC 2023): exact maximum flow on a
+//! directed graph with integer capacities `1..=U` in `m^{3/7+o(1)} U^{1/7}`
+//! congested clique rounds, via Mądry's interior point method \[Mąd16\]
+//! (Appendix B of the paper) with every electrical-flow step solved by the
+//! deterministic Laplacian solver of Theorem 1.1.
+//!
+//! Pipeline ([`max_flow_ipm`]):
+//!
+//! 1. **Preconditioning + initialization** (Algorithm 2, lines 1–5):
+//!    every arc `(a, b, u)` becomes three two-sided edges `(a,b)`, `(s,b)`,
+//!    `(a,t)` of capacity `u`, plus `m` parallel `(t,s)` preconditioner
+//!    edges of capacity `2U`; the zero flow is then strictly interior.
+//! 2. **Progress steps** (lines 6–18): the IPM core alternates `Augmentation`
+//!    (electrical step toward the target demand, step size governed by the
+//!    congestion vector `‖ρ‖₃`), `Fixing` (electrical correction of the
+//!    accumulated conservation residue), and a congestion-damping
+//!    `Boosting` stand-in (see `DESIGN.md` §2.5) until the target value is
+//!    (nearly) reached or the paper's `Õ(m^{3/7} U^{1/7})` step budget is
+//!    spent.
+//! 3. **Rounding** (line 19): the fractional flow is mapped back to the
+//!    original arcs, snapped to multiples of `Δ = Θ(1/m)` on a spanning
+//!    tree, and rounded to an integral flow with Cohen's rounding
+//!    (Lemma 4.2, `cc-euler`).
+//! 4. **Repair** (lines 20–21): augmenting paths in the residual graph —
+//!    found with algebraic APSP (`cc-apsp`, the \[CKKL+19\] substitute) —
+//!    until the flow is **exactly** maximum. Correctness never depends on
+//!    how well the IPM did; the IPM controls only how few repair paths are
+//!    needed, which the experiments report.
+//!
+//! Baselines for experiment E6/E8: [`max_flow_ford_fulkerson`]
+//! (`O(|f*| · n^{0.158})` rounds) and [`max_flow_trivial`]
+//! (`O(n log U)` rounds, gather everything and solve internally), plus the
+//! sequential reference [`dinic`] used to assert exactness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod cut;
+mod dinic;
+mod ipm;
+mod residual;
+mod rounding_bridge;
+
+pub use baselines::{max_flow_ford_fulkerson, max_flow_trivial};
+pub use cut::{min_cut_from_max_flow, MinCut};
+pub use dinic::dinic;
+pub use ipm::{max_flow_ipm, IpmOptions, IpmStats, MaxFlowOutcome};
+pub use residual::{augment_to_optimality, RepairStats};
+pub use rounding_bridge::{snap_to_delta_multiples, SnapOutcome};

@@ -1,0 +1,46 @@
+//! # cc-mcf — deterministic unit-capacity minimum cost flow in the congested clique
+//!
+//! Theorem 1.3 of Forster & de Vos (PODC 2023): on a directed graph with
+//! unit capacities, integer costs `1..=W` and an integral demand vector
+//! `σ` (`Σσ = 0`), compute an exact minimum cost flow in
+//! `Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))` congested clique rounds,
+//! via the interior point method of Cohen–Mądry–Sankowski–Vladu
+//! \[CMSV17\] (Appendix C of the paper) with every electrical step solved
+//! by the deterministic Laplacian solver of Theorem 1.1.
+//!
+//! Pipeline ([`min_cost_flow_ipm`]):
+//!
+//! 1. **IPM**: log-barrier on the unit box `f_e ∈ (0,1)`
+//!    starting from the analytic center `f = 1/2` (the role CMSV's
+//!    bipartite lifting plays; see `DESIGN.md` §2.6), with `Progress`
+//!    steps exactly in the Algorithm 9 mold — resistances `ν_e`-weighted,
+//!    one electrical solve toward the remaining demand, `‖ρ‖_{ν,4}`-gated
+//!    step, one electrical residue correction — and `Perturbation`-style
+//!    `ν` doublings when `‖ρ‖_{ν,3}` exceeds the `c_ρ · m^{1/2−η}`
+//!    threshold (Algorithm 6 line 7).
+//! 2. **Rounding** (Algorithm 10 lines 1–6): snap to exact multiples of
+//!    `Δ` against the *true* demands `σ` (spanning-forest correction),
+//!    extend by a super source/sink, and run **cost-aware** Cohen rounding
+//!    (Lemma 4.2) — the integral result satisfies `σ` exactly and costs no
+//!    more than the fractional flow.
+//! 3. **Repair**: route any remaining deficits along residual
+//!    paths (APSP of `cc-apsp`), then cancel negative residual cycles
+//!    until none remain — certifying **exact optimality** by Klein's
+//!    theorem regardless of how well the IPM did.
+//!
+//! The sequential reference [`ssp_min_cost_flow`] (successive shortest
+//! paths) is the ground truth in tests and the internal solver of the
+//! trivial baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ipm;
+mod repair;
+mod snap;
+mod ssp;
+
+pub use ipm::{min_cost_flow_ipm, McfOptions, McfOutcome, McfStats};
+pub use repair::{cancel_negative_cycles, is_min_cost, route_deficits, McfError};
+pub use snap::snap_to_sigma_multiples;
+pub use ssp::ssp_min_cost_flow;

@@ -1,0 +1,100 @@
+//! Demand-targeted spanning-forest snap: the bridge between the IPM's
+//! floating point flow and Cohen's rounding (Algorithm 10 lines 1–5).
+
+use cc_graph::DiGraph;
+
+/// Snaps `fractional` (approximate flow for demand `sigma`, entries in
+/// `[0, capacity]`) to exact multiples of `delta` whose demands equal
+/// `sigma` **exactly**: non-tree edges round to their nearest multiple, a
+/// spanning forest absorbs all error. Returns `None` when the forest
+/// correction leaves some edge outside `[0, capacity]` (the fractional
+/// flow was too far from feasible) or a component's demands do not
+/// balance.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or `delta ∉ (0, 1]`.
+pub fn snap_to_sigma_multiples(
+    g: &DiGraph,
+    fractional: &[f64],
+    sigma: &[i64],
+    delta: f64,
+) -> Option<Vec<f64>> {
+    assert_eq!(fractional.len(), g.m(), "flow length mismatch");
+    assert_eq!(sigma.len(), g.n(), "demand length mismatch");
+    assert!(delta > 0.0 && delta <= 1.0, "delta out of range");
+    let unit = (1.0 / delta).round() as i64;
+
+    // Round every edge to its nearest multiple of Δ, then fix the demand
+    // deficits by residual augmentation at the unit scale.
+    let mut units: Vec<i64> = fractional
+        .iter()
+        .zip(g.edges())
+        .map(|(&f, e)| ((f / delta).round() as i64).clamp(0, e.capacity * unit))
+        .collect();
+    let target: Vec<i64> = sigma.iter().map(|&s| s * unit).collect();
+    if cc_graph::flow_util::fix_unit_deficits(g, &mut units, &target, unit) {
+        Some(units.iter().map(|&u| u as f64 * delta).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp_min_cost_flow;
+    use cc_graph::generators;
+
+    #[test]
+    fn snapping_a_noisy_exact_solution_recovers_demands() {
+        let (g, sigma) = generators::bipartite_assignment(5, 2, 9, 3);
+        let (opt, _) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        let noisy: Vec<f64> = opt
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| f as f64 + 5e-10 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let snapped = snap_to_sigma_multiples(&g, &noisy, &sigma, 1.0 / 32.0)
+            .expect("near-exact flow must snap");
+        // Exact demand satisfaction.
+        let as_int: Vec<i64> = snapped.iter().map(|&f| f.round() as i64).collect();
+        assert!(snapped
+            .iter()
+            .zip(&as_int)
+            .all(|(&f, &i)| (f - i as f64).abs() < 1e-9));
+        assert!(g.is_feasible_flow(&as_int, &sigma));
+    }
+
+    #[test]
+    fn infeasible_fractional_is_rejected() {
+        // Demands cannot balance in the only component.
+        let g = DiGraph::from_capacities(3, &[(0, 1, 1)]);
+        let sigma = vec![1, 0, -1];
+        assert!(snap_to_sigma_multiples(&g, &[0.5], &sigma, 0.5).is_none());
+    }
+
+    #[test]
+    fn zero_demand_zero_flow() {
+        let g = generators::random_unit_digraph(6, 10, 4, 2);
+        let snapped =
+            snap_to_sigma_multiples(&g, &vec![0.0; g.m()], &[0; 6], 0.25).unwrap();
+        assert!(snapped.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn fractional_entries_stay_multiples_of_delta() {
+        let (g, sigma) = generators::bipartite_assignment(4, 3, 5, 9);
+        // A deliberately fractional starting point: 1/2 everywhere won't
+        // satisfy σ, so either the snap fails (acceptable) or the result
+        // is Δ-multiple feasible.
+        let frac = vec![0.5; g.m()];
+        if let Some(snapped) = snap_to_sigma_multiples(&g, &frac, &sigma, 0.25) {
+            for &f in &snapped {
+                let u = f / 0.25;
+                assert!((u - u.round()).abs() < 1e-9);
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Sequential successive-shortest-paths minimum cost flow — the exactness
+//! reference.
+
+use cc_graph::DiGraph;
+
+/// Computes an exact minimum cost flow for demand vector `sigma`
+/// (`sigma[v] > 0` = `v` must ship `sigma[v]` units; `Σ sigma = 0`) on a
+/// digraph whose capacities may be arbitrary (the Theorem 1.3 workloads
+/// use unit capacities). Sequential successive shortest paths with
+/// Bellman–Ford distances (costs may become negative in the residual
+/// graph). Returns `None` if the demands cannot be routed.
+///
+/// # Panics
+///
+/// Panics if `sigma.len() != g.n()` or `Σ sigma != 0`.
+pub fn ssp_min_cost_flow(g: &DiGraph, sigma: &[i64]) -> Option<(Vec<i64>, i64)> {
+    assert_eq!(sigma.len(), g.n(), "demand length mismatch");
+    assert_eq!(sigma.iter().sum::<i64>(), 0, "demands must balance");
+    let n = g.n();
+    let m = g.m();
+    let mut flow = vec![0i64; m];
+    let mut deficit: Vec<i64> = sigma.to_vec(); // positive: must send more
+
+    loop {
+        let sources: Vec<usize> = (0..n).filter(|&v| deficit[v] > 0).collect();
+        if sources.is_empty() {
+            break;
+        }
+        // Bellman–Ford from the set of sources over the residual graph.
+        let mut dist = vec![i64::MAX / 4; n];
+        let mut parent: Vec<Option<(usize, bool)>> = vec![None; n]; // (edge, forward)
+        for &s in &sources {
+            dist[s] = 0;
+        }
+        for _ in 0..n {
+            let mut changed = false;
+            for (i, e) in g.edges().iter().enumerate() {
+                if flow[i] < e.capacity && dist[e.from] + e.cost < dist[e.to] {
+                    dist[e.to] = dist[e.from] + e.cost;
+                    parent[e.to] = Some((i, true));
+                    changed = true;
+                }
+                if flow[i] > 0 && dist[e.to] - e.cost < dist[e.from] {
+                    dist[e.from] = dist[e.to] - e.cost;
+                    parent[e.from] = Some((i, false));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Cheapest reachable sink.
+        let sink = (0..n)
+            .filter(|&v| deficit[v] < 0 && dist[v] < i64::MAX / 8)
+            .min_by_key(|&v| (dist[v], v))?;
+        // Walk parents back to a source, collecting the path and bottleneck.
+        let mut path: Vec<(usize, bool)> = Vec::new();
+        let mut v = sink;
+        let mut guard = 0;
+        while deficit[v] <= 0 || dist[v] != 0 {
+            let (i, fwd) = parent[v]?;
+            path.push((i, fwd));
+            v = if fwd { g.edge(i).from } else { g.edge(i).to };
+            guard += 1;
+            if guard > n + m {
+                return None; // malformed parent chain (cannot happen)
+            }
+        }
+        let source = v;
+        let mut bottleneck = deficit[source].min(-deficit[sink]);
+        for &(i, fwd) in &path {
+            let e = g.edge(i);
+            bottleneck = bottleneck.min(if fwd { e.capacity - flow[i] } else { flow[i] });
+        }
+        debug_assert!(bottleneck > 0);
+        for &(i, fwd) in &path {
+            if fwd {
+                flow[i] += bottleneck;
+            } else {
+                flow[i] -= bottleneck;
+            }
+        }
+        deficit[source] -= bottleneck;
+        deficit[sink] += bottleneck;
+    }
+    let cost = g.flow_cost(&flow);
+    Some((flow, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+
+    #[test]
+    fn picks_the_cheap_route() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(1, 3, 1, 1);
+        g.add_edge(0, 2, 1, 5);
+        g.add_edge(2, 3, 1, 5);
+        let mut sigma = vec![0i64; 4];
+        sigma[0] = 1;
+        sigma[3] = -1;
+        let (flow, cost) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        assert_eq!(cost, 2);
+        assert_eq!(flow, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn uses_both_routes_when_needed() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1, 1);
+        g.add_edge(1, 3, 1, 1);
+        g.add_edge(0, 2, 1, 5);
+        g.add_edge(2, 3, 1, 5);
+        let mut sigma = vec![0i64; 4];
+        sigma[0] = 2;
+        sigma[3] = -2;
+        let (flow, cost) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        assert_eq!(cost, 12);
+        assert!(g.is_feasible_flow(&flow, &sigma));
+    }
+
+    #[test]
+    fn infeasible_demand_returns_none() {
+        let g = DiGraph::from_capacities(3, &[(0, 1, 1)]);
+        let mut sigma = vec![0i64; 3];
+        sigma[0] = 1;
+        sigma[2] = -1;
+        assert!(ssp_min_cost_flow(&g, &sigma).is_none());
+    }
+
+    #[test]
+    fn zero_demand_costs_nothing() {
+        let g = generators::random_unit_digraph(8, 12, 5, 1);
+        let (flow, cost) = ssp_min_cost_flow(&g, &[0; 8]).unwrap();
+        assert_eq!(cost, 0);
+        assert!(flow.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn assignment_instances_are_solved_optimally() {
+        // Compare against brute force on small assignment instances.
+        for seed in 0..4 {
+            let (g, sigma) = generators::bipartite_assignment(4, 2, 9, seed);
+            let (flow, cost) = ssp_min_cost_flow(&g, &sigma).unwrap();
+            assert!(g.is_feasible_flow(&flow, &sigma));
+            // Brute force: try all ways to satisfy each worker with one
+            // outgoing edge such that jobs get exactly one unit.
+            let best = brute_force_assignment(&g, 4);
+            assert_eq!(cost, best, "seed {seed}");
+        }
+    }
+
+    fn brute_force_assignment(g: &DiGraph, k: usize) -> i64 {
+        // Workers 0..k each pick one of their out-edges; each job exactly once.
+        fn rec(g: &DiGraph, w: usize, k: usize, used: &mut Vec<bool>, acc: i64, best: &mut i64) {
+            if w == k {
+                *best = (*best).min(acc);
+                return;
+            }
+            for &eid in g.out_edges(w) {
+                let job = g.edge(eid).to - k;
+                if !used[job] {
+                    used[job] = true;
+                    rec(g, w + 1, k, used, acc + g.edge(eid).cost, best);
+                    used[job] = false;
+                }
+            }
+        }
+        let mut best = i64::MAX;
+        let mut used = vec![false; k];
+        rec(g, 0, k, &mut used, 0, &mut best);
+        best
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, sigma) = generators::bipartite_assignment(6, 3, 20, 5);
+        let a = ssp_min_cost_flow(&g, &sigma).unwrap();
+        let b = ssp_min_cost_flow(&g, &sigma).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,721 @@
+use crate::{CostKind, ModelError, NodeId, RoundLedger, Words};
+
+/// Which communication primitives the simulated model admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommunicationMode {
+    /// The (unicast) congested clique \[LPSPP05\]: per round, every
+    /// ordered pair may exchange one word. All primitives available.
+    #[default]
+    Unicast,
+    /// The Broadcast Congested Clique \[DKO12\] (§2.1 of the paper): per
+    /// round every node sends the *same* word to everyone. Point-to-point
+    /// primitives ([`Clique::exchange`], [`Clique::route`]) are rejected —
+    /// which operationalizes the paper's §1.1 observation that Eulerian
+    /// orientation (and hence flow rounding) "seems to be a hard problem
+    /// in the Broadcast Congested Clique", while the Laplacian solver's
+    /// broadcast-only communication pattern still runs (cf. \[FV22\]).
+    Broadcast,
+}
+
+/// Tunable accounting constants of the simulated model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliqueConfig {
+    /// Rounds charged per application of Lenzen's routing theorem
+    /// \[Len13\]. The theorem proves 16; the paper only uses that it is
+    /// `O(1)`. Default: 2.
+    pub lenzen_rounds: u64,
+    /// Per-node word budget of one routing application, as a multiple of
+    /// `n`. Lenzen's theorem uses factor 1 (send ≤ n, receive ≤ n words).
+    pub routing_capacity_factor: usize,
+    /// Unicast (default) or broadcast-only communication.
+    pub mode: CommunicationMode,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        Self {
+            lenzen_rounds: 2,
+            routing_capacity_factor: 1,
+            mode: CommunicationMode::Unicast,
+        }
+    }
+}
+
+/// A message as seen by its recipient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender of the message.
+    pub src: NodeId,
+    /// Payload words.
+    pub payload: Words,
+}
+
+/// A simulated congested clique of `n` nodes.
+///
+/// The struct owns no per-node state — algorithms keep their node states in
+/// ordinary `Vec`s indexed by [`NodeId`] and call the communication
+/// primitives here, which deliver messages deterministically and charge
+/// rounds to the [`RoundLedger`].
+///
+/// # Round accounting
+///
+/// | primitive | rounds charged |
+/// |-----------|----------------|
+/// | [`exchange`](Clique::exchange) | max over ordered pairs of words sent on that pair |
+/// | [`route`](Clique::route) | `lenzen_rounds · ⌈max node load / (capacity·n)⌉` |
+/// | [`broadcast_all`](Clique::broadcast_all) | `max_i ⌈words_i⌉` (1 word from everyone to everyone per round) |
+/// | [`broadcast_from`](Clique::broadcast_from) | `⌈w/(n−1)⌉ + 1` for `w > 1`, else `w` |
+/// | [`allgather`](Clique::allgather) | balancing route + `⌈total/n⌉` broadcast rounds |
+/// | [`gather_to`](Clique::gather_to) | `⌈total/(n−1)⌉` |
+/// | [`charge_oracle`](Clique::charge_oracle) | the given formula cost, tagged [`CostKind::Charged`] |
+#[derive(Debug, Clone)]
+pub struct Clique {
+    n: usize,
+    config: CliqueConfig,
+    ledger: RoundLedger,
+}
+
+impl Clique {
+    /// Creates a clique of `n` nodes with default accounting constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` — the model needs at least one ordered pair.
+    pub fn new(n: usize) -> Self {
+        Self::with_config(n, CliqueConfig::default())
+    }
+
+    /// Creates a clique of `n` nodes with explicit accounting constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or if `config.routing_capacity_factor == 0`.
+    pub fn with_config(n: usize, config: CliqueConfig) -> Self {
+        assert!(n >= 2, "congested clique needs at least 2 nodes, got {n}");
+        assert!(
+            config.routing_capacity_factor >= 1,
+            "routing capacity factor must be positive"
+        );
+        Self {
+            n,
+            config,
+            ledger: RoundLedger::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The accounting constants in effect.
+    pub fn config(&self) -> CliqueConfig {
+        self.config
+    }
+
+    /// Read access to the round ledger.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the round ledger (e.g. to reset between phases of
+    /// a benchmark).
+    pub fn ledger_mut(&mut self) -> &mut RoundLedger {
+        &mut self.ledger
+    }
+
+    /// Runs `f` inside a named ledger phase, so all rounds charged by `f`
+    /// are attributed under `name`.
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.ledger.push_phase(name);
+        let out = f(self);
+        self.ledger.pop_phase();
+        out
+    }
+
+    /// Charges `rounds` rounds for an oracle subroutine that is simulated
+    /// rather than executed distributedly (tagged [`CostKind::Charged`];
+    /// see `DESIGN.md` §2).
+    pub fn charge_oracle(&mut self, rounds: u64) {
+        self.ledger.charge(rounds, CostKind::Charged);
+    }
+
+    /// Charges `rounds` implemented rounds without moving data — used by
+    /// primitives built on top of the simulator whose data movement is
+    /// performed by the caller (rare; prefer the message primitives).
+    pub fn charge_implemented(&mut self, rounds: u64) {
+        self.ledger.charge(rounds, CostKind::Implemented);
+    }
+
+    fn check_unicast_allowed(&self) -> Result<(), ModelError> {
+        if self.config.mode == CommunicationMode::Broadcast {
+            return Err(ModelError::BroadcastOnly);
+        }
+        Ok(())
+    }
+
+    fn check_outboxes(&self, outboxes: &[Vec<(NodeId, Words)>]) -> Result<(), ModelError> {
+        if outboxes.len() != self.n {
+            return Err(ModelError::WrongOutboxCount {
+                got: outboxes.len(),
+                expected: self.n,
+            });
+        }
+        for per_node in outboxes {
+            for (dst, _) in per_node {
+                if *dst >= self.n {
+                    return Err(ModelError::InvalidNode { node: *dst, n: self.n });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&self, outboxes: Vec<Vec<(NodeId, Words)>>) -> Vec<Vec<Envelope>> {
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); self.n];
+        // Deterministic delivery order: by source id, then by the order the
+        // source enqueued its messages.
+        for (src, per_node) in outboxes.into_iter().enumerate() {
+            for (dst, payload) in per_node {
+                inboxes[dst].push(Envelope { src, payload });
+            }
+        }
+        inboxes
+    }
+
+    /// Direct point-to-point exchange.
+    ///
+    /// `outboxes[u]` lists the `(destination, payload)` messages node `u`
+    /// sends. Rounds charged: the maximum, over ordered pairs `(u, v)`, of
+    /// the total number of payload words sent from `u` to `v` — i.e. the
+    /// messages are pushed through the per-pair links without any routing
+    /// cleverness.
+    ///
+    /// Returns `inboxes[v]`: the envelopes received by each node, sorted by
+    /// sender.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::WrongOutboxCount`] if `outboxes.len() != n`;
+    /// [`ModelError::InvalidNode`] on an out-of-range destination.
+    pub fn exchange(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.check_unicast_allowed()?;
+        self.check_outboxes(&outboxes)?;
+        let mut max_pair = 0u64;
+        {
+            let mut pair_words: std::collections::BTreeMap<(NodeId, NodeId), u64> =
+                std::collections::BTreeMap::new();
+            for (src, per_node) in outboxes.iter().enumerate() {
+                for (dst, payload) in per_node {
+                    let e = pair_words.entry((src, *dst)).or_insert(0);
+                    *e += payload.len() as u64;
+                    max_pair = max_pair.max(*e);
+                }
+            }
+        }
+        self.ledger.charge(max_pair, CostKind::Implemented);
+        Ok(self.deliver(outboxes))
+    }
+
+    fn node_loads(&self, outboxes: &[Vec<(NodeId, Words)>]) -> (u64, u64) {
+        let mut send = vec![0u64; self.n];
+        let mut recv = vec![0u64; self.n];
+        for (src, per_node) in outboxes.iter().enumerate() {
+            for (dst, payload) in per_node {
+                send[src] += payload.len() as u64;
+                recv[*dst] += payload.len() as u64;
+            }
+        }
+        (
+            send.iter().copied().max().unwrap_or(0),
+            recv.iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    /// Routed exchange via Lenzen's routing theorem \[Len13\].
+    ///
+    /// Any message set in which every node sends at most `n` words and
+    /// receives at most `n` words is deliverable in `O(1)` rounds. Larger
+    /// batches are automatically split: with maximum per-node load `L`, the
+    /// cost is `lenzen_rounds · ⌈L / (capacity·n)⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Same structural errors as [`Clique::exchange`].
+    pub fn route(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.check_unicast_allowed()?;
+        self.check_outboxes(&outboxes)?;
+        let (max_send, max_recv) = self.node_loads(&outboxes);
+        let load = max_send.max(max_recv);
+        if load > 0 {
+            let cap = (self.config.routing_capacity_factor * self.n) as u64;
+            let batches = load.div_ceil(cap);
+            self.ledger
+                .charge(batches * self.config.lenzen_rounds, CostKind::Implemented);
+        }
+        Ok(self.deliver(outboxes))
+    }
+
+    /// Like [`Clique::route`], but fails instead of batching when a node's
+    /// load exceeds one application of the routing theorem.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::CongestionExceeded`] if some node would send or receive
+    /// more than `capacity·n` words, plus the structural errors of
+    /// [`Clique::exchange`].
+    pub fn route_strict(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.check_outboxes(&outboxes)?;
+        let cap = self.config.routing_capacity_factor * self.n;
+        let mut send = vec![0usize; self.n];
+        let mut recv = vec![0usize; self.n];
+        for (src, per_node) in outboxes.iter().enumerate() {
+            for (dst, payload) in per_node {
+                send[src] += payload.len();
+                recv[*dst] += payload.len();
+            }
+        }
+        for node in 0..self.n {
+            if send[node] > cap {
+                return Err(ModelError::CongestionExceeded {
+                    node,
+                    words: send[node],
+                    capacity: cap,
+                    sending: true,
+                });
+            }
+            if recv[node] > cap {
+                return Err(ModelError::CongestionExceeded {
+                    node,
+                    words: recv[node],
+                    capacity: cap,
+                    sending: false,
+                });
+            }
+        }
+        self.route(outboxes)
+    }
+
+    /// Every node broadcasts one word; everyone learns all `n` words.
+    ///
+    /// This is the classic 1-round all-to-all broadcast (each ordered pair
+    /// carries exactly one word). Returns the shared view `values` in node
+    /// order — identical at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    pub fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+        assert_eq!(values.len(), self.n, "one broadcast word per node required");
+        self.ledger.charge(1, CostKind::Implemented);
+        values.to_vec()
+    }
+
+    /// Every node broadcasts a word vector; everyone learns all of them.
+    ///
+    /// Node `i` broadcasts `per_node[i]` (possibly empty). Cost: one round
+    /// per word of the longest vector (`max_i |per_node[i]|`), since in each
+    /// round every node can ship one word to all others. Returns the shared
+    /// per-source view, identical at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node.len() != n`.
+    pub fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
+        assert_eq!(per_node.len(), self.n, "one word vector per node required");
+        let rounds = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+        self.ledger.charge(rounds, CostKind::Implemented);
+        per_node.to_vec()
+    }
+
+    /// One node broadcasts `w` words to everyone.
+    ///
+    /// For `w ≤ 1` this is direct (cost `w`). For larger payloads the
+    /// standard doubling trick applies: the source scatters the words over
+    /// distinct helper nodes (`⌈w/(n−1)⌉` rounds), then every helper
+    /// broadcasts its words (`⌈w/(n−1)⌉` rounds). Total
+    /// `2·⌈w/(n−1)⌉` rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidNode`] if `src` is out of range.
+    pub fn broadcast_from(&mut self, src: NodeId, words: &Words) -> Result<Words, ModelError> {
+        if src >= self.n {
+            return Err(ModelError::InvalidNode { node: src, n: self.n });
+        }
+        let w = words.len() as u64;
+        let rounds = if self.config.mode == CommunicationMode::Broadcast {
+            // No helper scattering available: w broadcast rounds.
+            w
+        } else if w <= 1 {
+            w
+        } else {
+            2 * w.div_ceil(self.n as u64 - 1)
+        };
+        self.ledger.charge(rounds, CostKind::Implemented);
+        Ok(words.clone())
+    }
+
+    /// Everyone learns everyone's word vector (all-gather).
+    ///
+    /// Semantically equivalent to [`Clique::broadcast_all_words`] but with
+    /// load balancing: the words are first spread evenly over the clique
+    /// with Lenzen routing, then broadcast at `n` words per round. With
+    /// total volume `W` and maximum per-node contribution `L`, the cost is
+    /// `lenzen_rounds·⌈L/n⌉ + ⌈W/n⌉`. Use this instead of
+    /// `broadcast_all_words` when contributions are skewed.
+    ///
+    /// Returns the concatenation of all vectors in node order (identical at
+    /// every node), together with per-node offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node.len() != n`.
+    pub fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+        assert_eq!(per_node.len(), self.n, "one word vector per node required");
+        if self.config.mode == CommunicationMode::Broadcast {
+            // Broadcast-only fallback: everyone broadcasts its own words
+            // (no balancing), max_i w_i rounds instead of ~W/n.
+            let rounds = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+            self.ledger.charge(rounds, CostKind::Implemented);
+            let mut offsets = Vec::with_capacity(self.n + 1);
+            let mut all = Vec::new();
+            for words in per_node {
+                offsets.push(all.len());
+                all.extend_from_slice(words);
+            }
+            offsets.push(all.len());
+            return (all, offsets);
+        }
+        let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
+        let max_contrib = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+        if total > 0 {
+            let balance = self.config.lenzen_rounds * max_contrib.div_ceil(self.n as u64);
+            let broadcast = total.div_ceil(self.n as u64);
+            self.ledger.charge(balance + broadcast, CostKind::Implemented);
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut all = Vec::with_capacity(total as usize);
+        for words in per_node {
+            offsets.push(all.len());
+            all.extend_from_slice(words);
+        }
+        offsets.push(all.len());
+        (all, offsets)
+    }
+
+    /// Globally sorts all keys across the clique (Lenzen's deterministic
+    /// sorting theorem \[Len13\]: `n` keys per node are sorted in `O(1)`
+    /// rounds). Node `i` receives the `i`-th block of the global sorted
+    /// order (blocks as equal as possible, earlier blocks one longer when
+    /// the total is not divisible by `n`). Larger inputs are batched like
+    /// [`Clique::route`]: `lenzen_rounds · ⌈max per-node keys / n⌉` rounds.
+    ///
+    /// Ties are broken stably by (key, contributing node, position).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::BroadcastOnly`] in broadcast mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node.len() != n`.
+    pub fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.check_unicast_allowed()?;
+        assert_eq!(per_node.len(), self.n, "one key vector per node required");
+        let max_keys = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+        if max_keys > 0 {
+            let batches = max_keys.div_ceil(self.n as u64);
+            self.ledger
+                .charge(batches * self.config.lenzen_rounds, CostKind::Implemented);
+        }
+        let mut tagged: Vec<(u64, usize, usize)> = Vec::new();
+        for (src, words) in per_node.iter().enumerate() {
+            for (pos, &w) in words.iter().enumerate() {
+                tagged.push((w, src, pos));
+            }
+        }
+        tagged.sort_unstable();
+        let total = tagged.len();
+        let base = total / self.n;
+        let extra = total % self.n;
+        let mut out = Vec::with_capacity(self.n);
+        let mut it = tagged.into_iter().map(|(w, _, _)| w);
+        for i in 0..self.n {
+            let take = base + usize::from(i < extra);
+            out.push((&mut it).take(take).collect());
+        }
+        Ok(out)
+    }
+
+    /// Every node sends its word vector to a single destination.
+    ///
+    /// Cost: `⌈W/(n−1)⌉` rounds for total volume `W` (the destination can
+    /// receive `n−1` words per round).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidNode`] if `dst` is out of range;
+    /// panics if `per_node.len() != n`.
+    pub fn gather_to(
+        &mut self,
+        dst: NodeId,
+        per_node: &[Words],
+    ) -> Result<Vec<Words>, ModelError> {
+        self.check_unicast_allowed()?;
+        if dst >= self.n {
+            return Err(ModelError::InvalidNode { node: dst, n: self.n });
+        }
+        assert_eq!(per_node.len(), self.n, "one word vector per node required");
+        let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
+        self.ledger
+            .charge(total.div_ceil(self.n as u64 - 1), CostKind::Implemented);
+        Ok(per_node.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_all_costs_one_round() {
+        let mut clique = Clique::new(4);
+        let view = clique.broadcast_all(&[10, 11, 12, 13]);
+        assert_eq!(view, vec![10, 11, 12, 13]);
+        assert_eq!(clique.ledger().total_rounds(), 1);
+    }
+
+    #[test]
+    fn exchange_charges_max_pair_words() {
+        let mut clique = Clique::new(3);
+        // node 0 sends 3 words to node 1 (two messages), node 2 sends 1 word to 0.
+        let outboxes = vec![
+            vec![(1, vec![1, 2]), (1, vec![3])],
+            vec![],
+            vec![(0, vec![9])],
+        ];
+        let inboxes = clique.exchange(outboxes).unwrap();
+        assert_eq!(clique.ledger().total_rounds(), 3);
+        assert_eq!(inboxes[1].len(), 2);
+        assert_eq!(inboxes[1][0].src, 0);
+        assert_eq!(inboxes[0][0].payload, vec![9]);
+    }
+
+    #[test]
+    fn route_within_capacity_costs_lenzen_constant() {
+        let mut clique = Clique::new(4);
+        // Every node sends 4 = n words scattered around: one routing batch.
+        let outboxes: Vec<Vec<(NodeId, Words)>> = (0..4)
+            .map(|u| (0..4).map(|v| (v, vec![(u * 4 + v) as u64])).collect())
+            .collect();
+        clique.route(outboxes).unwrap();
+        assert_eq!(clique.ledger().total_rounds(), clique.config().lenzen_rounds);
+    }
+
+    #[test]
+    fn route_batches_when_overloaded() {
+        let mut clique = Clique::new(4);
+        // Node 0 sends 9 words to node 1: receive load 9 > n=4 => 3 batches.
+        let outboxes = vec![vec![(1, (0..9).collect::<Vec<u64>>())], vec![], vec![], vec![]];
+        clique.route(outboxes).unwrap();
+        assert_eq!(
+            clique.ledger().total_rounds(),
+            3 * clique.config().lenzen_rounds
+        );
+    }
+
+    #[test]
+    fn route_strict_rejects_overload() {
+        let mut clique = Clique::new(4);
+        let outboxes = vec![vec![(1, (0..9).collect::<Vec<u64>>())], vec![], vec![], vec![]];
+        let err = clique.route_strict(outboxes).unwrap_err();
+        match err {
+            ModelError::CongestionExceeded { node, words, .. } => {
+                assert_eq!(node, 0);
+                assert_eq!(words, 9);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_from_cost_scales_with_payload() {
+        let mut clique = Clique::new(5);
+        clique.broadcast_from(2, &vec![7]).unwrap();
+        assert_eq!(clique.ledger().total_rounds(), 1);
+        let before = clique.ledger().total_rounds();
+        clique.broadcast_from(0, &(0..8).collect()).unwrap();
+        // ceil(8/4) = 2 scatter + 2 broadcast rounds.
+        assert_eq!(clique.ledger().total_rounds() - before, 4);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_node_order() {
+        let mut clique = Clique::new(3);
+        let (all, offsets) = clique.allgather(&[vec![1, 2], vec![], vec![3]]);
+        assert_eq!(all, vec![1, 2, 3]);
+        assert_eq!(offsets, vec![0, 2, 2, 3]);
+        // total 3 words, max contribution 2: ceil(2/3)*lenzen + ceil(3/3) = 2+1.
+        assert_eq!(clique.ledger().total_rounds(), 3);
+    }
+
+    #[test]
+    fn gather_to_costs_total_over_links() {
+        let mut clique = Clique::new(3);
+        clique
+            .gather_to(0, &[vec![], vec![1, 2, 3], vec![4]])
+            .unwrap();
+        assert_eq!(clique.ledger().total_rounds(), 2); // ceil(4/2)
+    }
+
+    #[test]
+    fn phase_attribution() {
+        let mut clique = Clique::new(2);
+        clique.phase("outer", |c| {
+            c.broadcast_all(&[1, 2]);
+            c.phase("inner", |c| c.charge_oracle(5));
+        });
+        assert_eq!(clique.ledger().phase("outer").implemented, 1);
+        assert_eq!(clique.ledger().phase("outer/inner").charged, 5);
+        assert_eq!(clique.ledger().total_rounds(), 6);
+    }
+
+    #[test]
+    fn invalid_destination_is_rejected() {
+        let mut clique = Clique::new(2);
+        let err = clique.exchange(vec![vec![(5, vec![1])], vec![]]).unwrap_err();
+        assert_eq!(err, ModelError::InvalidNode { node: 5, n: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn tiny_clique_panics() {
+        let _ = Clique::new(1);
+    }
+
+    #[test]
+    fn broadcast_all_words_costs_longest_vector() {
+        let mut clique = Clique::new(3);
+        let view = clique.broadcast_all_words(&[vec![1, 2, 3], vec![], vec![9]]);
+        assert_eq!(view[0], vec![1, 2, 3]);
+        assert_eq!(view[2], vec![9]);
+        assert_eq!(clique.ledger().total_rounds(), 3);
+    }
+
+    #[test]
+    fn empty_exchange_is_free() {
+        let mut clique = Clique::new(3);
+        let inboxes = clique.exchange(vec![vec![], vec![], vec![]]).unwrap();
+        assert!(inboxes.iter().all(|i| i.is_empty()));
+        assert_eq!(clique.ledger().total_rounds(), 0);
+        let inboxes = clique.route(vec![vec![], vec![], vec![]]).unwrap();
+        assert!(inboxes.iter().all(|i| i.is_empty()));
+        assert_eq!(clique.ledger().total_rounds(), 0);
+    }
+
+    #[test]
+    fn allgather_balances_skewed_contributions() {
+        let mut clique = Clique::new(4);
+        // One node contributes 12 words, others none: balancing pays
+        // lenzen·ceil(12/4) = 3 batches, broadcast pays ceil(12/4) = 3.
+        let (all, offsets) = clique.allgather(&[(0..12).collect(), vec![], vec![], vec![]]);
+        assert_eq!(all.len(), 12);
+        assert_eq!(offsets, vec![0, 12, 12, 12, 12]);
+        assert_eq!(
+            clique.ledger().total_rounds(),
+            3 * clique.config().lenzen_rounds + 3
+        );
+    }
+
+    #[test]
+    fn sort_produces_global_sorted_blocks() {
+        let mut clique = Clique::new(3);
+        let out = clique
+            .sort(&[vec![9, 1], vec![5], vec![3, 7, 2]])
+            .unwrap();
+        let flat: Vec<u64> = out.iter().flatten().copied().collect();
+        assert_eq!(flat, vec![1, 2, 3, 5, 7, 9]);
+        assert_eq!(out[0], vec![1, 2]); // blocks of 2 each
+        assert_eq!(out[2], vec![7, 9]);
+        // max per-node keys 3 ≤ n=3: one batch.
+        assert_eq!(clique.ledger().total_rounds(), clique.config().lenzen_rounds);
+    }
+
+    #[test]
+    fn sort_batches_large_inputs() {
+        let mut clique = Clique::new(2);
+        let out = clique
+            .sort(&[(0..5).rev().collect(), vec![]])
+            .unwrap();
+        assert_eq!(out[0], vec![0, 1, 2]); // 5 keys: blocks 3 + 2
+        assert_eq!(out[1], vec![3, 4]);
+        // ceil(5/2) = 3 batches.
+        assert_eq!(
+            clique.ledger().total_rounds(),
+            3 * clique.config().lenzen_rounds
+        );
+    }
+
+    #[test]
+    fn broadcast_mode_rejects_unicast_primitives() {
+        let mut clique = Clique::with_config(
+            4,
+            CliqueConfig {
+                mode: CommunicationMode::Broadcast,
+                ..CliqueConfig::default()
+            },
+        );
+        let outboxes = vec![vec![(1, vec![1u64])], vec![], vec![], vec![]];
+        assert_eq!(clique.exchange(outboxes.clone()), Err(ModelError::BroadcastOnly));
+        assert_eq!(clique.route(outboxes), Err(ModelError::BroadcastOnly));
+        assert_eq!(
+            clique.gather_to(0, &[vec![], vec![1], vec![], vec![]]),
+            Err(ModelError::BroadcastOnly)
+        );
+        assert_eq!(
+            clique.sort(&[vec![1], vec![], vec![], vec![]]),
+            Err(ModelError::BroadcastOnly)
+        );
+        // Broadcast primitives still work, with broadcast-only accounting.
+        clique.broadcast_all(&[1, 2, 3, 4]);
+        let before = clique.ledger().total_rounds();
+        clique.broadcast_from(0, &vec![1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(clique.ledger().total_rounds() - before, 6);
+        let before = clique.ledger().total_rounds();
+        let (all, _) = clique.allgather(&[vec![1, 2], vec![3], vec![], vec![4]]);
+        assert_eq!(all, vec![1, 2, 3, 4]);
+        // Broadcast allgather: max contribution = 2 rounds.
+        assert_eq!(clique.ledger().total_rounds() - before, 2);
+    }
+
+    #[test]
+    fn determinism_of_delivery_order() {
+        let build = || {
+            let mut clique = Clique::new(4);
+            let outboxes = vec![
+                vec![(3, vec![1])],
+                vec![(3, vec![2])],
+                vec![(3, vec![3])],
+                vec![],
+            ];
+            clique.route(outboxes).unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(
+            a[3].iter().map(|e| e.src).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Packing scalars into machine words.
+//!
+//! The model's messages are sequences of `O(log n)`-bit words. Following the
+//! paper's convention (footnote 2: `poly log` precision factors are absorbed
+//! into `n^{o(1)}`), each `f64` / `i64` scalar is packed into a single word.
+
+/// Packs a floating point scalar into one word.
+///
+/// ```
+/// let w = cc_model::encode_f64(-2.5);
+/// assert_eq!(cc_model::decode_f64(w), -2.5);
+/// ```
+#[inline]
+pub fn encode_f64(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Unpacks a floating point scalar from a word produced by [`encode_f64`].
+#[inline]
+pub fn decode_f64(w: u64) -> f64 {
+    f64::from_bits(w)
+}
+
+/// Packs a signed integer into one word.
+///
+/// ```
+/// let w = cc_model::encode_i64(-7);
+/// assert_eq!(cc_model::decode_i64(w), -7);
+/// ```
+#[inline]
+pub fn encode_i64(x: i64) -> u64 {
+    x as u64
+}
+
+/// Unpacks a signed integer from a word produced by [`encode_i64`].
+#[inline]
+pub fn decode_i64(w: u64) -> i64 {
+    w as i64
+}
+
+/// Packs a scalar as `B`-fractional-bit fixed point — the strict
+/// `O(log n)`-bit word regime of the model (the paper's footnote 2
+/// absorbs the `poly log` precision factors; this encoding makes the
+/// quantization explicit so its effect can be measured).
+///
+/// Values are clamped to the representable range
+/// `±2^(62−frac_bits)`.
+///
+/// ```
+/// let w = cc_model::encode_f64_fixed(1.0 / 3.0, 16);
+/// let x = cc_model::decode_f64_fixed(w, 16);
+/// assert!((x - 1.0 / 3.0).abs() <= 1.0 / 65536.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frac_bits >= 63`.
+#[inline]
+pub fn encode_f64_fixed(x: f64, frac_bits: u32) -> u64 {
+    assert!(frac_bits < 63, "frac_bits must leave room for the integer part");
+    let scale = (1u64 << frac_bits) as f64;
+    let bound = (1i64 << 62) as f64;
+    let q = (x * scale).round().clamp(-bound, bound) as i64;
+    q as u64
+}
+
+/// Unpacks a scalar packed by [`encode_f64_fixed`].
+///
+/// # Panics
+///
+/// Panics if `frac_bits >= 63`.
+#[inline]
+pub fn decode_f64_fixed(w: u64, frac_bits: u32) -> f64 {
+    assert!(frac_bits < 63, "frac_bits must leave room for the integer part");
+    (w as i64) as f64 / (1u64 << frac_bits) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn f64_roundtrip(x in proptest::num::f64::ANY) {
+            let back = decode_f64(encode_f64(x));
+            if x.is_nan() {
+                prop_assert!(back.is_nan());
+            } else {
+                prop_assert_eq!(back, x);
+            }
+        }
+
+        #[test]
+        fn i64_roundtrip(x in proptest::num::i64::ANY) {
+            prop_assert_eq!(decode_i64(encode_i64(x)), x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fixed_point_error_is_half_ulp(x in -1e3f64..1e3, bits in 4u32..40) {
+            // Within the exactly-representable regime (|x|·2^bits ≪ 2^53)
+            // the quantization error is at most half a grid step.
+            let back = decode_f64_fixed(encode_f64_fixed(x, bits), bits);
+            let ulp = 1.0 / (1u64 << bits) as f64;
+            prop_assert!((back - x).abs() <= ulp / 2.0 + x.abs() * 1e-14);
+        }
+    }
+
+    #[test]
+    fn fixed_point_clamps_out_of_range() {
+        let w = encode_f64_fixed(1e300, 20);
+        assert!(decode_f64_fixed(w, 20).is_finite());
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(decode_f64(encode_f64(f64::INFINITY)), f64::INFINITY);
+        assert_eq!(decode_f64(encode_f64(0.0)), 0.0);
+        assert_eq!(decode_i64(encode_i64(i64::MIN)), i64::MIN);
+    }
+}

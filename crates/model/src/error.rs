@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised by the congested clique simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A primitive was invoked with a node id outside `0..n`.
+    InvalidNode {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes of the clique.
+        n: usize,
+    },
+    /// A [`crate::Clique::route`] call violated Lenzen's precondition:
+    /// some node would have to send or receive more than `capacity` words.
+    CongestionExceeded {
+        /// Node exceeding its budget.
+        node: NodeId,
+        /// Words the node would send or receive.
+        words: usize,
+        /// Allowed words (`routing_capacity_factor * n`).
+        capacity: usize,
+        /// True if the violation is on the sending side.
+        sending: bool,
+    },
+    /// A point-to-point primitive was invoked in broadcast-only mode
+    /// (the Broadcast Congested Clique admits no unicast messages).
+    BroadcastOnly,
+    /// An outbox vector had the wrong length (must be one entry per node).
+    WrongOutboxCount {
+        /// Entries supplied.
+        got: usize,
+        /// Entries expected (`n`).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidNode { node, n } => {
+                write!(f, "node id {node} out of range for clique of {n} nodes")
+            }
+            ModelError::CongestionExceeded {
+                node,
+                words,
+                capacity,
+                sending,
+            } => {
+                let dir = if *sending { "send" } else { "receive" };
+                write!(
+                    f,
+                    "routing congestion: node {node} would {dir} {words} words, capacity {capacity}"
+                )
+            }
+            ModelError::BroadcastOnly => {
+                write!(f, "point-to-point messages are not allowed in broadcast mode")
+            }
+            ModelError::WrongOutboxCount { got, expected } => {
+                write!(f, "outbox count {got} does not match clique size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<ModelError> = vec![
+            ModelError::InvalidNode { node: 9, n: 4 },
+            ModelError::CongestionExceeded {
+                node: 1,
+                words: 100,
+                capacity: 8,
+                sending: true,
+            },
+            ModelError::WrongOutboxCount { got: 3, expected: 4 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,223 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a batch of rounds was accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostKind {
+    /// Rounds of communication the simulator actually performed
+    /// (message sets checked against the model's bandwidth rules).
+    Implemented,
+    /// Rounds charged by formula for an oracle subroutine that is
+    /// substituted rather than executed distributedly (see `DESIGN.md` §2),
+    /// e.g. the \[CS20\] expander decomposition or fast-matrix-multiplication
+    /// APSP accounting.
+    Charged,
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostKind::Implemented => write!(f, "implemented"),
+            CostKind::Charged => write!(f, "charged"),
+        }
+    }
+}
+
+/// Rounds attributed to one named phase, split by [`CostKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Rounds of executed communication.
+    pub implemented: u64,
+    /// Rounds charged for oracle substitutions.
+    pub charged: u64,
+}
+
+impl PhaseCost {
+    /// Total rounds of the phase (implemented + charged).
+    pub fn total(&self) -> u64 {
+        self.implemented + self.charged
+    }
+}
+
+/// Accumulates the round complexity of a simulated execution, attributed to
+/// nested phases.
+///
+/// Phases form a stack: [`RoundLedger::push_phase`] /
+/// [`RoundLedger::pop_phase`] (or the RAII-free helpers on
+/// [`crate::Clique`]). Rounds are attributed to the *innermost* active phase
+/// (and contribute to the grand total); the phase stack's joined name (e.g.
+/// `"maxflow/augmentation/laplacian"`) is the attribution key.
+#[derive(Debug, Clone, Default)]
+pub struct RoundLedger {
+    total: PhaseCost,
+    phases: BTreeMap<String, PhaseCost>,
+    stack: Vec<String>,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of rounds accounted so far (implemented + charged).
+    pub fn total_rounds(&self) -> u64 {
+        self.total.total()
+    }
+
+    /// Rounds of communication actually executed by the simulator.
+    pub fn implemented_rounds(&self) -> u64 {
+        self.total.implemented
+    }
+
+    /// Rounds charged for oracle substitutions.
+    pub fn charged_rounds(&self) -> u64 {
+        self.total.charged
+    }
+
+    /// Per-phase breakdown, keyed by `/`-joined phase stack names.
+    pub fn phases(&self) -> &BTreeMap<String, PhaseCost> {
+        &self.phases
+    }
+
+    /// Rounds of the phase whose joined name is exactly `name`
+    /// ([`PhaseCost::default`] if the phase never ran).
+    pub fn phase(&self, name: &str) -> PhaseCost {
+        self.phases.get(name).copied().unwrap_or_default()
+    }
+
+    /// Sum of rounds over all phases whose joined name starts with `prefix`.
+    pub fn phase_prefix_total(&self, prefix: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.total())
+            .sum()
+    }
+
+    /// Enters a nested phase named `name`.
+    pub fn push_phase(&mut self, name: impl Into<String>) {
+        self.stack.push(name.into());
+    }
+
+    /// Leaves the innermost phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is active (push/pop mismatch is a programming
+    /// error in the calling algorithm).
+    pub fn pop_phase(&mut self) {
+        self.stack
+            .pop()
+            .expect("RoundLedger::pop_phase called with empty phase stack");
+    }
+
+    /// Name of the current phase stack, `/`-joined (empty string at top level).
+    pub fn current_phase(&self) -> String {
+        self.stack.join("/")
+    }
+
+    /// Records `rounds` rounds of the given kind against the current phase.
+    pub fn charge(&mut self, rounds: u64, kind: CostKind) {
+        let entry = self.phases.entry(self.current_phase()).or_default();
+        match kind {
+            CostKind::Implemented => {
+                entry.implemented += rounds;
+                self.total.implemented += rounds;
+            }
+            CostKind::Charged => {
+                entry.charged += rounds;
+                self.total.charged += rounds;
+            }
+        }
+    }
+
+    /// Resets all counters and the phase stack.
+    pub fn reset(&mut self) {
+        *self = RoundLedger::new();
+    }
+
+    /// Renders a human-readable table of the per-phase breakdown.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "total rounds: {} (implemented {}, charged {})\n",
+            self.total_rounds(),
+            self.total.implemented,
+            self.total.charged
+        ));
+        for (name, cost) in &self.phases {
+            let label = if name.is_empty() { "<top>" } else { name.as_str() };
+            out.push_str(&format!(
+                "  {label:<48} {:>10} (impl {:>8}, charged {:>8})\n",
+                cost.total(),
+                cost.implemented,
+                cost.charged
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let ledger = RoundLedger::new();
+        assert_eq!(ledger.total_rounds(), 0);
+        assert_eq!(ledger.phase("anything"), PhaseCost::default());
+        assert!(ledger.phases().is_empty());
+    }
+
+    #[test]
+    fn charges_accumulate_per_phase() {
+        let mut ledger = RoundLedger::new();
+        ledger.charge(2, CostKind::Implemented);
+        ledger.push_phase("solve");
+        ledger.charge(5, CostKind::Implemented);
+        ledger.push_phase("inner");
+        ledger.charge(7, CostKind::Charged);
+        ledger.pop_phase();
+        ledger.charge(1, CostKind::Implemented);
+        ledger.pop_phase();
+        assert_eq!(ledger.total_rounds(), 15);
+        assert_eq!(ledger.implemented_rounds(), 8);
+        assert_eq!(ledger.charged_rounds(), 7);
+        assert_eq!(ledger.phase("").implemented, 2);
+        assert_eq!(ledger.phase("solve").implemented, 6);
+        assert_eq!(ledger.phase("solve/inner").charged, 7);
+        assert_eq!(ledger.phase_prefix_total("solve"), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty phase stack")]
+    fn pop_without_push_panics() {
+        let mut ledger = RoundLedger::new();
+        ledger.pop_phase();
+    }
+
+    #[test]
+    fn report_mentions_all_phases() {
+        let mut ledger = RoundLedger::new();
+        ledger.push_phase("alpha");
+        ledger.charge(3, CostKind::Implemented);
+        ledger.pop_phase();
+        let report = ledger.report();
+        assert!(report.contains("alpha"));
+        assert!(report.contains("total rounds: 3"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ledger = RoundLedger::new();
+        ledger.push_phase("p");
+        ledger.charge(4, CostKind::Charged);
+        ledger.pop_phase();
+        ledger.reset();
+        assert_eq!(ledger.total_rounds(), 0);
+        assert!(ledger.phases().is_empty());
+        assert_eq!(ledger.current_phase(), "");
+    }
+}

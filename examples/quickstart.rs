@@ -1,0 +1,54 @@
+//! Quickstart: solve a Laplacian system on a simulated congested clique.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the deterministic spectral sparsifier of a random weighted graph
+//! (Theorem 3.3), solves `L x = b` with preconditioned Chebyshev iteration
+//! (Theorem 1.1) at a sweep of precisions, and prints the round ledger —
+//! the quantity the paper is about.
+
+use laplacian_clique::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64;
+    let g = generators::random_connected(n, 4 * n, 16, 42);
+    println!(
+        "graph: n = {}, m = {}, max weight U = {}",
+        g.n(),
+        g.m(),
+        g.max_weight()
+    );
+
+    let mut clique = Clique::new(n);
+    let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default())?;
+    println!(
+        "sparsifier: {} edges (+{} auxiliary star centers), certified alpha = {:.3}, kappa = {:.3}",
+        solver.sparsifier().edge_count(),
+        solver.sparsifier().aux_count(),
+        solver.sparsifier().alpha(),
+        solver.kappa(),
+    );
+
+    // Demand: one unit in at vertex 0, out at vertex n-1.
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+
+    println!("\n{:>10} {:>12} {:>18} {:>14}", "eps", "iterations", "achieved error", "rounds");
+    for eps in [1e-2, 1e-4, 1e-6, 1e-8, 1e-10] {
+        let before = clique.ledger().total_rounds();
+        let out = solver.solve(&mut clique, &b, eps);
+        let rounds = clique.ledger().total_rounds() - before;
+        println!(
+            "{eps:>10.0e} {:>12} {:>18.3e} {:>14}",
+            out.iterations,
+            out.relative_error(),
+            rounds
+        );
+    }
+
+    println!("\nround ledger:\n{}", clique.ledger().report());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # laplacian-clique
+//!
+//! A from-scratch Rust reproduction of **"The Laplacian Paradigm in
+//! Deterministic Congested Clique"** (Sebastian Forster & Tijn de Vos,
+//! PODC 2023, arXiv:2304.02315): deterministic Laplacian solvers, spectral
+//! sparsifiers, Eulerian orientations, flow rounding, and exact
+//! maximum-flow / min-cost-flow interior point methods, all running on a
+//! simulated congested clique with honest round accounting.
+//!
+//! ## The results reproduced
+//!
+//! | Theorem | Claim | Entry point |
+//! |---------|-------|-------------|
+//! | 1.1 | Laplacian systems to precision ε in `n^{o(1)} log(U/ε)` rounds | [`core::LaplacianSolver`] |
+//! | 1.2 | exact max flow in `m^{3/7+o(1)} U^{1/7}` rounds | [`maxflow::max_flow_ipm`] |
+//! | 1.3 | unit-capacity min cost flow in `Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))` rounds | [`mcf::min_cost_flow_ipm`] |
+//! | 1.4 | Eulerian orientation in `O(log n log* n)` rounds | [`euler::eulerian_orientation`] |
+//! | 3.3 | deterministic spectral sparsifier, `O(n log n log U)` edges | [`sparsify::build_sparsifier`] |
+//! | 4.2 | flow rounding in `O(log n log* n log(1/Δ))` rounds | [`euler::round_flow`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use laplacian_clique::prelude::*;
+//!
+//! // An electrical question on a 32-node expander: solve L x = b.
+//! let g = generators::expander(32);
+//! let mut clique = Clique::new(32);
+//! let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default())?;
+//! let mut b = vec![0.0; 32];
+//! b[0] = 1.0;
+//! b[31] = -1.0;
+//! let solution = solver.solve(&mut clique, &b, 1e-8);
+//! assert!(solution.relative_error() <= 1e-8);
+//! println!("{}", clique.ledger().report());
+//! # Ok::<(), laplacian_clique::core::CoreError>(())
+//! ```
+//!
+//! See `DESIGN.md` for the architecture and the simulation substitutions,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record of every claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cc_apsp as apsp;
+pub use cc_core as core;
+pub use cc_euler as euler;
+pub use cc_graph as graph;
+pub use cc_linalg as linalg;
+pub use cc_maxflow as maxflow;
+pub use cc_mcf as mcf;
+pub use cc_model as model;
+pub use cc_sparsify as sparsify;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cc_apsp::{apsp_from_arcs, Apsp, RoundModel};
+    pub use cc_core::{
+        solve_laplacian, ElectricalNetwork, LaplacianSolver, SolveOutcome, SolverOptions,
+    };
+    pub use cc_euler::{
+        eulerian_orientation, is_eulerian_orientation, round_flow, FlowRoundingOptions,
+        OrientationCriterion,
+    };
+    pub use cc_graph::{generators, DiGraph, Graph};
+    pub use cc_maxflow::{
+        dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions,
+        MaxFlowOutcome,
+    };
+    pub use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions, McfOutcome};
+    pub use cc_model::{Clique, CliqueConfig, RoundLedger};
+    pub use cc_sparsify::{build_sparsifier, verify_sparsifier, SparsifyParams};
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full Theorem 1.1–1.4 pipelines on
+//! shared workloads, exercised through the public umbrella API.
+
+use laplacian_clique::prelude::*;
+
+/// Theorem 1.1 end-to-end: sparsifier built in the clique, Chebyshev
+/// solve, accuracy certified against the exact solution — across graph
+/// families and precisions.
+#[test]
+fn laplacian_solver_meets_epsilon_across_families() {
+    let families: Vec<(&str, Graph)> = vec![
+        ("expander", generators::expander(48)),
+        ("grid", generators::grid(6, 8)),
+        ("random", generators::random_connected(48, 144, 32, 9)),
+        ("barbell", generators::barbell(24)),
+        ("complete", generators::complete(32)),
+    ];
+    for (name, g) in families {
+        let n = g.n();
+        let mut clique = Clique::new(n);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut b = vec![0.0; n];
+        b[0] = 2.0;
+        b[n / 2] = -1.5;
+        b[n - 1] = -0.5;
+        for eps in [1e-3, 1e-7, 1e-10] {
+            let out = solver.solve(&mut clique, &b, eps);
+            let err = out.relative_error();
+            assert!(err <= eps * 1.05, "{name} eps={eps}: err={err}");
+        }
+    }
+}
+
+/// The sparsifier's certified α is honest (exact pencil check) and the
+/// solver's round count per solve equals its Chebyshev iteration count.
+#[test]
+fn sparsifier_alpha_honest_and_rounds_equal_iterations() {
+    let g = generators::random_connected(40, 160, 8, 4);
+    let mut clique = Clique::new(40);
+    let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+    let bounds = verify_sparsifier(&g, &h);
+    assert!(bounds.alpha() <= h.alpha() * (1.0 + 1e-6));
+
+    let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+    let mut b = vec![0.0; 40];
+    b[3] = 1.0;
+    b[29] = -1.0;
+    let before = clique.ledger().total_rounds();
+    let out = solver.solve(&mut clique, &b, 1e-9);
+    assert_eq!(
+        clique.ledger().total_rounds() - before,
+        out.iterations as u64
+    );
+}
+
+/// Theorem 1.4 + Lemma 4.2 chained with Theorem 1.2's repair machinery:
+/// a fractional flow is rounded and repaired to the exact optimum.
+#[test]
+fn rounding_plus_repair_reaches_exact_max_flow() {
+    for seed in 0..4 {
+        let g = generators::random_flow_network(14, 30, 4, seed);
+        let (opt, want) = dinic(&g, 0, 13);
+        // Fractional flow: 5/8 of the optimum (odd multiple of 1/8).
+        let frac: Vec<f64> = opt.iter().map(|&f| f as f64 * 5.0 / 8.0).collect();
+        let mut clique = Clique::new(14);
+        let rounded = round_flow(
+            &mut clique,
+            &g,
+            &frac,
+            0,
+            13,
+            1.0 / 8.0,
+            &FlowRoundingOptions::default(),
+        );
+        let mut flow = rounded.flow.clone();
+        let value = g.flow_value(&flow, 0);
+        assert!(g.is_feasible_flow(&flow, &g.st_demand(0, 13, value)));
+        assert!(value as f64 >= want as f64 * 5.0 / 8.0 - 1e-9);
+        let stats = laplacian_clique::maxflow::augment_to_optimality(
+            &mut clique,
+            &g,
+            &mut flow,
+            0,
+            13,
+            RoundModel::FastMatMul,
+        );
+        assert_eq!(g.flow_value(&flow, 0), want, "seed {seed}");
+        assert_eq!(stats.added_value, want - value);
+    }
+}
+
+/// Theorem 1.2 against Dinic across the workload families, with all three
+/// deterministic algorithms agreeing.
+#[test]
+fn all_max_flow_algorithms_agree() {
+    let cases = vec![
+        generators::random_flow_network(12, 26, 6, 0),
+        generators::random_flow_network(16, 40, 2, 1),
+        generators::grid_flow_network(3, 4, 5, 2),
+    ];
+    for (i, g) in cases.into_iter().enumerate() {
+        let n = g.n();
+        let (_, want) = dinic(&g, 0, n - 1);
+        let mut c1 = Clique::new(n);
+        let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default());
+        let mut c2 = Clique::new(n);
+        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::Semiring);
+        let mut c3 = Clique::new(n);
+        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1);
+        assert_eq!(ipm.value, want, "case {i} ipm");
+        assert_eq!(ff.value, want, "case {i} ff");
+        assert_eq!(tr.value, want, "case {i} trivial");
+    }
+}
+
+/// Theorem 1.3 against the SSP reference on assignment and random
+/// unit-capacity workloads.
+#[test]
+fn min_cost_flow_matches_reference() {
+    for seed in 0..3 {
+        let (g, sigma) = generators::bipartite_assignment(5, 2, 12, seed);
+        let (_, want) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        let mut clique = Clique::new(g.n() + 2);
+        let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap();
+        assert_eq!(out.cost, want, "assignment seed {seed}");
+        assert!(g.is_feasible_flow(&out.flow, &sigma));
+    }
+    // Multi-unit point-to-point demand on a random unit digraph.
+    let g = generators::random_unit_digraph(10, 30, 9, 7);
+    let mut sigma = vec![0i64; 10];
+    sigma[0] = 2;
+    sigma[9] = -2;
+    if let Some((_, want)) = ssp_min_cost_flow(&g, &sigma) {
+        let mut clique = Clique::new(12);
+        let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap();
+        assert_eq!(out.cost, want);
+    }
+}
+
+/// Full determinism across the stack: identical inputs yield bit-identical
+/// outputs and round ledgers for every pipeline.
+#[test]
+fn whole_stack_determinism() {
+    let g = generators::random_flow_network(12, 30, 4, 3);
+    let run = || {
+        let mut clique = Clique::new(12);
+        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+        (
+            out.flow,
+            out.value,
+            clique.ledger().total_rounds(),
+            clique.ledger().phases().clone(),
+        )
+    };
+    let (f1, v1, r1, p1) = run();
+    let (f2, v2, r2, p2) = run();
+    assert_eq!(f1, f2);
+    assert_eq!(v1, v2);
+    assert_eq!(r1, r2);
+    assert_eq!(p1.len(), p2.len());
+
+    let ug = generators::random_eulerian(20, 4, 8);
+    let orient = || {
+        let mut clique = Clique::new(20);
+        eulerian_orientation(&mut clique, &ug)
+    };
+    assert_eq!(orient(), orient());
+}
+
+/// The round ledger decomposes the max-flow pipeline into the phases the
+/// paper's proof of Theorem 1.2 walks through.
+#[test]
+fn ledger_attributes_phases_of_theorem_1_2() {
+    let g = generators::random_flow_network(12, 28, 4, 6);
+    let mut clique = Clique::new(12);
+    let _ = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+    let ledger = clique.ledger();
+    // Progress steps with Laplacian solves inside.
+    assert!(ledger.phase_prefix_total("maxflow/maxflow_ipm") > 0);
+    // Sparsifier constructions inside the solver.
+    assert!(
+        ledger
+            .phases()
+            .keys()
+            .any(|k| k.contains("maxflow_ipm/sparsify")),
+        "phases: {:?}",
+        ledger.phases().keys().collect::<Vec<_>>()
+    );
+    // Total equals the sum over the top-level phase.
+    assert_eq!(ledger.phase_prefix_total("maxflow"), ledger.total_rounds());
+}

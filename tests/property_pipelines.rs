@@ -1,0 +1,146 @@
+//! Property-based cross-crate tests: randomized instances (seeded by
+//! proptest), full-pipeline invariants.
+
+use laplacian_clique::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.4 as a property: any union of random cycles gets a valid
+    /// Eulerian orientation, under both marking strategies.
+    #[test]
+    fn orientation_always_balances(
+        n in 6usize..40,
+        cycles in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::random_eulerian(n, cycles, seed);
+        let mut clique = Clique::new(n);
+        let o = eulerian_orientation(&mut clique, &g);
+        prop_assert!(is_eulerian_orientation(&g, &o));
+
+        let mut clique2 = Clique::new(n);
+        let o2 = laplacian_clique::euler::orient_trails_with_strategy(
+            &mut clique2,
+            &g,
+            &OrientationCriterion::default(),
+            laplacian_clique::euler::MarkingStrategy::Randomized { seed },
+        );
+        prop_assert!(is_eulerian_orientation(&g, &o2));
+    }
+
+    /// Theorem 1.1 as a property: the solver meets its ε on arbitrary
+    /// connected weighted graphs and arbitrary (projected) demands.
+    #[test]
+    fn solver_meets_epsilon(
+        n in 8usize..28,
+        extra in 0usize..40,
+        maxw in 1u64..64,
+        seed in 0u64..1000,
+        src in 0usize..8,
+    ) {
+        let g = generators::random_connected(n, extra, maxw, seed);
+        let mut clique = Clique::new(n);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let mut b = vec![0.0; n];
+        b[src % n] += 1.0;
+        b[n - 1 - (src % n).min(n - 2)] -= 1.0;
+        if b.iter().map(|x: &f64| x.abs()).sum::<f64>() > 0.0 {
+            let out = solver.solve(&mut clique, &b, 1e-6);
+            prop_assert!(out.relative_error() <= 1e-6 * 1.05);
+        }
+    }
+
+    /// Lemma 4.2 as a property: rounding scaled-down optimal flows never
+    /// loses value, stays feasible, and is integral.
+    #[test]
+    fn rounding_preserves_value_feasibly(
+        n in 6usize..20,
+        extra in 4usize..30,
+        cap in 1i64..6,
+        seed in 0u64..1000,
+        num in 1u64..8,
+    ) {
+        let g = generators::random_flow_network(n, extra, cap, seed);
+        let (opt, _) = dinic(&g, 0, n - 1);
+        let delta = 1.0 / 8.0;
+        let scale = num as f64 * delta; // ∈ {1/8, …, 7/8}
+        let frac: Vec<f64> = opt.iter().map(|&f| f as f64 * scale).collect();
+        let frac_value: f64 = g
+            .edges()
+            .iter()
+            .zip(&frac)
+            .map(|(e, &f)| if e.from == 0 { f } else if e.to == 0 { -f } else { 0.0 })
+            .sum();
+        let mut clique = Clique::new(n);
+        let out = round_flow(&mut clique, &g, &frac, 0, n - 1, delta, &FlowRoundingOptions::default());
+        let value = g.flow_value(&out.flow, 0);
+        prop_assert!(g.is_feasible_flow(&out.flow, &g.st_demand(0, n - 1, value)));
+        prop_assert!(value as f64 >= frac_value - 1e-9);
+        for (i, &f) in out.flow.iter().enumerate() {
+            prop_assert!(f >= (frac[i].floor() as i64));
+            prop_assert!(f <= (frac[i].ceil() as i64));
+        }
+    }
+
+    /// Theorem 1.2 as a property: the IPM pipeline is exact on arbitrary
+    /// capacitated networks (cross-checked against Dinic).
+    #[test]
+    fn max_flow_pipeline_exact(
+        n in 6usize..14,
+        extra in 4usize..24,
+        cap in 1i64..8,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::random_flow_network(n, extra, cap, seed);
+        let (_, want) = dinic(&g, 0, n - 1);
+        let mut clique = Clique::new(n);
+        let out = max_flow_ipm(&mut clique, &g, 0, n - 1, &IpmOptions {
+            // Keep property runs fast: small step budget; exactness is
+            // budget-independent by construction.
+            max_progress_steps: Some(6),
+            ..Default::default()
+        });
+        prop_assert_eq!(out.value, want);
+        prop_assert!(g.is_feasible_flow(&out.flow, &g.st_demand(0, n - 1, want)));
+    }
+
+    /// Theorem 1.3 as a property: exact minimum cost on random assignment
+    /// instances (cross-checked against SSP).
+    #[test]
+    fn mcf_pipeline_exact(
+        k in 2usize..7,
+        extra in 1usize..4,
+        w in 1i64..16,
+        seed in 0u64..1000,
+    ) {
+        let (g, sigma) = generators::bipartite_assignment(k, extra, w, seed);
+        let (_, want) = ssp_min_cost_flow(&g, &sigma).unwrap();
+        let mut clique = Clique::new(g.n() + 2);
+        let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions {
+            max_progress_steps: Some(8),
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(out.cost, want);
+        prop_assert!(g.is_feasible_flow(&out.flow, &sigma));
+    }
+
+    /// DIMACS round-trips compose with the pipelines: parse → solve →
+    /// same value as solving the original.
+    #[test]
+    fn dimacs_roundtrip_preserves_max_flow(
+        n in 5usize..12,
+        extra in 2usize..16,
+        cap in 1i64..5,
+        seed in 0u64..1000,
+    ) {
+        use laplacian_clique::graph::io::{parse_dimacs_max_flow, write_dimacs_max_flow, MaxFlowInstance};
+        let g = generators::random_flow_network(n, extra, cap, seed);
+        let (_, want) = dinic(&g, 0, n - 1);
+        let text = write_dimacs_max_flow(&MaxFlowInstance { graph: g, source: 0, sink: n - 1 });
+        let inst = parse_dimacs_max_flow(&text).unwrap();
+        let (_, got) = dinic(&inst.graph, inst.source, inst.sink);
+        prop_assert_eq!(got, want);
+    }
+}
