@@ -1,6 +1,6 @@
 //! Min-plus (tropical) matrix squaring with successor tracking.
 
-use cc_model::{CostKind, Clique};
+use cc_model::{Clique, CostKind};
 
 /// Sentinel "no path" distance (safely addable without overflow).
 pub const INFINITY: i64 = i64::MAX / 4;
@@ -134,7 +134,10 @@ pub fn apsp_from_arcs(
     }
     for &(u, v, w) in arcs {
         assert!(u < n && v < n, "arc ({u},{v}) out of range");
-        assert!(w >= 0, "min-plus APSP requires non-negative weights, got {w}");
+        assert!(
+            w >= 0,
+            "min-plus APSP requires non-negative weights, got {w}"
+        );
         if u == v {
             continue;
         }
@@ -151,7 +154,9 @@ pub fn apsp_from_arcs(
             RoundModel::Semiring => {
                 let per_product = nf.cbrt().ceil() as u64;
                 for _ in 0..squarings {
-                    clique.ledger_mut().charge(per_product, CostKind::Implemented);
+                    clique
+                        .ledger_mut()
+                        .charge(per_product, CostKind::Implemented);
                     square(n, &mut dist, &mut next);
                 }
             }
@@ -294,7 +299,10 @@ mod tests {
         let mut c2 = Clique::new(64);
         let _ = apsp_from_arcs(&mut c2, 64, &arcs, RoundModel::FastMatMul);
         assert_eq!(c2.ledger().implemented_rounds(), 0);
-        assert_eq!(c2.ledger().charged_rounds(), (64f64).powf(0.158).ceil() as u64);
+        assert_eq!(
+            c2.ledger().charged_rounds(),
+            (64f64).powf(0.158).ceil() as u64
+        );
     }
 
     #[test]

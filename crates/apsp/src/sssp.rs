@@ -72,10 +72,7 @@ pub fn sssp_bellman_ford(
             }
             if !changed {
                 return SsspOutcome::Converged {
-                    dist: dist
-                        .iter()
-                        .map(|&d| (d < UNREACHED).then_some(d))
-                        .collect(),
+                    dist: dist.iter().map(|&d| (d < UNREACHED).then_some(d)).collect(),
                     parent,
                     rounds,
                 };
@@ -95,10 +92,7 @@ pub fn sssp_bellman_ford(
             }
         }
         SsspOutcome::Converged {
-            dist: dist
-                .iter()
-                .map(|&d| (d < UNREACHED).then_some(d))
-                .collect(),
+            dist: dist.iter().map(|&d| (d < UNREACHED).then_some(d)).collect(),
             parent,
             rounds,
         }
@@ -119,7 +113,11 @@ mod tests {
             0,
         );
         match out {
-            SsspOutcome::Converged { dist, parent, rounds } => {
+            SsspOutcome::Converged {
+                dist,
+                parent,
+                rounds,
+            } => {
                 assert_eq!(dist[0], Some(0));
                 assert_eq!(dist[1], Some(2));
                 assert_eq!(dist[2], Some(5));
@@ -147,12 +145,7 @@ mod tests {
     #[test]
     fn detects_negative_cycles() {
         let mut clique = Clique::new(3);
-        let out = sssp_bellman_ford(
-            &mut clique,
-            3,
-            &[(0, 1, 1), (1, 2, -2), (2, 1, 1)],
-            0,
-        );
+        let out = sssp_bellman_ford(&mut clique, 3, &[(0, 1, 1), (1, 2, -2), (2, 1, 1)], 0);
         assert!(matches!(out, SsspOutcome::NegativeCycle { .. }));
     }
 
@@ -160,12 +153,7 @@ mod tests {
     fn unreachable_negative_cycle_is_ignored() {
         let mut clique = Clique::new(4);
         // Cycle 2↔3 is negative but not reachable from 0.
-        let out = sssp_bellman_ford(
-            &mut clique,
-            4,
-            &[(0, 1, 1), (2, 3, -5), (3, 2, 1)],
-            0,
-        );
+        let out = sssp_bellman_ford(&mut clique, 4, &[(0, 1, 1), (2, 3, -5), (3, 2, 1)], 0);
         assert!(matches!(out, SsspOutcome::Converged { .. }));
     }
 

@@ -13,23 +13,27 @@ fn bench(c: &mut Criterion) {
     b[0] = 1.0;
     b[63] = -1.0;
     for &kappa in &[4.0f64, 64.0, 512.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(kappa as u64), &kappa, |bench, &k| {
-            bench.iter(|| {
-                chebyshev_solve(
-                    |v| lap.matvec(v),
-                    |r| {
-                        let mut z = chol.solve(r);
-                        for zi in z.iter_mut() {
-                            *zi /= k;
-                        }
-                        z
-                    },
-                    &b,
-                    k,
-                    1e-8,
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kappa as u64),
+            &kappa,
+            |bench, &k| {
+                bench.iter(|| {
+                    chebyshev_solve(
+                        |v| lap.matvec(v),
+                        |r| {
+                            let mut z = chol.solve(r);
+                            for zi in z.iter_mut() {
+                                *zi /= k;
+                            }
+                            z
+                        },
+                        &b,
+                        k,
+                        1e-8,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

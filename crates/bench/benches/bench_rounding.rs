@@ -18,7 +18,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
             bench.iter(|| {
                 let mut clique = Clique::new(48);
-                round_flow(&mut clique, &g, &frac, 0, 47, delta, &FlowRoundingOptions::default())
+                round_flow(
+                    &mut clique,
+                    &g,
+                    &frac,
+                    0,
+                    47,
+                    delta,
+                    &FlowRoundingOptions::default(),
+                )
             })
         });
     }

@@ -1,0 +1,212 @@
+//! Reproducible baseline snapshot of the parallel kernel layer.
+//!
+//! ```text
+//! cargo run -p cc-bench --release --bin bench_snapshot              # writes BENCH_baseline.json
+//! cargo run -p cc-bench --release --bin bench_snapshot -- out.json  # custom path
+//! ```
+//!
+//! Times the hot kernels (CSR mat-vec, dense mat-mul, preconditioned
+//! Chebyshev) serial vs. parallel on the current host and writes one JSON
+//! document. Every parallel result is checked bitwise against the serial
+//! run before it is reported — a snapshot with `"bitwise_equal": false`
+//! anywhere means the determinism contract is broken and the numbers
+//! should not be trusted.
+//!
+//! Wall-clock is the only nondeterministic output; the snapshot keeps the
+//! median of an odd number of repetitions to damp scheduler noise.
+
+use std::time::Instant;
+
+use cc_linalg::{
+    chebyshev_solve_fixed_into, laplacian_from_edges, par, vec_ops::remove_mean,
+    ChebyshevWorkspace, CsrMatrix, DenseMatrix,
+};
+
+/// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
+fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Banded Laplacian-like test matrix: path plus two skip-level bands, so
+/// rows have a handful of off-diagonals like real graph Laplacians do.
+fn banded_laplacian(n: usize) -> CsrMatrix {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(3 * n);
+    for i in 0..n - 1 {
+        edges.push((i, i + 1, 1.0 + (i % 7) as f64));
+    }
+    for i in 0..n.saturating_sub(16) {
+        edges.push((i, i + 16, 0.5 + (i % 3) as f64));
+    }
+    for i in 0..n.saturating_sub(64) {
+        edges.push((i, i + 64, 0.25));
+    }
+    laplacian_from_edges(n, &edges)
+}
+
+fn test_vector(n: usize) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| ((i * 2_654_435_761) % 1_000) as f64 - 500.0)
+        .collect();
+    remove_mean(&mut b);
+    b
+}
+
+struct Record {
+    bench: String,
+    n: usize,
+    work: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+    bitwise_equal: bool,
+}
+
+impl Record {
+    fn json(&self) -> String {
+        let speedup = self.serial_ns as f64 / self.parallel_ns.max(1) as f64;
+        format!(
+            "    {{\"bench\": \"{}\", \"n\": {}, \"work\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.3}, \"bitwise_equal\": {}}}",
+            self.bench, self.n, self.work, self.serial_ns, self.parallel_ns, speedup, self.bitwise_equal
+        )
+    }
+}
+
+fn snapshot_matvec(n: usize, reps: usize) -> Record {
+    let a = banded_laplacian(n);
+    let x = test_vector(n);
+    let mut y_serial = vec![0.0; n];
+    let mut y_par = vec![0.0; n];
+    let serial_ns = par::with_threads(1, || time_ns(reps, || a.matvec_into(&x, &mut y_serial)));
+    let parallel_ns = time_ns(reps, || a.matvec_into(&x, &mut y_par));
+    let bitwise_equal = y_serial
+        .iter()
+        .zip(&y_par)
+        .all(|(s, p)| s.to_bits() == p.to_bits());
+    Record {
+        bench: "csr_matvec".into(),
+        n,
+        work: a.nnz(),
+        serial_ns,
+        parallel_ns,
+        bitwise_equal,
+    }
+}
+
+fn snapshot_matmul(n: usize, reps: usize) -> Record {
+    let dense = |salt: usize| {
+        let data: Vec<f64> = (0..n * n)
+            .map(|k| ((k * 31 + salt * 17) % 23) as f64 - 11.0)
+            .collect();
+        DenseMatrix::from_row_major(n, n, data)
+    };
+    let a = dense(1);
+    let b = dense(2);
+    let serial = par::with_threads(1, || a.matmul(&b)).expect("conforming shapes");
+    let serial_ns = par::with_threads(1, || {
+        time_ns(reps, || {
+            let _ = a.matmul(&b);
+        })
+    });
+    let parallel = a.matmul(&b).expect("conforming shapes");
+    let parallel_ns = time_ns(reps, || {
+        let _ = a.matmul(&b);
+    });
+    let bitwise_equal = serial
+        .as_slice()
+        .iter()
+        .zip(parallel.as_slice())
+        .all(|(s, p)| s.to_bits() == p.to_bits());
+    Record {
+        bench: "dense_matmul".into(),
+        n,
+        work: n * n * n,
+        serial_ns,
+        parallel_ns,
+        bitwise_equal,
+    }
+}
+
+fn snapshot_chebyshev(n: usize, iterations: usize, reps: usize) -> Record {
+    let a = banded_laplacian(n);
+    let b = test_vector(n);
+    let mut ws = ChebyshevWorkspace::new(n);
+    let mut run = |x: &mut Vec<f64>| {
+        chebyshev_solve_fixed_into(
+            |p, ap| a.matvec_into(p, ap),
+            |r, z| z.copy_from_slice(r),
+            &b,
+            16.0,
+            iterations,
+            x,
+            &mut ws,
+        );
+    };
+    let mut x_serial = vec![0.0; n];
+    let serial_ns = par::with_threads(1, || time_ns(reps, || run(&mut x_serial)));
+    let mut x_par = vec![0.0; n];
+    let parallel_ns = time_ns(reps, || run(&mut x_par));
+    let bitwise_equal = x_serial
+        .iter()
+        .zip(&x_par)
+        .all(|(s, p)| s.to_bits() == p.to_bits());
+    Record {
+        bench: "chebyshev_fixed".into(),
+        n,
+        work: iterations * a.nnz(),
+        serial_ns,
+        parallel_ns,
+        bitwise_equal,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let threads = par::max_threads();
+    eprintln!("bench_snapshot: {threads} thread(s) available");
+
+    let mut records = Vec::new();
+    for &n in &[1024usize, 4096, 16384, 65536] {
+        let reps = if n >= 16384 { 11 } else { 31 };
+        eprintln!("  csr_matvec n={n}…");
+        records.push(snapshot_matvec(n, reps));
+    }
+    for &n in &[96usize, 192, 384] {
+        eprintln!("  dense_matmul n={n}…");
+        records.push(snapshot_matmul(n, 7));
+    }
+    eprintln!("  chebyshev n=16384…");
+    records.push(snapshot_chebyshev(16384, 40, 7));
+
+    let all_equal = records.iter().all(|r| r.bitwise_equal);
+    let body: Vec<String> = records.iter().map(Record::json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"cc-bench/snapshot-v1\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+        threads,
+        par::PARALLEL_ENABLED,
+        all_equal,
+        body.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+    for r in &records {
+        let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+        eprintln!(
+            "  {:>14} n={:<6} serial {:>12}ns parallel {:>12}ns speedup {:.2}x bitwise_equal={}",
+            r.bench, r.n, r.serial_ns, r.parallel_ns, speedup, r.bitwise_equal
+        );
+    }
+    assert!(
+        all_equal,
+        "parallel results must be bitwise identical to serial"
+    );
+}

@@ -12,7 +12,9 @@ use cc_linalg::{chebyshev_iteration_bound, GroundedCholesky};
 use cc_maxflow::{dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions};
 use cc_model::Clique;
-use cc_sparsify::{build_randomized_sparsifier, build_sparsifier, verify_sparsifier, SparsifyParams};
+use cc_sparsify::{
+    build_randomized_sparsifier, build_sparsifier, verify_sparsifier, SparsifyParams,
+};
 
 use crate::Table;
 
@@ -35,8 +37,17 @@ pub fn e1_laplacian() -> Table {
     let mut t = Table::new(
         "E1 — Theorem 1.1: Laplacian solve rounds (per-solve, after sparsifier build)",
         &[
-            "family", "n", "m", "U", "eps", "kappa", "iters", "rounds",
-            "rounds/ln(1/eps)", "rel.err", "err<=eps",
+            "family",
+            "n",
+            "m",
+            "U",
+            "eps",
+            "kappa",
+            "iters",
+            "rounds",
+            "rounds/ln(1/eps)",
+            "rel.err",
+            "err<=eps",
         ],
     );
     let families: Vec<(&str, FamilyBuilder)> = vec![
@@ -93,8 +104,18 @@ pub fn e2_sparsifier() -> Table {
     let mut t = Table::new(
         "E2 — Theorem 3.3: deterministic spectral sparsifier",
         &[
-            "family", "n", "m", "U", "|E(H)|", "|E(H)|/(n ln n)", "levels", "alpha",
-            "exact alpha", "honest", "rounds(impl)", "rounds(charged)",
+            "family",
+            "n",
+            "m",
+            "U",
+            "|E(H)|",
+            "|E(H)|/(n ln n)",
+            "levels",
+            "alpha",
+            "exact alpha",
+            "honest",
+            "rounds(impl)",
+            "rounds(charged)",
         ],
     );
     let cases: Vec<(&str, Graph)> = vec![
@@ -103,8 +124,14 @@ pub fn e2_sparsifier() -> Table {
         ("barbell", generators::barbell(24)),
         ("grid", generators::grid(8, 8)),
         ("random U=4", generators::random_connected(64, 256, 4, 3)),
-        ("random U=256", generators::random_connected(64, 256, 256, 3)),
-        ("random n=128", generators::random_connected(128, 640, 16, 5)),
+        (
+            "random U=256",
+            generators::random_connected(64, 256, 256, 3),
+        ),
+        (
+            "random n=128",
+            generators::random_connected(128, 640, 16, 5),
+        ),
     ];
     for (name, g) in cases {
         let mut clique = Clique::new(g.n());
@@ -119,7 +146,10 @@ pub fn e2_sparsifier() -> Table {
             g.m().to_string(),
             format!("{:.0}", g.max_weight()),
             h.edge_count().to_string(),
-            format!("{:.2}", h.edge_count() as f64 / (g.n() as f64 * (g.n() as f64).ln())),
+            format!(
+                "{:.2}",
+                h.edge_count() as f64 / (g.n() as f64 * (g.n() as f64).ln())
+            ),
             h.levels().to_string(),
             format!("{:.3}", h.alpha()),
             format!("{exact_alpha:.3}"),
@@ -138,7 +168,14 @@ pub fn e2_sparsifier() -> Table {
 pub fn e3_chebyshev() -> Table {
     let mut t = Table::new(
         "E3 — Corollary 2.3: preconditioned Chebyshev iteration count",
-        &["kappa", "eps", "iterations", "sqrt(k)*ln(1/eps)", "ratio", "verified err<=eps"],
+        &[
+            "kappa",
+            "eps",
+            "iterations",
+            "sqrt(k)*ln(1/eps)",
+            "ratio",
+            "verified err<=eps",
+        ],
     );
     // Verify the bound really delivers on a concrete system: path graph
     // preconditioned by (1/κ-scaled) exact inverse = spectrum [1/κ, 1].
@@ -191,7 +228,15 @@ pub fn e3_chebyshev() -> Table {
 pub fn e4_euler() -> Table {
     let mut t = Table::new(
         "E4 — Theorem 1.4: Eulerian orientation rounds",
-        &["n", "m", "darts", "rounds", "log2(2m)", "rounds/log2(2m)", "valid"],
+        &[
+            "n",
+            "m",
+            "darts",
+            "rounds",
+            "log2(2m)",
+            "rounds/log2(2m)",
+            "valid",
+        ],
     );
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let g = generators::random_eulerian(n, 3, 5);
@@ -219,7 +264,14 @@ pub fn e4_euler() -> Table {
 pub fn e5_rounding() -> Table {
     let mut t = Table::new(
         "E5 — Lemma 4.2: flow rounding rounds vs Δ",
-        &["1/delta", "iterations", "rounds", "rounds/log2(1/delta)", "value ok", "integral"],
+        &[
+            "1/delta",
+            "iterations",
+            "rounds",
+            "rounds/log2(1/delta)",
+            "value ok",
+            "integral",
+        ],
     );
     let g = generators::random_flow_network(48, 120, 4, 9);
     let (opt, _) = dinic(&g, 0, 47);
@@ -235,10 +287,26 @@ pub fn e5_rounding() -> Table {
             .edges()
             .iter()
             .zip(&frac)
-            .map(|(e, &f)| if e.from == 0 { f } else if e.to == 0 { -f } else { 0.0 })
+            .map(|(e, &f)| {
+                if e.from == 0 {
+                    f
+                } else if e.to == 0 {
+                    -f
+                } else {
+                    0.0
+                }
+            })
             .sum();
         let mut clique = Clique::new(48);
-        let out = round_flow(&mut clique, &g, &frac, 0, 47, delta, &FlowRoundingOptions::default());
+        let out = round_flow(
+            &mut clique,
+            &g,
+            &frac,
+            0,
+            47,
+            delta,
+            &FlowRoundingOptions::default(),
+        );
         let rounds = clique.ledger().total_rounds();
         let value = g.flow_value(&out.flow, 0);
         t.push(vec![
@@ -247,7 +315,8 @@ pub fn e5_rounding() -> Table {
             rounds.to_string(),
             format!("{:.1}", rounds as f64 / k as f64),
             (value as f64 >= frac_value - 1e-9).to_string(),
-            g.is_feasible_flow(&out.flow, &g.st_demand(0, 47, value)).to_string(),
+            g.is_feasible_flow(&out.flow, &g.st_demand(0, 47, value))
+                .to_string(),
         ]);
     }
     t
@@ -263,8 +332,18 @@ pub fn e6_maxflow() -> Table {
     let mut t = Table::new(
         "E6 — Theorem 1.2: exact max flow, IPM pipeline vs deterministic baselines",
         &[
-            "n", "m", "U", "|f*|", "ipm rounds", "ipm/m^(3/7)U^(1/7)", "ipm steps",
-            "rounded/|f*|", "repair", "ff rounds", "trivial rounds", "exact",
+            "n",
+            "m",
+            "U",
+            "|f*|",
+            "ipm rounds",
+            "ipm/m^(3/7)U^(1/7)",
+            "ipm steps",
+            "rounded/|f*|",
+            "repair",
+            "ff rounds",
+            "trivial rounds",
+            "exact",
         ],
     );
     let cases: Vec<(usize, usize, i64, u64)> = vec![
@@ -317,11 +396,26 @@ pub fn e7_mcf() -> Table {
     let mut t = Table::new(
         "E7 — Theorem 1.3: unit-capacity min cost flow (assignment workloads)",
         &[
-            "k", "n", "m", "W", "rounds", "rounds/m^(3/7)", "steps", "satisfied",
-            "repair", "cancelled", "exact",
+            "k",
+            "n",
+            "m",
+            "W",
+            "rounds",
+            "rounds/m^(3/7)",
+            "steps",
+            "satisfied",
+            "repair",
+            "cancelled",
+            "exact",
         ],
     );
-    for &(k, w, seed) in &[(4usize, 8i64, 1u64), (6, 8, 2), (8, 8, 3), (8, 64, 3), (12, 8, 4)] {
+    for &(k, w, seed) in &[
+        (4usize, 8i64, 1u64),
+        (6, 8, 2),
+        (8, 8, 3),
+        (8, 64, 3),
+        (12, 8, 4),
+    ] {
         let (g, sigma) = generators::bipartite_assignment(k, 3, w, seed);
         let (_, want) = ssp_min_cost_flow(&g, &sigma).unwrap();
         let mut clique = Clique::new(g.n() + 2);
@@ -358,8 +452,14 @@ pub fn e8_comparison() -> Table {
     let mut t = Table::new(
         "E8 — §1.1 comparison: fixed n = 66 dense network, |f*| = k sweep",
         &[
-            "n", "m", "|f*|", "ff rounds", "ff formula k*n^0.158", "trivial rounds",
-            "trivial formula 3m/n", "ff wins",
+            "n",
+            "m",
+            "|f*|",
+            "ff rounds",
+            "ff formula k*n^0.158",
+            "trivial rounds",
+            "trivial formula 3m/n",
+            "ff wins",
         ],
     );
     let middles = 64usize;
@@ -410,7 +510,15 @@ pub fn e8_comparison() -> Table {
 pub fn e1b_solver_ablation() -> Table {
     let mut t = Table::new(
         "E1b — ablation: solver rounds with deterministic vs randomized preconditioner",
-        &["preconditioner", "n", "alpha", "kappa", "iters @1e-8", "build rounds (impl+charged)", "err<=eps"],
+        &[
+            "preconditioner",
+            "n",
+            "alpha",
+            "kappa",
+            "iters @1e-8",
+            "build rounds (impl+charged)",
+            "err<=eps",
+        ],
     );
     let g = generators::random_connected(64, 384, 8, 21);
     let b = {
@@ -436,7 +544,10 @@ pub fn e1b_solver_ablation() -> Table {
         ]);
     }
     // Randomized at two sampling budgets.
-    for &(label, q) in &[("randomized q=8n ln n", None), ("randomized q=300", Some(300usize))] {
+    for &(label, q) in &[
+        ("randomized q=8n ln n", None),
+        ("randomized q=300", Some(300usize)),
+    ] {
         let mut clique = Clique::new(64);
         let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 77, q);
         let build_rounds = clique.ledger().total_rounds();
@@ -468,16 +579,32 @@ pub fn e1b_solver_ablation() -> Table {
 pub fn e2b_sparsifier_ablation() -> Table {
     let mut t = Table::new(
         "E2b — ablation: deterministic vs randomized sparsifiers; φ sweep",
-        &["variant", "n", "m", "|E(H)|", "alpha (certified)", "levels", "impl rounds", "charged rounds"],
+        &[
+            "variant",
+            "n",
+            "m",
+            "|E(H)|",
+            "alpha (certified)",
+            "levels",
+            "impl rounds",
+            "charged rounds",
+        ],
     );
     let g = generators::random_connected(64, 512, 8, 13);
     // Deterministic with the φ ladder — on the grid, whose conductance
     // actually responds to φ (larger φ cuts the grid into certified
     // expander patches: more levels, smaller per-cluster α).
     let grid = generators::grid(8, 8);
-    for &(label, phi) in &[("det grid φ=default", None), ("det grid φ=0.20", Some(0.20)), ("det grid φ=0.45", Some(0.45))] {
+    for &(label, phi) in &[
+        ("det grid φ=default", None),
+        ("det grid φ=0.20", Some(0.20)),
+        ("det grid φ=0.45", Some(0.45)),
+    ] {
         let mut clique = Clique::new(64);
-        let params = SparsifyParams { phi, ..Default::default() };
+        let params = SparsifyParams {
+            phi,
+            ..Default::default()
+        };
         let h = build_sparsifier(&mut clique, &grid, &params);
         t.push(vec![
             label.to_string(),
@@ -532,7 +659,15 @@ pub fn e2b_sparsifier_ablation() -> Table {
 pub fn e4b_orientation_ablation() -> Table {
     let mut t = Table::new(
         "E4b — ablation: deterministic vs randomized cycle contraction",
-        &["n", "m", "det rounds", "rand rounds", "det/log2(2m)", "rand/log2(2m)", "both valid"],
+        &[
+            "n",
+            "m",
+            "det rounds",
+            "rand rounds",
+            "det/log2(2m)",
+            "rand/log2(2m)",
+            "both valid",
+        ],
     );
     for &n in &[64usize, 256, 1024] {
         let g = generators::random_eulerian(n, 3, 5);

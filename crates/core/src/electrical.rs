@@ -84,8 +84,7 @@ impl ElectricalNetwork {
         options: &SolverOptions,
     ) -> Result<(Self, SparsifierTemplate), CoreError> {
         let g = conductance_graph(n, edges);
-        let (sparsifier, template) =
-            build_sparsifier_with_template(clique, &g, &options.sparsify);
+        let (sparsifier, template) = build_sparsifier_with_template(clique, &g, &options.sparsify);
         let solver = LaplacianSolver::with_sparsifier(&g, sparsifier, options)?;
         Ok((
             Self {
@@ -171,13 +170,7 @@ impl ElectricalNetwork {
     /// # Panics
     ///
     /// Panics if `s == t` or either vertex is out of range.
-    pub fn effective_resistance(
-        &self,
-        clique: &mut Clique,
-        s: usize,
-        t: usize,
-        eps: f64,
-    ) -> f64 {
+    pub fn effective_resistance(&self, clique: &mut Clique, s: usize, t: usize, eps: f64) -> f64 {
         assert!(s != t && s < self.n() && t < self.n(), "bad terminals");
         let mut chi = vec![0.0; self.n()];
         chi[s] = 1.0;
@@ -275,8 +268,13 @@ mod tests {
     #[test]
     fn template_reuse_answers_match_fresh_builds() {
         // IPM-style loop: same support, resistances drifting each step.
-        let base: Vec<(usize, usize, f64)> =
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)];
+        let base: Vec<(usize, usize, f64)> = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 1.0),
+        ];
         let mut clique = Clique::new(4);
         let (_, template) =
             ElectricalNetwork::build_capturing(&mut clique, 4, &base, &SolverOptions::default())
@@ -290,9 +288,8 @@ mod tests {
                 .enumerate()
                 .map(|(i, &(u, v, r))| (u, v, r * (1.0 + 0.5 * (step * (i + 1)) as f64)))
                 .collect();
-            let fresh =
-                ElectricalNetwork::build(&mut clique, 4, &edges, &SolverOptions::default())
-                    .unwrap();
+            let fresh = ElectricalNetwork::build(&mut clique, 4, &edges, &SolverOptions::default())
+                .unwrap();
             let reused = ElectricalNetwork::build_from_template(
                 &mut clique,
                 4,
@@ -313,11 +310,6 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_resistance() {
         let mut clique = Clique::new(2);
-        let _ = ElectricalNetwork::build(
-            &mut clique,
-            2,
-            &[(0, 1, 0.0)],
-            &SolverOptions::default(),
-        );
+        let _ = ElectricalNetwork::build(&mut clique, 2, &[(0, 1, 0.0)], &SolverOptions::default());
     }
 }

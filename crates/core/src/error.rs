@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = CoreError::RhsLength { got: 3, expected: 5 };
+        let e = CoreError::RhsLength {
+            got: 3,
+            expected: 5,
+        };
         assert!(e.to_string().contains('3'));
         let e = CoreError::Factorization(LinalgError::NotPositiveDefinite {
             index: 0,

@@ -1,9 +1,7 @@
 //! The Theorem 1.1 solver.
 
 use cc_graph::Graph;
-use cc_linalg::{
-    chebyshev_iteration_bound, laplacian_from_edges, CsrMatrix, LaplacianNorm,
-};
+use cc_linalg::{chebyshev_iteration_bound, laplacian_from_edges, CsrMatrix, LaplacianNorm};
 use cc_model::{decode_f64, encode_f64, Clique};
 use cc_sparsify::{build_sparsifier, SparsifierSolver, SparsifyParams, SpectralSparsifier};
 
@@ -215,35 +213,44 @@ impl LaplacianSolver {
 
         clique.phase("laplacian_solve", |clique| {
             let frac_bits = self.message_frac_bits;
-            let apply_a = |v: &[f64]| {
+            let encode = |x: f64| match frac_bits {
+                Some(b) => cc_model::encode_f64_fixed(x, b),
+                None => encode_f64(x),
+            };
+            let decode = |w: u64| match frac_bits {
+                Some(b) => cc_model::decode_f64_fixed(w, b),
+                None => decode_f64(w),
+            };
+            // Encode/decode staging buffers, reused across all iterations.
+            let mut words: Vec<u64> = vec![0; clique.n()];
+            let mut shared: Vec<f64> = vec![0.0; self.n];
+            let apply_a = |v: &[f64], out: &mut [f64]| {
                 // One broadcast round: every node ships its coordinate to
                 // everyone, then evaluates its Laplacian row locally.
-                let encode = |x: f64| match frac_bits {
-                    Some(b) => cc_model::encode_f64_fixed(x, b),
-                    None => encode_f64(x),
-                };
-                let decode = |w: u64| match frac_bits {
-                    Some(b) => cc_model::decode_f64_fixed(w, b),
-                    None => decode_f64(w),
-                };
-                let mut words: Vec<u64> = v.iter().map(|&x| encode(x)).collect();
-                words.resize(clique.n(), 0);
+                for (w, &x) in words.iter_mut().zip(v.iter()) {
+                    *w = encode(x);
+                }
                 let view = clique.broadcast_all(&words);
-                let shared: Vec<f64> = view[..self.n].iter().map(|&w| decode(w)).collect();
-                self.laplacian.matvec(&shared)
+                for (s, &w) in shared.iter_mut().zip(view[..self.n].iter()) {
+                    *s = decode(w);
+                }
+                self.laplacian.matvec_into(&shared, out);
             };
             // B = α·S_H  ⇒  B-solve = (1/α)·S_H†; internal, zero rounds.
-            let solve_b = |r: &[f64]| {
-                let mut z = self.inner.solve(r);
+            let mut scratch = cc_sparsify::SparsifierSolveScratch::default();
+            let solve_b = |r: &[f64], z: &mut [f64]| {
+                self.inner.solve_into(r, z, &mut scratch);
                 for zi in z.iter_mut() {
                     *zi /= alpha;
                 }
-                z
             };
-            let out = cc_linalg::chebyshev_solve_fixed(apply_a, solve_b, &b, kappa, iterations);
-            let mut x = out.x;
+            let mut x = vec![0.0; self.n];
+            let mut ws = cc_linalg::ChebyshevWorkspace::new(self.n);
+            let spent = cc_linalg::chebyshev_solve_fixed_into(
+                apply_a, solve_b, &b, kappa, iterations, &mut x, &mut ws,
+            );
             // Canonical representative: zero mean per component (free).
-            x = self.project(&x);
+            let x = self.project(&x);
             let x_star = if self.skip_reference {
                 None
             } else {
@@ -255,7 +262,7 @@ impl LaplacianSolver {
             };
             SolveOutcome {
                 x,
-                iterations: out.iterations,
+                iterations: spent,
                 kappa,
                 norm: LaplacianNorm::new(self.edges.clone()),
                 x_star,
@@ -306,7 +313,11 @@ mod tests {
         for &eps in &[1e-1, 1e-4, 1e-8] {
             let out = solver.solve(&mut clique, &b, eps);
             let err = out.relative_error();
-            assert!(err <= eps * 1.05, "eps={eps} err={err} iters={}", out.iterations);
+            assert!(
+                err <= eps * 1.05,
+                "eps={eps} err={err} iters={}",
+                out.iterations
+            );
         }
     }
 
@@ -405,10 +416,16 @@ mod tests {
             .unwrap();
             solver.solve(&mut clique, &b, eps).relative_error()
         };
-        assert!(run(Some(44), 1e-6) <= 1e-6 * 1.5, "44 bits must suffice for 1e-6");
+        assert!(
+            run(Some(44), 1e-6) <= 1e-6 * 1.5,
+            "44 bits must suffice for 1e-6"
+        );
         let coarse = run(Some(8), 1e-10);
         let fine = run(None, 1e-10);
-        assert!(coarse > fine, "8-bit quantization must be visible: {coarse} vs {fine}");
+        assert!(
+            coarse > fine,
+            "8-bit quantization must be visible: {coarse} vs {fine}"
+        );
     }
 
     #[test]
@@ -416,8 +433,7 @@ mod tests {
         let g = generators::random_connected(24, 100, 4, 6);
         let mut clique = Clique::new(24);
         let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 3, None);
-        let solver =
-            LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
+        let solver = LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
         let b = st_rhs(24, 0, 23);
         let out = solver.solve(&mut clique, &b, 1e-7);
         assert!(out.relative_error() <= 1e-7 * 1.05);
@@ -428,8 +444,7 @@ mod tests {
         let g = generators::expander(16);
         let b = st_rhs(16, 0, 8);
         let mut c1 = Clique::new(16);
-        let with_ref =
-            LaplacianSolver::build(&mut c1, &g, &SolverOptions::default()).unwrap();
+        let with_ref = LaplacianSolver::build(&mut c1, &g, &SolverOptions::default()).unwrap();
         let mut c2 = Clique::new(16);
         let without_ref = LaplacianSolver::build(
             &mut c2,
@@ -442,7 +457,10 @@ mod tests {
         .unwrap();
         let a = with_ref.solve(&mut c1, &b, 1e-8);
         let z = without_ref.solve(&mut c2, &b, 1e-8);
-        assert_eq!(a.x, z.x, "reference computation must not affect the solution");
+        assert_eq!(
+            a.x, z.x,
+            "reference computation must not affect the solution"
+        );
         assert!(a.relative_error().is_finite());
         assert!(z.relative_error().is_nan());
     }

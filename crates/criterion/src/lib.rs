@@ -1,0 +1,234 @@
+//! Dependency-free stand-in for the subset of the `criterion` 0.5 API
+//! used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so `cargo bench`
+//! runs on this vendored harness: per benchmark it performs a short
+//! warm-up, collects `sample_size` wall-time samples, and prints
+//! min/median/mean. No statistical regression analysis, no HTML reports —
+//! just reproducible numbers on stdout (and the machinery `bench_snapshot`
+//! reuses to produce `BENCH_baseline.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value (e.g. an input size).
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample wall times (one sample = one closure call).
+    pub(crate) times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a few warm-up calls, then `sample_size` timed
+    /// samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples.div_ceil(10).min(3) {
+            black_box(f());
+        }
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// Summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean of all samples.
+    pub mean: Duration,
+}
+
+fn summarize(times: &mut [Duration]) -> Summary {
+    assert!(!times.is_empty(), "no samples collected");
+    times.sort_unstable();
+    let total: Duration = times.iter().sum();
+    Summary {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: total / times.len() as u32,
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            times: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let s = summarize(&mut bencher.times);
+        println!(
+            "{}/{:<24} min {:>12}   median {:>12}   mean {:>12}",
+            self.name,
+            id,
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.mean),
+        );
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id.clone(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run(name, &mut f);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 7,
+            times: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.times.len(), 7);
+    }
+
+    #[test]
+    fn summary_orders_durations() {
+        let mut times = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        let s = summarize(&mut times);
+        assert_eq!(s.min, Duration::from_nanos(10));
+        assert_eq!(s.median, Duration::from_nanos(20));
+        assert_eq!(s.mean, Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+}

@@ -38,7 +38,7 @@ mod darts;
 mod orientation;
 mod rounding;
 
-pub use darts::{DartStructure, CycleSummary};
+pub use darts::{CycleSummary, DartStructure};
 pub use orientation::{
     eulerian_orientation, is_eulerian_orientation, orient_trails, orient_trails_with_strategy,
     MarkingStrategy, OrientationCriterion,

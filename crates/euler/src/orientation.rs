@@ -94,7 +94,11 @@ pub fn orient_trails_with_strategy(
     }
     let darts = DartStructure::new(g);
     if let Some(costs) = &criterion.dart_costs {
-        assert_eq!(costs.len(), darts.dart_count(), "one signed cost per dart required");
+        assert_eq!(
+            costs.len(),
+            darts.dart_count(),
+            "one signed cost per dart required"
+        );
     }
     clique.phase("eulerian_orientation", |clique| {
         let mut engine = Contraction::new(clique, g, &darts, criterion, strategy);
@@ -183,7 +187,9 @@ impl<'a> Contraction<'a> {
             words.append(&mut payload);
             outboxes[self.host(src)].push((self.host(dst), words));
         }
-        self.clique.route(outboxes).expect("routing within the clique");
+        self.clique
+            .route(outboxes)
+            .expect("routing within the clique");
     }
 
     fn live_darts(&self) -> Vec<DartId> {
@@ -416,7 +422,9 @@ impl<'a> Contraction<'a> {
                 if snapshot[d] == c {
                     let a = snapshot[self.pred[d]];
                     let b = snapshot[self.succ[d]];
-                    color[d] = (0..3).find(|x| *x != a && *x != b).expect("3 colors suffice");
+                    color[d] = (0..3)
+                        .find(|x| *x != a && *x != b)
+                        .expect("3 colors suffice");
                 }
             }
         }
@@ -508,7 +516,11 @@ pub fn is_eulerian_orientation(g: &Graph, oriented: &[bool]) -> bool {
     let mut balance = vec![0i64; g.n()];
     for (e, &fwd) in oriented.iter().enumerate() {
         let edge = g.edge(e);
-        let (from, to) = if fwd { (edge.u, edge.v) } else { (edge.v, edge.u) };
+        let (from, to) = if fwd {
+            (edge.u, edge.v)
+        } else {
+            (edge.v, edge.u)
+        };
         balance[from] += 1;
         balance[to] -= 1;
     }
@@ -599,7 +611,10 @@ mod tests {
         // The pairing may produce either one cycle; the winning direction
         // must have negative total cost, i.e. not all canonical.
         let canonical_count = o.iter().filter(|&&b| b).count();
-        assert!(canonical_count == 0, "expected the cheap direction, got {o:?}");
+        assert!(
+            canonical_count == 0,
+            "expected the cheap direction, got {o:?}"
+        );
     }
 
     #[test]

@@ -224,7 +224,10 @@ mod tests {
                 r == f.floor() as i64 || r == f.ceil() as i64,
                 "edge {e}: fractional {f} rounded to {r}"
             );
-            assert!(r >= 0 && r <= g.edge(e).capacity, "edge {e} capacity violated");
+            assert!(
+                r >= 0 && r <= g.edge(e).capacity,
+                "edge {e} capacity violated"
+            );
         }
         // Conservation at non-terminals.
         let mut net = vec![0i64; g.n()];

@@ -54,9 +54,15 @@ impl DiGraph {
     ///
     /// Panics on out-of-range endpoints, self-loops, or negative capacity.
     pub fn add_edge(&mut self, from: VertexId, to: VertexId, capacity: i64, cost: i64) -> EdgeId {
-        assert!(from < self.n && to < self.n, "edge ({from},{to}) out of range");
+        assert!(
+            from < self.n && to < self.n,
+            "edge ({from},{to}) out of range"
+        );
         assert_ne!(from, to, "self-loops are not allowed");
-        assert!(capacity >= 0, "capacity must be non-negative, got {capacity}");
+        assert!(
+            capacity >= 0,
+            "capacity must be non-negative, got {capacity}"
+        );
         let id = self.edges.len();
         self.edges.push(DiEdge {
             from,

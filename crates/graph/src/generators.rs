@@ -26,7 +26,10 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3);
-    Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>())
+    Graph::from_edges(
+        n,
+        &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>(),
+    )
 }
 
 /// Complete graph `K_n` with unit weights.

@@ -23,7 +23,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }
@@ -70,7 +73,11 @@ impl Graph {
     ///
     /// Panics on out-of-range endpoints, self-loops, or non-positive weight.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: f64) -> EdgeId {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range (n={})", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range (n={})",
+            self.n
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(weight > 0.0, "edge weights must be positive, got {weight}");
         let id = self.edges.len();
@@ -183,7 +190,10 @@ impl Graph {
     /// Panics if `side.len() != n`.
     pub fn volume(&self, side: &[bool]) -> usize {
         assert_eq!(side.len(), self.n);
-        (0..self.n).filter(|&v| side[v]).map(|v| self.degree(v)).sum()
+        (0..self.n)
+            .filter(|&v| side[v])
+            .map(|v| self.degree(v))
+            .sum()
     }
 
     /// Number of edges crossing the cut `(S, V∖S)`.
@@ -221,7 +231,10 @@ impl Graph {
     ///
     /// Panics if `n > 20` (would not terminate in reasonable time) or `n == 0`.
     pub fn conductance_exact(&self) -> f64 {
-        assert!(self.n > 0 && self.n <= 20, "exhaustive conductance needs 1..=20 vertices");
+        assert!(
+            self.n > 0 && self.n <= 20,
+            "exhaustive conductance needs 1..=20 vertices"
+        );
         let mut best = f64::INFINITY;
         for mask in 1..(1u32 << self.n) - 1 {
             let side: Vec<bool> = (0..self.n).map(|v| mask >> v & 1 == 1).collect();

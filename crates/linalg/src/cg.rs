@@ -1,7 +1,7 @@
 //! Deterministic conjugate gradient — the reference iterative solver used
 //! to cross-check the Chebyshev engine in tests and benchmarks.
 
-use crate::vec_ops::{axpy, dot, norm2};
+use crate::vec_ops::{axpy, dot, norm2, xpay};
 use crate::LinalgError;
 
 /// Result of a conjugate gradient run.
@@ -13,6 +13,42 @@ pub struct CgOutcome {
     pub iterations: usize,
     /// Final relative residual `‖b − A x‖₂ / ‖b‖₂`.
     pub residual: f64,
+}
+
+/// Iteration statistics of [`conjugate_gradient_into`] (the solution
+/// itself lands in the caller's `x` buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct CgStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖₂ / ‖b‖₂`.
+    pub residual: f64,
+}
+
+/// Reusable buffers for [`conjugate_gradient_into`]: residual, search
+/// direction, and `A·p` product.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Workspace sized for length-`n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            r: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
 }
 
 /// Solves `A x = b` for a symmetric positive semi-definite operator given
@@ -33,50 +69,89 @@ pub fn conjugate_gradient(
     max_iter: usize,
 ) -> Result<CgOutcome, LinalgError> {
     let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut ws = CgWorkspace::new(n);
+    let stats = conjugate_gradient_into(
+        |p, out| {
+            let ap = apply_a(p);
+            assert_eq!(ap.len(), out.len(), "apply_a returned wrong length");
+            out.copy_from_slice(&ap);
+        },
+        b,
+        tol,
+        max_iter,
+        &mut x,
+        &mut ws,
+    )?;
+    Ok(CgOutcome {
+        x,
+        iterations: stats.iterations,
+        residual: stats.residual,
+    })
+}
+
+/// Allocation-free core of [`conjugate_gradient`]: `apply_a(v, out)`
+/// writes `A·v` into `out`, the iterate lands in `x`, intermediates live
+/// in `ws`. The floating-point operation sequence matches the allocating
+/// wrapper exactly, so both produce bitwise-equal iterates.
+///
+/// # Errors
+///
+/// [`LinalgError::IterationBudgetExhausted`] if `max_iter` iterations do
+/// not reach the tolerance.
+///
+/// # Panics
+///
+/// Panics if `x.len() != b.len()`.
+pub fn conjugate_gradient_into(
+    mut apply_a: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    x: &mut [f64],
+    ws: &mut CgWorkspace,
+) -> Result<CgStats, LinalgError> {
+    let n = b.len();
+    assert_eq!(x.len(), n, "x length mismatch");
+    x.fill(0.0);
     let bnorm = norm2(b);
     if bnorm == 0.0 {
-        return Ok(CgOutcome {
-            x: vec![0.0; n],
+        return Ok(CgStats {
             iterations: 0,
             residual: 0.0,
         });
     }
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut p = r.clone();
-    let mut rs = dot(&r, &r);
+    ws.resize(n);
+    ws.r.copy_from_slice(b);
+    ws.p.copy_from_slice(b);
+    let mut rs = dot(&ws.r, &ws.r);
     for k in 0..max_iter {
         if rs.sqrt() / bnorm <= tol {
-            return Ok(CgOutcome {
-                x,
+            return Ok(CgStats {
                 iterations: k,
                 residual: rs.sqrt() / bnorm,
             });
         }
-        let ap = apply_a(&p);
-        let denom = dot(&p, &ap);
+        apply_a(&ws.p, &mut ws.ap);
+        let denom = dot(&ws.p, &ws.ap);
         if denom <= 0.0 {
             // Hit the nullspace direction: converged as far as possible.
-            return Ok(CgOutcome {
-                x,
+            return Ok(CgStats {
                 iterations: k,
                 residual: rs.sqrt() / bnorm,
             });
         }
         let alpha = rs / denom;
-        axpy(&mut x, alpha, &p);
-        axpy(&mut r, -alpha, &ap);
-        let rs_new = dot(&r, &r);
+        axpy(x, alpha, &ws.p);
+        axpy(&mut ws.r, -alpha, &ws.ap);
+        let rs_new = dot(&ws.r, &ws.r);
         let beta = rs_new / rs;
-        for (pi, ri) in p.iter_mut().zip(&r) {
-            *pi = ri + beta * *pi;
-        }
+        xpay(&mut ws.p, beta, &ws.r);
         rs = rs_new;
     }
     let residual = rs.sqrt() / bnorm;
     if residual <= tol {
-        Ok(CgOutcome {
-            x,
+        Ok(CgStats {
             iterations: max_iter,
             residual,
         })
@@ -112,7 +187,13 @@ mod tests {
 
     #[test]
     fn solves_singular_laplacian_with_compatible_rhs() {
-        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 2.0)];
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 2.0),
+        ];
         let lap = laplacian_from_edges(4, &edges);
         let mut b = vec![1.0, 2.0, -4.0, 3.0];
         remove_mean(&mut b);
@@ -120,6 +201,37 @@ mod tests {
         let lx = lap.matvec(&out.x);
         for (got, want) in lx.iter().zip(&b) {
             assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_api_bitwise() {
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 2.0),
+        ];
+        let lap = laplacian_from_edges(4, &edges);
+        let mut b = vec![1.0, 2.0, -4.0, 3.0];
+        remove_mean(&mut b);
+        let out = conjugate_gradient(|x| lap.matvec(x), &b, 1e-10, 1000).unwrap();
+        let mut x = vec![0.0; 4];
+        let mut ws = CgWorkspace::new(4);
+        let stats = conjugate_gradient_into(
+            |p, ap| lap.matvec_into(p, ap),
+            &b,
+            1e-10,
+            1000,
+            &mut x,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(stats.iterations, out.iterations);
+        assert_eq!(stats.residual.to_bits(), out.residual.to_bits());
+        for (a, b) in x.iter().zip(&out.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

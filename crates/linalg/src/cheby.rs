@@ -6,7 +6,7 @@
 //! `B`, and a constant number of vector operations — exactly the iteration
 //! structure the congested clique implementation charges rounds for.
 
-use crate::vec_ops::{axpy, sub};
+use crate::vec_ops::{axpy, sub, xpay};
 
 /// Result of a Chebyshev solve.
 #[derive(Debug, Clone)]
@@ -15,6 +15,37 @@ pub struct ChebyshevOutcome {
     pub x: Vec<f64>,
     /// Number of iterations executed (each: one `A`-matvec + one `B`-solve).
     pub iterations: usize,
+}
+
+/// Reusable buffers for [`chebyshev_solve_fixed_into`]: the residual,
+/// search direction, preconditioned residual, and `A·p` product. Create
+/// once, hand to every solve — the iteration then performs zero heap
+/// allocations in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ChebyshevWorkspace {
+    r: Vec<f64>,
+    p: Vec<f64>,
+    z: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl ChebyshevWorkspace {
+    /// Workspace sized for length-`n` vectors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            r: vec![0.0; n],
+            p: vec![0.0; n],
+            z: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
 }
 
 /// The iteration count `k(κ, ε)` guaranteeing
@@ -82,23 +113,71 @@ pub fn chebyshev_solve_fixed(
     kappa: f64,
     iterations: usize,
 ) -> ChebyshevOutcome {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut ws = ChebyshevWorkspace::new(n);
+    chebyshev_solve_fixed_into(
+        |p, out| {
+            let ap = apply_a(p);
+            assert_eq!(ap.len(), out.len(), "apply_a returned wrong length");
+            out.copy_from_slice(&ap);
+        },
+        |r, out| {
+            let z = solve_b(r);
+            assert_eq!(z.len(), out.len(), "solve_b returned wrong length");
+            out.copy_from_slice(&z);
+        },
+        b,
+        kappa,
+        iterations,
+        &mut x,
+        &mut ws,
+    );
+    ChebyshevOutcome { x, iterations }
+}
+
+/// Allocation-free core of [`chebyshev_solve_fixed`]: operators write into
+/// caller-provided buffers, the iterate lands in `x`, and all intermediate
+/// vectors live in `ws`. Steady-state iteration performs **zero heap
+/// allocations** (verified by `tests/alloc_free.rs`), and the sequence of
+/// floating-point operations is identical to the allocating wrapper, so
+/// both produce bitwise-equal results.
+///
+/// * `apply_a(v, out)` — writes `A·v` into `out`;
+/// * `solve_b(v, out)` — writes `B†·v` into `out`.
+///
+/// Returns the iteration count (`iterations`, for symmetry with
+/// [`ChebyshevOutcome`]).
+///
+/// # Panics
+///
+/// Panics if `kappa < 1` or `x.len() != b.len()`.
+pub fn chebyshev_solve_fixed_into(
+    mut apply_a: impl FnMut(&[f64], &mut [f64]),
+    mut solve_b: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    kappa: f64,
+    iterations: usize,
+    x: &mut [f64],
+    ws: &mut ChebyshevWorkspace,
+) -> usize {
     assert!(kappa >= 1.0, "condition bound must be >= 1, got {kappa}");
     let n = b.len();
+    assert_eq!(x.len(), n, "x length mismatch");
+    ws.resize(n);
     // Spectrum of B†A on range(A) lies in [1/κ, 1].
     let lambda_min = 1.0 / kappa;
     let lambda_max = 1.0;
     let d = (lambda_max + lambda_min) / 2.0;
     let c = (lambda_max - lambda_min) / 2.0;
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // r = b − A x with x = 0
-    let mut p = vec![0.0; n];
+    x.fill(0.0);
+    ws.r.copy_from_slice(b); // r = b − A x with x = 0
     let mut alpha = 0.0;
     for k in 0..iterations {
-        let z = solve_b(&r);
-        assert_eq!(z.len(), n, "solve_b returned wrong length");
+        solve_b(&ws.r, &mut ws.z);
         if k == 0 {
-            p = z;
+            ws.p.copy_from_slice(&ws.z);
             alpha = 1.0 / d;
         } else {
             let beta = if k == 1 {
@@ -107,27 +186,20 @@ pub fn chebyshev_solve_fixed(
                 (c * alpha / 2.0) * (c * alpha / 2.0)
             };
             alpha = 1.0 / (d - beta / alpha);
-            for (pi, zi) in p.iter_mut().zip(&z) {
-                *pi = zi + beta * *pi;
-            }
+            xpay(&mut ws.p, beta, &ws.z);
         }
-        let ap = apply_a(&p);
-        assert_eq!(ap.len(), n, "apply_a returned wrong length");
-        axpy(&mut x, alpha, &p);
-        axpy(&mut r, -alpha, &ap);
+        apply_a(&ws.p, &mut ws.ap);
+        axpy(x, alpha, &ws.p);
+        axpy(&mut ws.r, -alpha, &ws.ap);
     }
-    ChebyshevOutcome { x, iterations }
+    iterations
 }
 
 /// Convenience: the error functional of Theorem 1.1,
 /// `‖x − x*‖_A / ‖x*‖_A` given a quadratic form evaluator for `A`.
 ///
 /// Returns 0 when `x* = 0`.
-pub fn relative_a_error(
-    quadratic_form: impl Fn(&[f64]) -> f64,
-    x: &[f64],
-    x_star: &[f64],
-) -> f64 {
+pub fn relative_a_error(quadratic_form: impl Fn(&[f64]) -> f64, x: &[f64], x_star: &[f64]) -> f64 {
     let denom = quadratic_form(x_star).max(0.0).sqrt();
     if denom == 0.0 {
         return 0.0;
@@ -181,7 +253,13 @@ mod tests {
     fn scaled_preconditioner_reaches_requested_accuracy() {
         // B = 3·L is a κ=3 preconditioner for L (L ⪯ B? No: B = 3L means
         // L ⪯ 3L = B ⪯ 3·L = 3A, so κ = 3 works with B-solve = (1/3)L†).
-        let edges = vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 4.0), (1, 3, 0.3)];
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 0, 4.0),
+            (1, 3, 0.3),
+        ];
         let lap = laplacian_from_edges(4, &edges);
         let chol = GroundedCholesky::new(&lap).unwrap();
         let mut b = vec![5.0, -1.0, -2.5, 0.0];
@@ -234,7 +312,85 @@ mod tests {
         let eps = 1e-7;
         let out = chebyshev_solve(|x| la.matvec(x), |r| cholb.solve(r), &b, kappa, eps);
         let err = relative_a_error(|v| laplacian_quadratic_form(&path, v), &out.x, &x_star);
-        assert!(err <= eps * 1.05, "err={err} after {} iters", out.iterations);
+        assert!(
+            err <= eps * 1.05,
+            "err={err} after {} iters",
+            out.iterations
+        );
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_api_bitwise() {
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 0, 4.0),
+            (1, 3, 0.3),
+        ];
+        let lap = laplacian_from_edges(4, &edges);
+        let chol = GroundedCholesky::new(&lap).unwrap();
+        let mut b = vec![5.0, -1.0, -2.5, 0.0];
+        remove_mean(&mut b);
+        let out = chebyshev_solve_fixed(|x| lap.matvec(x), |r| chol.solve(r), &b, 3.0, 25);
+        let mut x = vec![0.0; 4];
+        let mut ws = ChebyshevWorkspace::new(4);
+        let iters = chebyshev_solve_fixed_into(
+            |p, ap| lap.matvec_into(p, ap),
+            |r, z| {
+                let s = chol.solve(r);
+                z.copy_from_slice(&s);
+            },
+            &b,
+            3.0,
+            25,
+            &mut x,
+            &mut ws,
+        );
+        assert_eq!(iters, out.iterations);
+        for (a, b) in x.iter().zip(&out.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // Large enough that matvec_into actually fans out (nnz ≥ PAR_MIN_NNZ,
+        // rows > MATVEC_ROW_CHUNK): bitwise equality across 1, 2, 8 threads.
+        let n = 9000;
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1)
+            .map(|i| (i, i + 1, 1.0 + (i % 7) as f64 * 0.25))
+            .collect();
+        let lap = laplacian_from_edges(n, &edges);
+        assert!(lap.nnz() >= crate::csr::PAR_MIN_NNZ);
+        let mut b: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        remove_mean(&mut b);
+        let run = |threads: usize| {
+            crate::par::with_threads(threads, || {
+                let mut x = vec![0.0; n];
+                let mut ws = ChebyshevWorkspace::new(n);
+                chebyshev_solve_fixed_into(
+                    |p, ap| lap.matvec_into(p, ap),
+                    |r, z| z.copy_from_slice(r),
+                    &b,
+                    16.0,
+                    40,
+                    &mut x,
+                    &mut ws,
+                );
+                x
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let got = run(threads);
+            assert!(
+                base.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "chebyshev not bitwise identical with {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,13 @@
 use crate::DenseMatrix;
 
+/// Rows per parallel chunk in [`CsrMatrix::matvec_into`]. Fixed (never
+/// derived from the thread count) so the work decomposition — and hence
+/// the floating-point result — is independent of parallelism.
+pub const MATVEC_ROW_CHUNK: usize = 512;
+
+/// Minimum stored entries before [`CsrMatrix::matvec_into`] fans out.
+pub const PAR_MIN_NNZ: usize = 16_384;
+
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Construction goes through [`CsrMatrix::from_triplets`], which sums
@@ -25,18 +33,36 @@ impl CsrMatrix {
     ///
     /// Panics if a triplet is out of range.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        // Two-pass counting-sort build: one contiguous staging buffer
+        // instead of a Vec per row. Pass 1 counts surviving entries per
+        // row; pass 2 scatters them, preserving input order within each
+        // row so the stable per-row column sort — and therefore the
+        // duplicate summation order — matches a per-row Vec build exactly.
+        let mut starts = vec![0usize; rows + 1];
         for &(r, c, v) in triplets {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
             if v != 0.0 {
-                per_row[r].push((c, v));
+                starts[r + 1] += 1;
+            }
+        }
+        for r in 0..rows {
+            starts[r + 1] += starts[r];
+        }
+        let total = starts[rows];
+        let mut staged: Vec<(usize, f64)> = vec![(0, 0.0); total];
+        let mut cursor = starts.clone();
+        for &(r, c, v) in triplets {
+            if v != 0.0 {
+                staged[cursor[r]] = (c, v);
+                cursor[r] += 1;
             }
         }
         let mut indptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
+        let mut indices = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
         indptr.push(0);
-        for row in per_row.iter_mut() {
+        for r in 0..rows {
+            let row = &mut staged[starts[r]..starts[r + 1]];
             row.sort_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -101,20 +127,54 @@ impl CsrMatrix {
 
     /// Matrix-vector product `A·x`.
     ///
+    /// Allocates the output; iterative solvers should prefer
+    /// [`CsrMatrix::matvec_into`] with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `out ← A·x` into a caller-provided buffer —
+    /// the allocation-free hot path of every iterative solver.
+    ///
+    /// Row-partitioned across threads in fixed chunks of
+    /// [`MATVEC_ROW_CHUNK`] rows: each output entry is an independent
+    /// sequential dot product over one row, so the result is bitwise
+    /// identical to the serial loop for any thread count. Matrices too
+    /// small to fill more than one chunk (or with fewer than
+    /// [`PAR_MIN_NNZ`] stored entries) run serially to avoid spawn
+    /// overhead — with, again, identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        let row_dot = |r: usize| {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            acc
+        };
+        if self.nnz() < PAR_MIN_NNZ {
+            for (r, yi) in out.iter_mut().enumerate() {
+                *yi = row_dot(r);
+            }
+            return;
         }
-        y
+        crate::par::par_chunks_mut(out, MATVEC_ROW_CHUNK, |chunk_idx, sl| {
+            let base = chunk_idx * MATVEC_ROW_CHUNK;
+            for (k, yi) in sl.iter_mut().enumerate() {
+                *yi = row_dot(base + k);
+            }
+        });
     }
 
     /// Quadratic form `xᵀ A x` (requires a square matrix).
@@ -174,7 +234,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0), (2, 2, 1.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (2, 2, 1.0),
+            ],
         )
     }
 
@@ -213,6 +279,85 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn matvec_into_parallel_is_bitwise_equal_to_serial(
+            weights in proptest::collection::vec(0.1f64..10.0, 32),
+            xs in proptest::collection::vec(-100f64..100.0, 32),
+        ) {
+            // A matrix big enough to clear PAR_MIN_NNZ and span many
+            // row chunks; entries and x cycle through the sampled values.
+            let n = 9000;
+            let triplets: Vec<(usize, usize, f64)> = (0..n - 1)
+                .flat_map(|i| {
+                    let w = weights[i % weights.len()];
+                    [(i, i + 1, -w), (i + 1, i, -w), (i, i, w), (i + 1, i + 1, w)]
+                })
+                .collect();
+            let m = CsrMatrix::from_triplets(n, n, &triplets);
+            prop_assert!(m.nnz() >= PAR_MIN_NNZ);
+            let x: Vec<f64> = (0..n).map(|i| xs[i % xs.len()]).collect();
+            let serial = crate::par::with_threads(1, || {
+                let mut y = vec![0.0; n];
+                m.matvec_into(&x, &mut y);
+                y
+            });
+            for threads in [2, 8] {
+                let par = crate::par::with_threads(threads, || {
+                    let mut y = vec![0.0; n];
+                    m.matvec_into(&x, &mut y);
+                    y
+                });
+                for (a, b) in serial.iter().zip(&par) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn from_triplets_matches_per_row_staging_build(
+            triplets in proptest::collection::vec((0usize..6, 0usize..6, -10f64..10.0), 0..40)
+        ) {
+            // Reference: the Vec-per-row staging builder this replaced.
+            // Same stable per-row sort, same duplicate summation order —
+            // the outputs must agree exactly, bits included.
+            let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 6];
+            for &(r, c, v) in &triplets {
+                if v != 0.0 {
+                    per_row[r].push((c, v));
+                }
+            }
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            let mut indptr = vec![0usize];
+            for row in per_row.iter_mut() {
+                row.sort_by_key(|&(c, _)| c);
+                let mut i = 0;
+                while i < row.len() {
+                    let c = row[i].0;
+                    let mut v = 0.0;
+                    while i < row.len() && row[i].0 == c {
+                        v += row[i].1;
+                        i += 1;
+                    }
+                    indices.push(c);
+                    values.push(v);
+                }
+                indptr.push(indices.len());
+            }
+            let m = CsrMatrix::from_triplets(6, 6, &triplets);
+            prop_assert_eq!(m.nnz(), values.len());
+            let mut k = 0;
+            for r in 0..6 {
+                for (c, v) in m.row(r) {
+                    prop_assert_eq!(c, indices[k]);
+                    prop_assert_eq!(v.to_bits(), values[k].to_bits());
+                    k += 1;
+                }
+                prop_assert_eq!(m.row(r).count(), indptr[r + 1] - indptr[r]);
+            }
+        }
+
         #[test]
         fn csr_matvec_agrees_with_dense(
             triplets in proptest::collection::vec((0usize..6, 0usize..6, -10f64..10.0), 0..40),

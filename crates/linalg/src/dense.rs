@@ -3,6 +3,14 @@ use std::fmt;
 use crate::vec_ops;
 use crate::LinalgError;
 
+/// Output rows per parallel chunk in [`DenseMatrix::matmul`] and
+/// [`DenseMatrix::matvec_into`]. Fixed (never derived from the thread
+/// count) so the decomposition is independent of parallelism.
+pub const MATMUL_ROW_BLOCK: usize = 32;
+
+/// Minimum scalar multiply-adds before dense kernels fan out.
+pub const PAR_MIN_WORK: usize = 262_144;
+
 /// A dense row-major matrix of `f64`.
 ///
 /// Small and deliberately simple: this backs the *internal* (per-node, free)
@@ -120,11 +128,39 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows).map(|r| vec_ops::dot(self.row(r), x)).collect()
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
     }
 
-    /// Matrix product `A·B`.
+    /// Matrix-vector product `out ← A·x` into a caller-provided buffer,
+    /// row-partitioned across threads (each entry is one independent dot
+    /// product, so the result is bitwise identical to the serial loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        if self.rows * self.cols < PAR_MIN_WORK {
+            for (r, yi) in out.iter_mut().enumerate() {
+                *yi = vec_ops::dot(self.row(r), x);
+            }
+            return;
+        }
+        crate::par::par_chunks_mut(out, MATMUL_ROW_BLOCK, |chunk_idx, sl| {
+            let base = chunk_idx * MATMUL_ROW_BLOCK;
+            for (k, yi) in sl.iter_mut().enumerate() {
+                *yi = vec_ops::dot(self.row(base + k), x);
+            }
+        });
+    }
+
+    /// Matrix product `A·B`, blocked by rows of the output: threads own
+    /// disjoint row blocks of fixed size [`MATMUL_ROW_BLOCK`], and each
+    /// output row is accumulated in the same `i,k,j` order as the serial
+    /// triple loop — bitwise identical for any thread count.
     ///
     /// # Errors
     ///
@@ -138,16 +174,30 @@ impl DenseMatrix {
             });
         }
         let mut out = DenseMatrix::zeros(self.rows, b.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.get(i, k);
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..b.cols {
-                    out.data[i * b.cols + j] += aik * b.get(k, j);
+        if b.cols == 0 || self.rows == 0 {
+            return Ok(out);
+        }
+        let bc = b.cols;
+        let row_block = |row0: usize, rows: &mut [f64]| {
+            for (local, orow) in rows.chunks_mut(bc).enumerate() {
+                let i = row0 + local;
+                for k in 0..self.cols {
+                    let aik = self.data[i * self.cols + k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for (oj, bj) in orow.iter_mut().zip(&b.data[k * bc..(k + 1) * bc]) {
+                        *oj += aik * bj;
+                    }
                 }
             }
+        };
+        if self.rows * self.cols * bc < PAR_MIN_WORK {
+            row_block(0, &mut out.data);
+        } else {
+            crate::par::par_chunks_mut(&mut out.data, MATMUL_ROW_BLOCK * bc, |chunk_idx, sl| {
+                row_block(chunk_idx * MATMUL_ROW_BLOCK, sl);
+            });
         }
         Ok(out)
     }
@@ -199,7 +249,11 @@ impl DenseMatrix {
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f64, b: &DenseMatrix) {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "axpy shape mismatch"
+        );
         for (x, y) in self.data.iter_mut().zip(&b.data) {
             *x += alpha * y;
         }

@@ -108,8 +108,20 @@ pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen, LinalgError> {
     })
 }
 
+/// Rows per parallel chunk in the two Householder update loops of
+/// [`tred2`]. Fixed so the decomposition is independent of parallelism;
+/// matrices smaller than one chunk run serially inside `par_*`.
+const TRED2_ROW_CHUNK: usize = 64;
+
 /// Householder reduction of a real symmetric matrix to tridiagonal form,
 /// accumulating the transformation (classical tred2).
+///
+/// The two `O(l²)` inner loops are restructured into a *pure-read* phase
+/// fanned out over row chunks followed by a short serial phase, so the
+/// floating-point operations per row are exactly those of the classical
+/// serial formulation — parallel runs are bitwise identical to serial
+/// ones (the column-`i` writes these loops perform are never read back
+/// within the same `i` step, which is what makes the split legal).
 fn tred2(z: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
     let n = z.len();
     for i in (1..n).rev() {
@@ -129,28 +141,58 @@ fn tred2(z: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
                 e[i] = scale * g;
                 h -= f * g;
                 z[i][l] = f - g;
+                // Phase A (parallel, pure reads of columns ≤ l):
+                // e[j] = (A·u)_j / h for the Householder vector u = z[i][..=l].
+                let (head, tail) = z.split_at_mut(i);
+                let zi: &[f64] = &tail[0];
+                let rows: &[Vec<f64>] = head;
+                let e_chunks = crate::par::par_map_chunks(l + 1, TRED2_ROW_CHUNK, |range| {
+                    range
+                        .map(|j| {
+                            let mut g_acc = 0.0;
+                            for k in 0..=j {
+                                g_acc += rows[j][k] * zi[k];
+                            }
+                            for k in (j + 1)..=l {
+                                g_acc += rows[k][j] * zi[k];
+                            }
+                            g_acc / h
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                // Phase B (serial, O(l)): store e, write column i, reduce f_acc
+                // in ascending j order — the exact summation order of the
+                // classical loop.
                 let mut f_acc = 0.0;
-                for j in 0..=l {
-                    z[j][i] = z[i][j] / h;
-                    let mut g_acc = 0.0;
-                    for k in 0..=j {
-                        g_acc += z[j][k] * z[i][k];
+                let mut j = 0;
+                for chunk in e_chunks {
+                    for ej in chunk {
+                        head[j][i] = zi[j] / h;
+                        e[j] = ej;
+                        f_acc += ej * zi[j];
+                        j += 1;
                     }
-                    for k in (j + 1)..=l {
-                        g_acc += z[k][j] * z[i][k];
-                    }
-                    e[j] = g_acc / h;
-                    f_acc += e[j] * z[i][j];
                 }
                 let hh = f_acc / (h + h);
+                // Phase A′ (serial, O(l)): finish the e update first so the
+                // row updates below read a fully updated e.
                 for j in 0..=l {
-                    let f = z[i][j];
-                    let g = e[j] - hh * f;
-                    e[j] = g;
-                    for k in 0..=j {
-                        z[j][k] -= f * e[k] + g * z[i][k];
-                    }
+                    e[j] -= hh * zi[j];
                 }
+                // Phase B′ (parallel, disjoint row writes): rank-two update
+                // of the lower triangle, row by row in classical k order.
+                let e_ro: &[f64] = e;
+                crate::par::par_chunks_mut(&mut head[..=l], TRED2_ROW_CHUNK, |chunk_idx, rows| {
+                    let base = chunk_idx * TRED2_ROW_CHUNK;
+                    for (local, row) in rows.iter_mut().enumerate() {
+                        let j = base + local;
+                        let f = zi[j];
+                        let g = e_ro[j];
+                        for k in 0..=j {
+                            row[k] -= f * e_ro[k] + g * zi[k];
+                        }
+                    }
+                });
             }
         } else {
             e[i] = z[i][l];
@@ -277,7 +319,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix() {
-        let a = DenseMatrix::from_row_major(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let a =
+            DenseMatrix::from_row_major(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
         let eig = symmetric_eigen(&a).unwrap();
         let vals = eig.eigenvalues();
         assert!((vals[0] - 1.0).abs() < 1e-12);
@@ -316,7 +359,14 @@ mod tests {
     fn eigenvectors_are_orthonormal_and_reconstruct() {
         let lap = laplacian_from_edges(
             6,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5), (3, 4, 1.5), (4, 5, 1.0), (0, 5, 3.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 0.5),
+                (3, 4, 1.5),
+                (4, 5, 1.0),
+                (0, 5, 3.0),
+            ],
         )
         .to_dense();
         let eig = symmetric_eigen(&lap).unwrap();

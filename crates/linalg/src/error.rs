@@ -44,10 +44,16 @@ impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinalgError::DimensionMismatch { op, got, expected } => {
-                write!(f, "dimension mismatch in {op}: got {got}, expected {expected}")
+                write!(
+                    f,
+                    "dimension mismatch in {op}: got {got}, expected {expected}"
+                )
             }
             LinalgError::NotPositiveDefinite { index, pivot } => {
-                write!(f, "matrix not positive definite: pivot {pivot:e} at index {index}")
+                write!(
+                    f,
+                    "matrix not positive definite: pivot {pivot:e} at index {index}"
+                )
             }
             LinalgError::EigenNoConvergence { index } => {
                 write!(f, "ql eigenvalue iteration did not converge at row {index}")
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = LinalgError::NotPositiveDefinite { index: 3, pivot: -1.0 };
+        let e = LinalgError::NotPositiveDefinite {
+            index: 3,
+            pivot: -1.0,
+        };
         assert!(e.to_string().contains("index 3"));
         let e = LinalgError::DimensionMismatch {
             op: "matvec",

@@ -104,43 +104,71 @@ impl GroundedCholesky {
     /// so the call is meaningful for any `b`; the result has zero mean on
     /// every component.
     ///
+    /// Allocates the output and a fresh scratch; per-iteration callers
+    /// (preconditioner solves inside Chebyshev) should use
+    /// [`GroundedCholesky::solve_into`] with reused buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != n`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        let mut scratch = SolveScratch::default();
+        self.solve_into(b, &mut x, &mut scratch);
+        x
+    }
+
+    /// Allocation-free pseudo-inverse application `x ← L† b`: the reduced
+    /// right-hand side and per-component accumulators live in `scratch`
+    /// (sized on first use, reused thereafter). The floating-point
+    /// operation sequence matches [`GroundedCholesky::solve`] exactly, so
+    /// both produce bitwise-equal results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `x.len() != n`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64], scratch: &mut SolveScratch) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "solution length mismatch");
         // Project b onto range(L): remove per-component mean.
         let num_comps = self.comp_size.len();
-        let mut sums = vec![0.0; num_comps];
-        for (v, &bv) in b.iter().enumerate() {
-            sums[self.component[v]] += bv;
-        }
-        let means: Vec<f64> = sums
-            .iter()
-            .zip(&self.comp_size)
-            .map(|(s, &c)| s / c as f64)
-            .collect();
         let k = self.reduced_vertices.len();
-        let mut rhs = vec![0.0; k];
-        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
-            rhs[ri] = b[v] - means[self.component[v]];
+        scratch.comp.resize(num_comps, 0.0);
+        scratch.rhs.resize(k, 0.0);
+        scratch.comp.fill(0.0);
+        for (v, &bv) in b.iter().enumerate() {
+            scratch.comp[self.component[v]] += bv;
         }
-        let y = cholesky_solve(&self.lower, &rhs);
-        let mut x = vec![0.0; self.n];
+        for (s, &c) in scratch.comp.iter_mut().zip(&self.comp_size) {
+            *s /= c as f64; // sums → means, in place
+        }
         for (ri, &v) in self.reduced_vertices.iter().enumerate() {
-            x[v] = y[ri];
+            scratch.rhs[ri] = b[v] - scratch.comp[self.component[v]];
+        }
+        cholesky_solve_in_place(&self.lower, &mut scratch.rhs);
+        x.fill(0.0);
+        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
+            x[v] = scratch.rhs[ri];
         }
         // Shift to the zero-mean representative per component.
-        let mut xsums = vec![0.0; num_comps];
+        scratch.comp.fill(0.0);
         for (v, &xv) in x.iter().enumerate() {
-            xsums[self.component[v]] += xv;
+            scratch.comp[self.component[v]] += xv;
         }
         for (v, xv) in x.iter_mut().enumerate() {
             let c = self.component[v];
-            *xv -= xsums[c] / self.comp_size[c] as f64;
+            *xv -= scratch.comp[c] / self.comp_size[c] as f64;
         }
-        x
     }
+}
+
+/// Reusable buffers for [`GroundedCholesky::solve_into`]: per-component
+/// accumulators and the reduced right-hand side (which the triangular
+/// solves overwrite in place).
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    comp: Vec<f64>,
+    rhs: Vec<f64>,
 }
 
 /// Connected components over the off-diagonal sparsity pattern.
@@ -197,26 +225,26 @@ fn cholesky_lower(a: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
     Ok(l)
 }
 
-/// Solves `L Lᵀ x = b` by forward/back substitution.
-fn cholesky_solve(l: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+/// Solves `L Lᵀ x = b` by forward/back substitution, overwriting `v`
+/// (`b` on entry, `x` on exit). Both sweeps read only entries already in
+/// their target state, so the in-place form performs exactly the
+/// operations of the two-buffer formulation.
+fn cholesky_solve_in_place(l: &DenseMatrix, v: &mut [f64]) {
     let n = l.rows();
-    let mut y = vec![0.0; n];
     for i in 0..n {
-        let mut s = b[i];
+        let mut s = v[i];
         for k in 0..i {
-            s -= l.get(i, k) * y[k];
+            s -= l.get(i, k) * v[k];
         }
-        y[i] = s / l.get(i, i);
+        v[i] = s / l.get(i, i);
     }
-    let mut x = vec![0.0; n];
     for i in (0..n).rev() {
-        let mut s = y[i];
+        let mut s = v[i];
         for k in (i + 1)..n {
-            s -= l.get(k, i) * x[k];
+            s -= l.get(k, i) * v[k];
         }
-        x[i] = s / l.get(i, i);
+        v[i] = s / l.get(i, i);
     }
-    x
 }
 
 #[cfg(test)]
@@ -275,7 +303,11 @@ mod tests {
     #[test]
     fn rejects_non_laplacian() {
         // Negative definite "Laplacian".
-        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (1, 1, -1.0), (0, 1, 0.5), (1, 0, 0.5)]);
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, -1.0), (1, 1, -1.0), (0, 1, 0.5), (1, 0, 0.5)],
+        );
         assert!(matches!(
             GroundedCholesky::new(&m),
             Err(LinalgError::NotPositiveDefinite { .. })

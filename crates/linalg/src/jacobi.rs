@@ -90,7 +90,13 @@ mod tests {
         let families: Vec<Vec<(usize, usize, f64)>> = vec![
             (0..7).map(|i| (i, i + 1, 1.0)).collect(),
             (0..8).map(|i| (i, (i + 1) % 8, (i + 1) as f64)).collect(),
-            vec![(0, 1, 2.0), (1, 2, 0.5), (2, 3, 3.0), (0, 3, 1.0), (1, 3, 4.0)],
+            vec![
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 3, 3.0),
+                (0, 3, 1.0),
+                (1, 3, 4.0),
+            ],
         ];
         for edges in families {
             let n = edges.iter().map(|&(u, v, _)| u.max(v)).max().unwrap() + 1;
@@ -105,7 +111,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        assert!(jacobi_eigenvalues(&DenseMatrix::zeros(0, 0)).unwrap().is_empty());
+        assert!(jacobi_eigenvalues(&DenseMatrix::zeros(0, 0))
+            .unwrap()
+            .is_empty());
         let a = DenseMatrix::from_row_major(1, 1, vec![-4.5]);
         assert_eq!(jacobi_eigenvalues(&a).unwrap(), vec![-4.5]);
     }

@@ -36,8 +36,8 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // dense kernels read clearer with explicit indices
 
-mod cheby;
 mod cg;
+mod cheby;
 mod csr;
 mod dense;
 mod eigen;
@@ -45,21 +45,22 @@ mod error;
 mod factor;
 mod jacobi;
 mod laplacian;
+pub mod par;
 mod power;
 pub mod vec_ops;
 
+pub use cg::{conjugate_gradient, conjugate_gradient_into, CgOutcome, CgStats, CgWorkspace};
 pub use cheby::{
-    chebyshev_iteration_bound, chebyshev_solve, chebyshev_solve_fixed, relative_a_error,
-    ChebyshevOutcome,
+    chebyshev_iteration_bound, chebyshev_solve, chebyshev_solve_fixed, chebyshev_solve_fixed_into,
+    relative_a_error, ChebyshevOutcome, ChebyshevWorkspace,
 };
-pub use cg::{conjugate_gradient, CgOutcome};
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, MATVEC_ROW_CHUNK, PAR_MIN_NNZ};
 pub use dense::DenseMatrix;
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use error::LinalgError;
-pub use factor::GroundedCholesky;
+pub use factor::{GroundedCholesky, SolveScratch};
 pub use jacobi::jacobi_eigenvalues;
 pub use laplacian::{
     laplacian_from_edges, laplacian_quadratic_form, normalized_laplacian_dense, LaplacianNorm,
 };
-pub use power::{power_method, PowerOutcome};
+pub use power::{power_method, power_method_with, PowerOutcome};

@@ -49,6 +49,32 @@ pub fn power_method(
     iterations: usize,
     orthogonal_to: &[Vec<f64>],
 ) -> PowerOutcome {
+    power_method_with(
+        |x, out| {
+            let y = apply(x);
+            assert_eq!(y.len(), out.len(), "operator returned wrong length");
+            out.copy_from_slice(&y);
+        },
+        n,
+        iterations,
+        orthogonal_to,
+    )
+}
+
+/// Buffer-reusing core of [`power_method`]: `apply(v, out)` writes the
+/// operator application into `out`, and the iteration ping-pongs between
+/// two vectors allocated once up front — zero heap allocations per step.
+/// The floating-point operation sequence matches [`power_method`] exactly.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn power_method_with(
+    mut apply: impl FnMut(&[f64], &mut [f64]),
+    n: usize,
+    iterations: usize,
+    orthogonal_to: &[Vec<f64>],
+) -> PowerOutcome {
     assert!(n > 0, "power_method on empty space");
     // Orthonormalize the deflation basis (classical Gram–Schmidt, fine for
     // the handful of vectors used here).
@@ -67,7 +93,7 @@ pub fn power_method(
             basis.push(u);
         }
     }
-    let deflate = |x: &mut Vec<f64>| {
+    let deflate = |x: &mut [f64]| {
         for b in &basis {
             let c = dot(x, b);
             axpy(x, -c, b);
@@ -88,10 +114,10 @@ pub fn power_method(
     for xi in x.iter_mut() {
         *xi /= nx;
     }
+    let mut y = vec![0.0; n];
     let mut lambda = 0.0;
     for k in 0..iterations {
-        let mut y = apply(&x);
-        assert_eq!(y.len(), n, "operator returned wrong length");
+        apply(&x, &mut y);
         deflate(&mut y);
         let ny = norm2(&y);
         if ny <= 1e-300 {
@@ -105,10 +131,10 @@ pub fn power_method(
         for yi in y.iter_mut() {
             *yi /= ny;
         }
-        x = y;
+        std::mem::swap(&mut x, &mut y);
     }
     // One final Rayleigh quotient on the converged direction.
-    let mut y = apply(&x);
+    apply(&x, &mut y);
     deflate(&mut y);
     lambda = lambda.max(dot(&x, &y));
     PowerOutcome {
@@ -145,11 +171,22 @@ mod tests {
 
     #[test]
     fn agrees_with_dense_eigensolver_on_laplacian() {
-        let edges = vec![(0, 1, 1.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 2.0), (4, 0, 1.0)];
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 3.0),
+            (2, 3, 1.0),
+            (3, 4, 2.0),
+            (4, 0, 1.0),
+        ];
         let lap = laplacian_from_edges(5, &edges);
         let dense_max = symmetric_eigen(&lap.to_dense()).unwrap().largest().unwrap();
         let out = power_method(|x| lap.matvec(x), 5, 500, &[]);
-        assert!((out.eigenvalue - dense_max).abs() < 1e-6, "{} vs {}", out.eigenvalue, dense_max);
+        assert!(
+            (out.eigenvalue - dense_max).abs() < 1e-6,
+            "{} vs {}",
+            out.eigenvalue,
+            dense_max
+        );
     }
 
     #[test]
@@ -168,6 +205,23 @@ mod tests {
         let basis = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let out = power_method(|x| x.to_vec(), 2, 10, &basis);
         assert_eq!(out.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn buffer_reusing_core_matches_allocating_api_bitwise() {
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 3.0),
+            (2, 3, 1.0),
+            (3, 4, 2.0),
+            (4, 0, 1.0),
+        ];
+        let lap = laplacian_from_edges(5, &edges);
+        let a = power_method(|x| lap.matvec(x), 5, 83, &[]);
+        let b = power_method_with(|x, out| lap.matvec_into(x, out), 5, 83, &[]);
+        assert_eq!(a.eigenvalue.to_bits(), b.eigenvalue.to_bits());
+        assert_eq!(a.eigenvector, b.eigenvector);
+        assert_eq!(a.iterations, b.iterations);
     }
 
     #[test]

@@ -39,6 +39,19 @@ pub fn scale(a: &mut [f64], alpha: f64) {
     }
 }
 
+/// `y ← x + β·y` — the fused direction update `p ← z + β·p` of Chebyshev
+/// and CG, done in place with a single pass.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn xpay(y: &mut [f64], beta: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "xpay: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
 /// Component-wise difference `a − b` as a new vector.
 ///
 /// # Panics
@@ -49,6 +62,19 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
+/// Component-wise difference `out ← a − b` into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
 /// Component-wise sum `a + b` as a new vector.
 ///
 /// # Panics
@@ -57,6 +83,19 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "add: length mismatch");
     a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Component-wise sum `out ← a + b` into a caller-provided buffer.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add_into(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    assert_eq!(a.len(), out.len(), "add: output length mismatch");
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
 }
 
 /// Maximum absolute entry `‖a‖_∞` (0 for the empty vector).
@@ -120,6 +159,23 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(&mut y, 2.0, &[10.0, 20.0]);
         assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let a = vec![1.0, -2.5, 3.0];
+        let b = vec![0.5, 4.0, -1.0];
+        let mut out = vec![0.0; 3];
+        sub_into(&a, &b, &mut out);
+        assert_eq!(out, sub(&a, &b));
+        add_into(&a, &b, &mut out);
+        assert_eq!(out, add(&a, &b));
+        // xpay: y ← x + β·y, the fused `p = z + β p` update.
+        let mut y = b.clone();
+        xpay(&mut y, 0.25, &a);
+        for ((got, x), orig) in y.iter().zip(&a).zip(&b) {
+            assert_eq!(got.to_bits(), (x + 0.25 * orig).to_bits());
+        }
     }
 
     #[test]

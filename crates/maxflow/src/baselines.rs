@@ -57,11 +57,7 @@ pub fn max_flow_trivial(clique: &mut Clique, g: &DiGraph, s: usize, t: usize) ->
         // Each node contributes its outgoing edges: (from, to, capacity).
         let mut per_node: Vec<Vec<u64>> = vec![Vec::new(); clique.n()];
         for e in g.edges() {
-            per_node[e.from].extend_from_slice(&[
-                e.from as u64,
-                e.to as u64,
-                e.capacity as u64,
-            ]);
+            per_node[e.from].extend_from_slice(&[e.from as u64, e.to as u64, e.capacity as u64]);
         }
         let _ = clique.allgather(&per_node);
         // Everything is global: solve internally (free in the model).
@@ -108,7 +104,10 @@ mod tests {
         let rounds = clique.ledger().total_rounds();
         // allgather of 3m words over n nodes plus balancing.
         let expect_ceiling = 2 * (3 * g.m() as u64).div_ceil(16) + 16;
-        assert!(rounds <= expect_ceiling, "rounds {rounds} > {expect_ceiling}");
+        assert!(
+            rounds <= expect_ceiling,
+            "rounds {rounds} > {expect_ceiling}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn min_cut_from_max_flow(g: &DiGraph, flow: &[i64], s: VertexId, t: VertexId
             }
         }
     }
-    assert!(!side[t], "flow is not maximum: t is residual-reachable from s");
+    assert!(
+        !side[t],
+        "flow is not maximum: t is residual-reachable from s"
+    );
     let mut edges = Vec::new();
     let mut capacity = 0;
     for (i, e) in g.edges().iter().enumerate() {

@@ -163,6 +163,46 @@ fn transform(g: &DiGraph, s: usize, t: usize) -> Vec<TEdge> {
     edges
 }
 
+/// Fixed chunk size of the per-edge fan-outs below. Decomposition depends
+/// only on the edge count, never the thread count.
+const EDGE_CHUNK: usize = 2048;
+
+/// Per-edge barrier resistances `r_e = d_e²(1/gf² + 1/gb²)` of the
+/// transformed graph, fanned out across cores in fixed chunks. Bitwise
+/// identical to the serial loop: chunks concatenate in index order and
+/// the gap fold uses the exact `min`. `gap_floor` clamps both residuals
+/// from below (`NEG_INFINITY` leaves them untouched); the returned
+/// minimum gap is of the *unclamped* residuals.
+fn barrier_resistances(
+    t_edges: &[TEdge],
+    x: &[f64],
+    damp: &[f64],
+    gap_floor: f64,
+) -> (Vec<(usize, usize, f64)>, f64) {
+    let parts = cc_linalg::par::par_map_chunks(t_edges.len(), EDGE_CHUNK, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut min_gap = f64::INFINITY;
+        for i in range {
+            let te = &t_edges[i];
+            let gf = te.cap - x[i];
+            let gb = te.cap + x[i];
+            min_gap = min_gap.min(gf.min(gb));
+            let gf = gf.max(gap_floor);
+            let gb = gb.max(gap_floor);
+            let de = damp[i];
+            let r = de * de * (1.0 / (gf * gf) + 1.0 / (gb * gb));
+            out.push((te.a, te.b, r.clamp(1e-12, 1e12)));
+        }
+        (out, min_gap)
+    });
+    let mut resist = Vec::with_capacity(t_edges.len());
+    let mut min_gap = f64::INFINITY;
+    for (part, mg) in parts {
+        resist.extend(part);
+        min_gap = min_gap.min(mg);
+    }
+    (resist, min_gap)
+}
 
 /// Builds an electrical network, reusing (and on first use capturing) a
 /// sparsifier template when the options allow it.
@@ -245,19 +285,7 @@ fn ipm_core(
                 break;
             }
             // ---- Augmentation (Algorithm 3) ----
-            let mut min_gap = f64::INFINITY;
-            let resist: Vec<(usize, usize, f64)> = t_edges
-                .iter()
-                .zip(&x)
-                .zip(&damp)
-                .map(|((te, &xe), &de)| {
-                    let gf = te.cap - xe;
-                    let gb = te.cap + xe;
-                    min_gap = min_gap.min(gf.min(gb));
-                    let r = de * de * (1.0 / (gf * gf) + 1.0 / (gb * gb));
-                    (te.a, te.b, r.clamp(1e-12, 1e12))
-                })
-                .collect();
+            let (resist, min_gap) = barrier_resistances(&t_edges, &x, &damp, f64::NEG_INFINITY);
             if min_gap < 1e-7 {
                 break; // numerically at the boundary: hand over to repair
             }
@@ -275,11 +303,7 @@ fn ipm_core(
             // round aggregates the norms.
             let mut rho3 = 0.0f64;
             let mut rho_raw_inf = 0.0f64;
-            for ((te, &xe), (&fe, &de)) in t_edges
-                .iter()
-                .zip(&x)
-                .zip(f_tilde.iter().zip(&damp))
-            {
+            for ((te, &xe), (&fe, &de)) in t_edges.iter().zip(&x).zip(f_tilde.iter().zip(&damp)) {
                 let gap = (te.cap - xe).min(te.cap + xe);
                 let rho = fe / (de * gap);
                 rho3 += rho.abs().powi(3);
@@ -304,7 +328,11 @@ fn ipm_core(
                         (i, (fe / (de * gap)).abs())
                     })
                     .collect();
-                by_rho.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rho").then(a.0.cmp(&b.0)));
+                by_rho.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite rho")
+                        .then(a.0.cmp(&b.0))
+                });
                 for &(i, _) in by_rho.iter().take(boost_size) {
                     damp[i] *= 2.0;
                 }
@@ -322,9 +350,12 @@ fn ipm_core(
             if delta * remaining < 1e-9 {
                 break; // stalled
             }
-            for (xe, &fe) in x.iter_mut().zip(f_tilde) {
-                *xe += delta * fe;
-            }
+            cc_linalg::par::par_chunks_mut(&mut x, EDGE_CHUNK, |ci, xs| {
+                let base = ci * EDGE_CHUNK;
+                for (j, xe) in xs.iter_mut().enumerate() {
+                    *xe += delta * f_tilde[base + j];
+                }
+            });
             for (yv, &phi) in y.iter_mut().zip(&electrical.potentials) {
                 *yv += delta * phi;
             }
@@ -341,17 +372,7 @@ fn ipm_core(
             residue[t] += target_routed;
             let resid_norm: f64 = residue.iter().map(|r| r * r).sum::<f64>().sqrt();
             if resid_norm > 1e-12 {
-                let resist2: Vec<(usize, usize, f64)> = t_edges
-                    .iter()
-                    .zip(&x)
-                    .zip(&damp)
-                    .map(|((te, &xe), &de)| {
-                        let gf = (te.cap - xe).max(1e-9);
-                        let gb = (te.cap + xe).max(1e-9);
-                        let r = de * de * (1.0 / (gf * gf) + 1.0 / (gb * gb));
-                        (te.a, te.b, r.clamp(1e-12, 1e12))
-                    })
-                    .collect();
+                let (resist2, _) = barrier_resistances(&t_edges, &x, &damp, 1e-9);
                 if let Ok(net2) = build_electrical(clique, n, &resist2, &mut template, options) {
                     let minus: Vec<f64> = residue.iter().map(|r| -r).collect();
                     let correction = net2.flow(clique, &minus, options.solver_eps);
@@ -459,7 +480,11 @@ fn fractional_cleanup(
                     let u = e.capacity as f64;
                     let gf = (u - fe).max(1e-6);
                     let gb = fe.max(1e-6);
-                    (e.from, e.to, (1.0 / (gf * gf) + 1.0 / (gb * gb)).clamp(1e-12, 1e12))
+                    (
+                        e.from,
+                        e.to,
+                        (1.0 / (gf * gf) + 1.0 / (gb * gb)).clamp(1e-12, 1e12),
+                    )
                 })
                 .collect();
             let Ok(net) = build_electrical(clique, n, &resist, &mut template, options) else {
@@ -470,12 +495,15 @@ fn fractional_cleanup(
             // Apply with step halving so f stays within [0, u].
             let mut scale = 1.0;
             for _ in 0..40 {
-                let ok = g.edges().iter().zip(f.iter()).zip(&corr.flows).all(
-                    |((e, &fe), &ce)| {
+                let ok = g
+                    .edges()
+                    .iter()
+                    .zip(f.iter())
+                    .zip(&corr.flows)
+                    .all(|((e, &fe), &ce)| {
                         let nf = fe + scale * ce;
                         (0.0..=e.capacity as f64).contains(&nf)
-                    },
-                );
+                    });
                 if ok {
                     for (fe, &ce) in f.iter_mut().zip(&corr.flows) {
                         *fe += scale * ce;

@@ -145,10 +145,8 @@ mod tests {
         // Classic example where a greedy path must be partially undone.
         //    0 → 1 → 3
         //    0 → 2 → 3  and 1 → 2
-        let g = DiGraph::from_capacities(
-            4,
-            &[(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
-        );
+        let g =
+            DiGraph::from_capacities(4, &[(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)]);
         // Adversarial start: route 0→1→2→3 (value 1), blocking both routes.
         let mut flow = vec![1, 0, 1, 0, 0];
         flow[4] = 1; // 2→3 carries it

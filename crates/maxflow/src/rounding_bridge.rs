@@ -80,7 +80,11 @@ pub fn snap_to_delta_multiples(
         if value_units == 0 {
             break;
         }
-        value_units = if attempt == 3 { 0 } else { (value_units * 3) / 4 };
+        value_units = if attempt == 3 {
+            0
+        } else {
+            (value_units * 3) / 4
+        };
     }
     SnapOutcome::Infeasible
 }
@@ -88,8 +92,8 @@ pub fn snap_to_delta_multiples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_graph::generators;
     use crate::dinic;
+    use cc_graph::generators;
 
     fn conservation_ok(g: &DiGraph, flow: &[f64], s: usize, t: usize) -> bool {
         let mut net = vec![0.0; g.n()];

@@ -84,7 +84,6 @@ pub fn default_step_budget(m: usize, max_cost: i64) -> usize {
     (steps.ceil() as usize).clamp(8, 600)
 }
 
-
 /// Builds an electrical network, reusing (and on first use capturing) a
 /// sparsifier template when the options allow it.
 fn build_electrical(
@@ -105,6 +104,37 @@ fn build_electrical(
             Ok(net)
         }
     }
+}
+
+/// Fixed chunk size of the per-edge fan-outs below. Decomposition depends
+/// only on the edge count, never the thread count.
+const EDGE_CHUNK: usize = 2048;
+
+/// Per-edge ν-weighted barrier resistances
+/// `r_e = ν_e (1/f² + 1/(1−f)²)`, fanned out across cores in fixed
+/// chunks. Bitwise identical to the serial loop: chunks concatenate in
+/// index order and the gap fold uses the exact `min`.
+fn barrier_resistances(g: &DiGraph, f: &[f64], nu: &[f64]) -> (Vec<(usize, usize, f64)>, f64) {
+    let edges = g.edges();
+    let parts = cc_linalg::par::par_map_chunks(edges.len(), EDGE_CHUNK, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut min_gap = f64::INFINITY;
+        for i in range {
+            let e = &edges[i];
+            let fe = f[i];
+            min_gap = min_gap.min(fe.min(1.0 - fe));
+            let r = nu[i] * (1.0 / (fe * fe) + 1.0 / ((1.0 - fe) * (1.0 - fe)));
+            out.push((e.from, e.to, r.clamp(1e-12, 1e12)));
+        }
+        (out, min_gap)
+    });
+    let mut resist = Vec::with_capacity(edges.len());
+    let mut min_gap = f64::INFINITY;
+    for (part, mg) in parts {
+        resist.extend(part);
+        min_gap = min_gap.min(mg);
+    }
+    (resist, min_gap)
 }
 
 /// IPM core: log-barrier on `f_e ∈ (0, 1)` from the analytic center
@@ -160,19 +190,7 @@ fn ipm_core(
             }
             // Resistances r_e = ν_e (1/f² + 1/(1−f)²): CMSV's ν/f² barrier
             // extended two-sidedly for the explicit unit capacity.
-            let mut min_gap = f64::INFINITY;
-            let resist: Vec<(usize, usize, f64)> = g
-                .edges()
-                .iter()
-                .zip(&f)
-                .zip(&nu)
-                .map(|((e, &fe), &ne)| {
-                    let gap = fe.min(1.0 - fe);
-                    min_gap = min_gap.min(gap);
-                    let r = ne * (1.0 / (fe * fe) + 1.0 / ((1.0 - fe) * (1.0 - fe)));
-                    (e.from, e.to, r.clamp(1e-12, 1e12))
-                })
-                .collect();
+            let (resist, min_gap) = barrier_resistances(g, &f, &nu);
             if min_gap < 1e-7 {
                 break;
             }
@@ -226,10 +244,13 @@ fn ipm_core(
             if delta < 1e-12 {
                 break;
             }
-            for (fe, &fte) in f.iter_mut().zip(f_tilde) {
-                *fe += delta * fte;
-                *fe = fe.clamp(1e-9, 1.0 - 1e-9);
-            }
+            cc_linalg::par::par_chunks_mut(&mut f, EDGE_CHUNK, |ci, fs| {
+                let base = ci * EDGE_CHUNK;
+                for (j, fe) in fs.iter_mut().enumerate() {
+                    *fe += delta * f_tilde[base + j];
+                    *fe = fe.clamp(1e-9, 1.0 - 1e-9);
+                }
+            });
             for (yv, &pv) in y.iter_mut().zip(&electrical.potentials) {
                 *yv += delta * pv;
             }
@@ -244,27 +265,15 @@ fn ipm_core(
                 .collect();
             let res_norm: f64 = residue.iter().map(|r| r * r).sum::<f64>().sqrt();
             if res_norm > 1e-12 {
-                let resist2: Vec<(usize, usize, f64)> = g
-                    .edges()
-                    .iter()
-                    .zip(&f)
-                    .zip(&nu)
-                    .map(|((e, &fe), &ne)| {
-                        let r = ne * (1.0 / (fe * fe) + 1.0 / ((1.0 - fe) * (1.0 - fe)));
-                        (e.from, e.to, r.clamp(1e-12, 1e12))
-                    })
-                    .collect();
+                let (resist2, _) = barrier_resistances(g, &f, &nu);
                 if let Ok(net2) = build_electrical(clique, n, &resist2, &mut template, options) {
                     let corr = net2.flow(clique, &residue, options.solver_eps);
                     let mut scale = 1.0;
                     for _ in 0..40 {
-                        let ok = f
-                            .iter()
-                            .zip(&corr.flows)
-                            .all(|(&fe, &ce)| {
-                                let nf = fe + scale * ce;
-                                nf > 1e-9 && nf < 1.0 - 1e-9
-                            });
+                        let ok = f.iter().zip(&corr.flows).all(|(&fe, &ce)| {
+                            let nf = fe + scale * ce;
+                            nf > 1e-9 && nf < 1.0 - 1e-9
+                        });
                         if ok {
                             for (fe, &ce) in f.iter_mut().zip(&corr.flows) {
                                 *fe += scale * ce;
@@ -437,8 +446,7 @@ mod tests {
     fn zero_demand_is_zero_flow() {
         let g = generators::random_unit_digraph(6, 10, 3, 4);
         let mut clique = Clique::new(8);
-        let out =
-            min_cost_flow_ipm(&mut clique, &g, &[0; 6], &McfOptions::default()).unwrap();
+        let out = min_cost_flow_ipm(&mut clique, &g, &[0; 6], &McfOptions::default()).unwrap();
         assert_eq!(out.cost, 0);
         assert!(out.flow.iter().all(|&f| f == 0));
     }

@@ -6,7 +6,7 @@ use std::fmt;
 
 use cc_apsp::{apsp_from_arcs, RoundModel};
 use cc_graph::DiGraph;
-use cc_model::{CostKind, Clique};
+use cc_model::{Clique, CostKind};
 
 /// Errors of the min cost flow pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -77,8 +77,7 @@ mod tests {
     #[test]
     fn zero_demand_zero_flow() {
         let g = generators::random_unit_digraph(6, 10, 4, 2);
-        let snapped =
-            snap_to_sigma_multiples(&g, &vec![0.0; g.m()], &[0; 6], 0.25).unwrap();
+        let snapped = snap_to_sigma_multiples(&g, &vec![0.0; g.m()], &[0; 6], 0.25).unwrap();
         assert!(snapped.iter().all(|&f| f == 0.0));
     }
 

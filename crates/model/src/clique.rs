@@ -164,7 +164,10 @@ impl Clique {
         for per_node in outboxes {
             for (dst, _) in per_node {
                 if *dst >= self.n {
-                    return Err(ModelError::InvalidNode { node: *dst, n: self.n });
+                    return Err(ModelError::InvalidNode {
+                        node: *dst,
+                        n: self.n,
+                    });
                 }
             }
         }
@@ -350,7 +353,10 @@ impl Clique {
     /// [`ModelError::InvalidNode`] if `src` is out of range.
     pub fn broadcast_from(&mut self, src: NodeId, words: &Words) -> Result<Words, ModelError> {
         if src >= self.n {
-            return Err(ModelError::InvalidNode { node: src, n: self.n });
+            return Err(ModelError::InvalidNode {
+                node: src,
+                n: self.n,
+            });
         }
         let w = words.len() as u64;
         let rounds = if self.config.mode == CommunicationMode::Broadcast {
@@ -401,7 +407,8 @@ impl Clique {
         if total > 0 {
             let balance = self.config.lenzen_rounds * max_contrib.div_ceil(self.n as u64);
             let broadcast = total.div_ceil(self.n as u64);
-            self.ledger.charge(balance + broadcast, CostKind::Implemented);
+            self.ledger
+                .charge(balance + broadcast, CostKind::Implemented);
         }
         let mut offsets = Vec::with_capacity(self.n + 1);
         let mut all = Vec::with_capacity(total as usize);
@@ -466,14 +473,13 @@ impl Clique {
     ///
     /// [`ModelError::InvalidNode`] if `dst` is out of range;
     /// panics if `per_node.len() != n`.
-    pub fn gather_to(
-        &mut self,
-        dst: NodeId,
-        per_node: &[Words],
-    ) -> Result<Vec<Words>, ModelError> {
+    pub fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         self.check_unicast_allowed()?;
         if dst >= self.n {
-            return Err(ModelError::InvalidNode { node: dst, n: self.n });
+            return Err(ModelError::InvalidNode {
+                node: dst,
+                n: self.n,
+            });
         }
         assert_eq!(per_node.len(), self.n, "one word vector per node required");
         let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
@@ -519,14 +525,22 @@ mod tests {
             .map(|u| (0..4).map(|v| (v, vec![(u * 4 + v) as u64])).collect())
             .collect();
         clique.route(outboxes).unwrap();
-        assert_eq!(clique.ledger().total_rounds(), clique.config().lenzen_rounds);
+        assert_eq!(
+            clique.ledger().total_rounds(),
+            clique.config().lenzen_rounds
+        );
     }
 
     #[test]
     fn route_batches_when_overloaded() {
         let mut clique = Clique::new(4);
         // Node 0 sends 9 words to node 1: receive load 9 > n=4 => 3 batches.
-        let outboxes = vec![vec![(1, (0..9).collect::<Vec<u64>>())], vec![], vec![], vec![]];
+        let outboxes = vec![
+            vec![(1, (0..9).collect::<Vec<u64>>())],
+            vec![],
+            vec![],
+            vec![],
+        ];
         clique.route(outboxes).unwrap();
         assert_eq!(
             clique.ledger().total_rounds(),
@@ -537,7 +551,12 @@ mod tests {
     #[test]
     fn route_strict_rejects_overload() {
         let mut clique = Clique::new(4);
-        let outboxes = vec![vec![(1, (0..9).collect::<Vec<u64>>())], vec![], vec![], vec![]];
+        let outboxes = vec![
+            vec![(1, (0..9).collect::<Vec<u64>>())],
+            vec![],
+            vec![],
+            vec![],
+        ];
         let err = clique.route_strict(outboxes).unwrap_err();
         match err {
             ModelError::CongestionExceeded { node, words, .. } => {
@@ -593,7 +612,9 @@ mod tests {
     #[test]
     fn invalid_destination_is_rejected() {
         let mut clique = Clique::new(2);
-        let err = clique.exchange(vec![vec![(5, vec![1])], vec![]]).unwrap_err();
+        let err = clique
+            .exchange(vec![vec![(5, vec![1])], vec![]])
+            .unwrap_err();
         assert_eq!(err, ModelError::InvalidNode { node: 5, n: 2 });
     }
 
@@ -640,23 +661,22 @@ mod tests {
     #[test]
     fn sort_produces_global_sorted_blocks() {
         let mut clique = Clique::new(3);
-        let out = clique
-            .sort(&[vec![9, 1], vec![5], vec![3, 7, 2]])
-            .unwrap();
+        let out = clique.sort(&[vec![9, 1], vec![5], vec![3, 7, 2]]).unwrap();
         let flat: Vec<u64> = out.iter().flatten().copied().collect();
         assert_eq!(flat, vec![1, 2, 3, 5, 7, 9]);
         assert_eq!(out[0], vec![1, 2]); // blocks of 2 each
         assert_eq!(out[2], vec![7, 9]);
         // max per-node keys 3 ≤ n=3: one batch.
-        assert_eq!(clique.ledger().total_rounds(), clique.config().lenzen_rounds);
+        assert_eq!(
+            clique.ledger().total_rounds(),
+            clique.config().lenzen_rounds
+        );
     }
 
     #[test]
     fn sort_batches_large_inputs() {
         let mut clique = Clique::new(2);
-        let out = clique
-            .sort(&[(0..5).rev().collect(), vec![]])
-            .unwrap();
+        let out = clique.sort(&[(0..5).rev().collect(), vec![]]).unwrap();
         assert_eq!(out[0], vec![0, 1, 2]); // 5 keys: blocks 3 + 2
         assert_eq!(out[1], vec![3, 4]);
         // ceil(5/2) = 3 batches.
@@ -676,7 +696,10 @@ mod tests {
             },
         );
         let outboxes = vec![vec![(1, vec![1u64])], vec![], vec![], vec![]];
-        assert_eq!(clique.exchange(outboxes.clone()), Err(ModelError::BroadcastOnly));
+        assert_eq!(
+            clique.exchange(outboxes.clone()),
+            Err(ModelError::BroadcastOnly)
+        );
         assert_eq!(clique.route(outboxes), Err(ModelError::BroadcastOnly));
         assert_eq!(
             clique.gather_to(0, &[vec![], vec![1], vec![], vec![]]),

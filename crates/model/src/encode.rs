@@ -57,7 +57,10 @@ pub fn decode_i64(w: u64) -> i64 {
 /// Panics if `frac_bits >= 63`.
 #[inline]
 pub fn encode_f64_fixed(x: f64, frac_bits: u32) -> u64 {
-    assert!(frac_bits < 63, "frac_bits must leave room for the integer part");
+    assert!(
+        frac_bits < 63,
+        "frac_bits must leave room for the integer part"
+    );
     let scale = (1u64 << frac_bits) as f64;
     let bound = (1i64 << 62) as f64;
     let q = (x * scale).round().clamp(-bound, bound) as i64;
@@ -71,7 +74,10 @@ pub fn encode_f64_fixed(x: f64, frac_bits: u32) -> u64 {
 /// Panics if `frac_bits >= 63`.
 #[inline]
 pub fn decode_f64_fixed(w: u64, frac_bits: u32) -> f64 {
-    assert!(frac_bits < 63, "frac_bits must leave room for the integer part");
+    assert!(
+        frac_bits < 63,
+        "frac_bits must leave room for the integer part"
+    );
     (w as i64) as f64 / (1u64 << frac_bits) as f64
 }
 

@@ -57,10 +57,16 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::BroadcastOnly => {
-                write!(f, "point-to-point messages are not allowed in broadcast mode")
+                write!(
+                    f,
+                    "point-to-point messages are not allowed in broadcast mode"
+                )
             }
             ModelError::WrongOutboxCount { got, expected } => {
-                write!(f, "outbox count {got} does not match clique size {expected}")
+                write!(
+                    f,
+                    "outbox count {got} does not match clique size {expected}"
+                )
             }
         }
     }
@@ -82,7 +88,10 @@ mod tests {
                 capacity: 8,
                 sending: true,
             },
-            ModelError::WrongOutboxCount { got: 3, expected: 4 },
+            ModelError::WrongOutboxCount {
+                got: 3,
+                expected: 4,
+            },
         ];
         for e in errs {
             let s = e.to_string();

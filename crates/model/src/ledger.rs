@@ -147,7 +147,11 @@ impl RoundLedger {
             self.total.charged
         ));
         for (name, cost) in &self.phases {
-            let label = if name.is_empty() { "<top>" } else { name.as_str() };
+            let label = if name.is_empty() {
+                "<top>"
+            } else {
+                name.as_str()
+            };
             out.push_str(&format!(
                 "  {label:<48} {:>10} (impl {:>8}, charged {:>8})\n",
                 cost.total(),

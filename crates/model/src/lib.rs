@@ -51,8 +51,8 @@ pub use encode::{
     decode_f64, decode_f64_fixed, decode_i64, encode_f64, encode_f64_fixed, encode_i64,
 };
 pub use error::ModelError;
-pub use program::{run_node_programs, NodeCtx, NodeProgram};
 pub use ledger::{CostKind, PhaseCost, RoundLedger};
+pub use program::{run_node_programs, NodeCtx, NodeProgram};
 
 /// Identifier of a node (processor) of the clique; ranges over `0..n`.
 pub type NodeId = usize;

@@ -217,7 +217,12 @@ mod tests {
     #[test]
     fn ring_echo_delivers_every_message() {
         let mut clique = Clique::new(5);
-        let programs = (0..5).map(|_| Echo { sent: false, got: 0 }).collect();
+        let programs = (0..5)
+            .map(|_| Echo {
+                sent: false,
+                got: 0,
+            })
+            .collect();
         let out = run_node_programs(&mut clique, programs, 5).unwrap();
         assert_eq!(out, vec![1; 5]);
     }

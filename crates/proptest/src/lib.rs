@@ -1,0 +1,378 @@
+//! Deterministic, dependency-free stand-in for the subset of the
+//! `proptest` 1.x API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so property tests
+//! run on a vendored mini-harness instead: each `proptest!` test samples
+//! its strategies from a [`rand`]-shim generator seeded from the test's
+//! name. Runs are therefore fully deterministic (the same cases every
+//! run, on every machine) — a feature, not a bug, in a repository whose
+//! premise is bit-reproducible deterministic algorithms. There is no
+//! shrinking; on failure the panic message reports the case index so the
+//! offending inputs can be regenerated exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of pseudo-random test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator derived from the property's name.
+    pub fn for_property(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// A generator of values of one type — the shim's `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniformly between the bounds (upper exclusive).
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    /// A strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Between(lo, hi) => {
+                    assert!(lo < hi, "collection::vec: empty size range");
+                    rng.0.gen_range(lo..hi)
+                }
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Numeric "any value" strategies, including special values.
+pub mod num {
+    /// Strategies over `f64`.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Generates arbitrary `f64`s: a mix of special values (NaN,
+        /// infinities, signed zeros, subnormals) and finite values across
+        /// the full exponent range (raw bit patterns).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `f64`, specials included.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                match rng.0.gen_range(0u32..16) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.0,
+                    4 => -0.0,
+                    5 => f64::MIN_POSITIVE / 2.0, // subnormal
+                    _ => f64::from_bits(rng.0.gen::<u64>()),
+                }
+            }
+        }
+    }
+
+    /// Strategies over `i64`.
+    pub mod i64 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Generates arbitrary `i64`s, biased toward boundary values.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `i64`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = i64;
+            fn sample(&self, rng: &mut TestRng) -> i64 {
+                match rng.0.gen_range(0u32..8) {
+                    0 => i64::MIN,
+                    1 => i64::MAX,
+                    2 => 0,
+                    3 => -1,
+                    _ => rng.0.gen::<u64>() as i64,
+                }
+            }
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Generates arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Any `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.0.gen::<bool>()
+        }
+    }
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the `proptest` 1.x surface this workspace uses: an optional
+/// leading `#![proptest_config(...)]`, and `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_property(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                let ($($pat,)*) = ($($crate::Strategy::sample(&($strat), &mut rng),)*);
+                let __guard = $crate::CaseReporter::new(stringify!($name), __case);
+                $body
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case index when a property panics (poor man's
+/// substitute for shrinking: re-running is deterministic, so the case
+/// index pinpoints the inputs).
+#[doc(hidden)]
+pub struct CaseReporter {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseReporter {
+    #[doc(hidden)]
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseReporter {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest-shim: property `{}` failed on deterministic case #{}",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// Asserts a property holds (alias of `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal (alias of `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vecs_have_requested_lengths(
+            v in collection::vec(0u64..5, 4),
+            w in collection::vec((0usize..3, -1.0f64..1.0), 0..7),
+        ) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(w.len() < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_is_honored(x in 0u32..100) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = collection::vec(0u64..1000, 5);
+        let mut r1 = TestRng::for_property("p");
+        let mut r2 = TestRng::for_property("p");
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

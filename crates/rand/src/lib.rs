@@ -1,0 +1,238 @@
+//! Deterministic, dependency-free stand-in for the subset of the `rand`
+//! 0.8 API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny PRNG of its own. The generator is SplitMix64 — a
+//! full-period 64-bit mixer with excellent statistical quality for test
+//! and instance-generation workloads — seeded exactly like
+//! `StdRng::seed_from_u64`. Sequences differ from upstream `rand` (which
+//! is fine: every caller in this repo treats the stream as an opaque
+//! deterministic source), but they are identical across runs, platforms
+//! and thread counts, which is the property the deterministic congested
+//! clique reproduction actually relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator engines.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator mirroring `rand::rngs::StdRng`'s
+    /// role (a seedable, portable default engine).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix so that small consecutive seeds give unrelated streams.
+        let mut rng = StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+impl StdRng {
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, bound)` without modulo bias (Lemire-style
+    /// rejection on the widening multiply).
+    #[inline]
+    pub(crate) fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Ranges a value can be uniformly sampled from, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded_u64(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "standard" distribution (for `rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws a sample from the standard distribution.
+    fn standard_sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard_sample(rng: &mut StdRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard_sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard_sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The user-facing sampling interface, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&y));
+            let z = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&z));
+            let w = rng.gen_range(-4i64..=-1);
+            assert!((-4..=-1).contains(&w));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_are_hit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -124,63 +124,19 @@ pub fn default_phi(g: &Graph) -> f64 {
 pub fn expander_decompose(g: &Graph, phi: f64) -> ExpanderDecomposition {
     assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
     let mut clusters = Vec::new();
-    let mut pending: Vec<Vec<VertexId>> = Vec::new();
-    // Start from connected pieces.
-    pending.extend(split_components(g, &(0..g.n()).collect::<Vec<_>>()));
-    while let Some(vertices) = pending.pop() {
-        if vertices.len() <= 2 {
-            clusters.push(finish_cluster(g, vertices));
-            continue;
-        }
-        let (sub, map) = g.induced(&vertices);
-        if sub.m() == 0 {
-            // Disconnected singletons (shouldn't happen after split) —
-            // emit one cluster per vertex.
-            for v in vertices {
-                clusters.push(finish_cluster(g, vec![v]));
-            }
-            continue;
-        }
-        let nl = normalized_laplacian_dense(sub.n(), &sub.edge_triples());
-        let eig = symmetric_eigen(&nl).expect("normalized Laplacian eigendecomposition");
-        let mu2 = eig.eigenvalues()[1];
-        let mu_max = *eig
-            .eigenvalues()
-            .last()
-            .expect("nonempty spectrum for nonempty cluster");
-        if mu2 <= 1e-12 {
-            // Disconnected: split by components (mapped back to global ids)
-            // and retry.
-            let comp = sub.components();
-            let num = comp.iter().copied().max().map_or(0, |c| c + 1);
-            let mut pieces = vec![Vec::new(); num];
-            for (local, &c) in comp.iter().enumerate() {
-                pieces[c].push(map[local]);
-            }
-            pending.extend(pieces);
-            continue;
-        }
-        // Sweep the exact Fiedler vector in the degree-weighted embedding.
-        let fiedler = eig.eigenvector(1);
-        match best_sweep_cut(&sub, &fiedler) {
-            Some((cut_conductance, side)) if cut_conductance < phi => {
-                let (mut left, mut right) = (Vec::new(), Vec::new());
-                for (local, &global) in map.iter().enumerate() {
-                    if side[local] {
-                        left.push(global);
-                    } else {
-                        right.push(global);
-                    }
-                }
-                pending.push(left);
-                pending.push(right);
-            }
-            _ => {
-                // Certified expander: record exact spectral bounds.
-                let mut cl = finish_cluster(g, vertices);
-                cl.mu2 = mu2;
-                cl.mu_max = mu_max;
-                clusters.push(cl);
+    // Process the worklist in waves: pieces of one wave are vertex-disjoint
+    // and independent, so they fan out across cores (the dense eigensolve
+    // per piece dominates the sparsifier build). Each piece's fate depends
+    // only on its own vertex set — the recursion tree is independent of
+    // processing order — and the cluster list is sorted below, so the
+    // result is identical to the sequential worklist's.
+    let mut pending: Vec<Vec<VertexId>> = split_components(g, &(0..g.n()).collect::<Vec<_>>());
+    while !pending.is_empty() {
+        let wave = std::mem::take(&mut pending);
+        for outcome in cc_linalg::par::par_map(&wave, |piece| process_piece(g, piece, phi)) {
+            match outcome {
+                PieceOutcome::Clusters(cs) => clusters.extend(cs),
+                PieceOutcome::Split(pieces) => pending.extend(pieces),
             }
         }
     }
@@ -202,6 +158,74 @@ pub fn expander_decompose(g: &Graph, phi: f64) -> ExpanderDecomposition {
         clusters,
         crossing_edges: crossing,
         phi,
+    }
+}
+
+/// What became of one worklist piece.
+enum PieceOutcome {
+    /// Final clusters (≤ 2 vertices, edgeless singletons, or a certified
+    /// expander).
+    Clusters(Vec<Cluster>),
+    /// The piece was cut (sweep cut or component split); recurse on these.
+    Split(Vec<Vec<VertexId>>),
+}
+
+/// One step of the decomposition recursion, free of shared mutable state
+/// so waves of pieces can run concurrently.
+fn process_piece(g: &Graph, vertices: &[VertexId], phi: f64) -> PieceOutcome {
+    if vertices.len() <= 2 {
+        return PieceOutcome::Clusters(vec![finish_cluster(g, vertices.to_vec())]);
+    }
+    let (sub, map) = g.induced(vertices);
+    if sub.m() == 0 {
+        // Disconnected singletons (shouldn't happen after split) —
+        // emit one cluster per vertex.
+        return PieceOutcome::Clusters(
+            vertices
+                .iter()
+                .map(|&v| finish_cluster(g, vec![v]))
+                .collect(),
+        );
+    }
+    let nl = normalized_laplacian_dense(sub.n(), &sub.edge_triples());
+    let eig = symmetric_eigen(&nl).expect("normalized Laplacian eigendecomposition");
+    let mu2 = eig.eigenvalues()[1];
+    let mu_max = *eig
+        .eigenvalues()
+        .last()
+        .expect("nonempty spectrum for nonempty cluster");
+    if mu2 <= 1e-12 {
+        // Disconnected: split by components (mapped back to global ids)
+        // and retry.
+        let comp = sub.components();
+        let num = comp.iter().copied().max().map_or(0, |c| c + 1);
+        let mut pieces = vec![Vec::new(); num];
+        for (local, &c) in comp.iter().enumerate() {
+            pieces[c].push(map[local]);
+        }
+        return PieceOutcome::Split(pieces);
+    }
+    // Sweep the exact Fiedler vector in the degree-weighted embedding.
+    let fiedler = eig.eigenvector(1);
+    match best_sweep_cut(&sub, &fiedler) {
+        Some((cut_conductance, side)) if cut_conductance < phi => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for (local, &global) in map.iter().enumerate() {
+                if side[local] {
+                    left.push(global);
+                } else {
+                    right.push(global);
+                }
+            }
+            PieceOutcome::Split(vec![left, right])
+        }
+        _ => {
+            // Certified expander: record exact spectral bounds.
+            let mut cl = finish_cluster(g, vertices.to_vec());
+            cl.mu2 = mu2;
+            cl.mu_max = mu_max;
+            PieceOutcome::Clusters(vec![cl])
+        }
     }
 }
 
@@ -270,7 +294,12 @@ fn best_sweep_cut(sub: &Graph, vector: &[f64]) -> Option<(f64, Vec<bool>)> {
             }
         })
         .collect();
-    order.sort_by(|&a, &b| key[a].partial_cmp(&key[b]).expect("NaN sweep key").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        key[a]
+            .partial_cmp(&key[b])
+            .expect("NaN sweep key")
+            .then(a.cmp(&b))
+    });
     let total_vol: f64 = wdeg.iter().sum();
     let mut in_prefix = vec![false; n];
     let mut vol_s = 0.0;
@@ -321,7 +350,11 @@ mod tests {
         sizes.sort_unstable();
         assert_eq!(sizes, vec![6, 6]);
         for cl in &dec.clusters {
-            assert!(cl.mu2 > 0.2 * 0.2 / 2.0, "certificate µ2={} too small", cl.mu2);
+            assert!(
+                cl.mu2 > 0.2 * 0.2 / 2.0,
+                "certificate µ2={} too small",
+                cl.mu2
+            );
         }
     }
 

@@ -41,12 +41,7 @@ impl ClusterGadget {
     /// Panics if inputs are inconsistent (`mu2 ≤ 0`, `mu_max < mu2`,
     /// length mismatch) or any degree is non-positive — such clusters must
     /// be handled by the direct-edges path instead.
-    pub fn new(
-        vertices: Vec<VertexId>,
-        weighted_degrees: &[f64],
-        mu2: f64,
-        mu_max: f64,
-    ) -> Self {
+    pub fn new(vertices: Vec<VertexId>, weighted_degrees: &[f64], mu2: f64, mu_max: f64) -> Self {
         assert_eq!(vertices.len(), weighted_degrees.len(), "length mismatch");
         assert!(mu2 > 0.0, "cluster gap must be positive, got {mu2}");
         assert!(mu_max >= mu2, "mu_max {mu_max} below mu2 {mu2}");
@@ -130,7 +125,11 @@ mod tests {
         // L_{H(d)} = S diag(d) − d dᵀ; expect schur == L_{H(d)}/S.
         for i in 0..3 {
             for j in 0..3 {
-                let lh = if i == j { s * d[i] - d[i] * d[i] } else { -d[i] * d[j] };
+                let lh = if i == j {
+                    s * d[i] - d[i] * d[i]
+                } else {
+                    -d[i] * d[j]
+                };
                 assert!(
                     (schur.get(i, j) - lh / s).abs() < 1e-12,
                     "({i},{j}): {} vs {}",
@@ -149,8 +148,7 @@ mod tests {
         let gadget = ClusterGadget::new(vec![0, 1, 2, 3], &d, 0.5, 1.5);
         let mut edges = Vec::new();
         gadget.emit_edges(4, &mut edges);
-        let triples: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v, w)| (u, v, w)).collect();
+        let triples: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v, w)| (u, v, w)).collect();
         let full = laplacian_from_edges(5, &triples).to_dense();
         // Schur: A_oo − a a^T / s where a = column of center.
         let s = full.get(4, 4);

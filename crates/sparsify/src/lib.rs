@@ -49,5 +49,7 @@ pub use certify::{generalized_eigen_bounds, verify_sparsifier, CertifiedBounds};
 pub use decomposition::{expander_decompose, Cluster, ExpanderDecomposition};
 pub use gadget::ClusterGadget;
 pub use randomized::build_randomized_sparsifier;
-pub use sparsifier::{build_sparsifier, SparsifierSolver, SparsifyParams, SpectralSparsifier};
+pub use sparsifier::{
+    build_sparsifier, SparsifierSolveScratch, SparsifierSolver, SparsifyParams, SpectralSparsifier,
+};
 pub use template::{build_sparsifier_with_template, SparsifierTemplate};

@@ -110,13 +110,7 @@ pub fn build_randomized_sparsifier(
         } else {
             1e9
         };
-        SpectralSparsifier::from_parts(
-            n,
-            0,
-            candidate.edges().to_vec(),
-            alpha * (1.0 + 1e-9),
-            1,
-        )
+        SpectralSparsifier::from_parts(n, 0, candidate.edges().to_vec(), alpha * (1.0 + 1e-9), 1)
     })
 }
 
@@ -133,7 +127,10 @@ mod tests {
         let h = build_randomized_sparsifier(&mut clique, &g, 42, None);
         let bounds = verify_sparsifier(&g, &h);
         assert!(bounds.alpha() <= h.alpha() * (1.0 + 1e-6));
-        assert!(h.alpha() < 100.0, "sampling should produce a decent sparsifier");
+        assert!(
+            h.alpha() < 100.0,
+            "sampling should produce a decent sparsifier"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The level-by-level deterministic spectral sparsifier of Theorem 3.3.
 
 use cc_graph::Graph;
-use cc_linalg::{laplacian_from_edges, GroundedCholesky, LinalgError};
+use cc_linalg::{laplacian_from_edges, GroundedCholesky, LinalgError, SolveScratch};
 use cc_model::Clique;
 
 use crate::decomposition::{default_phi, expander_decompose};
@@ -145,17 +145,54 @@ pub struct SparsifierSolver {
 impl SparsifierSolver {
     /// Applies the (pseudo-)inverse of the Schur complement `S_H` to `b`.
     ///
+    /// Allocates per call; the per-iteration preconditioner path inside
+    /// the Laplacian solver uses [`SparsifierSolver::solve_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the number of original vertices.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "rhs must have one entry per original vertex");
-        let mut padded = vec![0.0; self.chol.n()];
-        padded[..self.n].copy_from_slice(b);
-        let mut x = self.chol.solve(&padded);
-        x.truncate(self.n);
-        x
+        let mut out = vec![0.0; self.n];
+        let mut scratch = SparsifierSolveScratch::default();
+        self.solve_into(b, &mut out, &mut scratch);
+        out
     }
+
+    /// Allocation-free variant of [`SparsifierSolver::solve`]: the padded
+    /// right-hand side, full gadget solution, and factor scratch live in
+    /// `scratch` (sized on first use). Bitwise identical to `solve`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differ from the number of
+    /// original vertices.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64], scratch: &mut SparsifierSolveScratch) {
+        assert_eq!(
+            b.len(),
+            self.n,
+            "rhs must have one entry per original vertex"
+        );
+        assert_eq!(
+            out.len(),
+            self.n,
+            "output must have one entry per original vertex"
+        );
+        scratch.padded.resize(self.chol.n(), 0.0);
+        scratch.full.resize(self.chol.n(), 0.0);
+        scratch.padded[..self.n].copy_from_slice(b);
+        scratch.padded[self.n..].fill(0.0);
+        self.chol
+            .solve_into(&scratch.padded, &mut scratch.full, &mut scratch.factor);
+        out.copy_from_slice(&scratch.full[..self.n]);
+    }
+}
+
+/// Reusable buffers for [`SparsifierSolver::solve_into`].
+#[derive(Debug, Clone, Default)]
+pub struct SparsifierSolveScratch {
+    padded: Vec<f64>,
+    full: Vec<f64>,
+    factor: SolveScratch,
 }
 
 /// Builds the deterministic spectral sparsifier of `g` in the congested
@@ -186,9 +223,9 @@ pub fn build_sparsifier(
     assert!(params.r >= 1.0, "r must be >= 1");
     let n = g.n();
     let phi = params.phi.unwrap_or_else(|| default_phi(g));
-    let max_levels = params.max_levels.unwrap_or_else(|| {
-        2 * ((2.0 + g.total_weight()).log2().ceil() as usize) + 8
-    });
+    let max_levels = params
+        .max_levels
+        .unwrap_or_else(|| 2 * ((2.0 + g.total_weight()).log2().ceil() as usize) + 8);
     let gamma = 1.0 / (params.r * params.r);
     let oracle_rounds = (2.0 * (n as f64).powf(gamma)).ceil() as u64;
 
@@ -216,34 +253,62 @@ pub fn build_sparsifier(
             let assignment = dec.assignment(n);
             clique.broadcast_all(
                 &(0..clique.n())
-                    .map(|v| if v < n { assignment[v] as u64 } else { u64::MAX })
+                    .map(|v| {
+                        if v < n {
+                            assignment[v] as u64
+                        } else {
+                            u64::MAX
+                        }
+                    })
                     .collect::<Vec<_>>(),
             );
             clique.broadcast_all(&vec![0u64; clique.n()]);
-            for cluster in &dec.clusters {
+            // Per-cluster work (degree sums, gadget spectra) is mutually
+            // independent, so fan it out; emission below stays sequential
+            // in cluster order, which keeps edge order, center ids, and
+            // the alpha fold identical to the serial loop.
+            enum ClusterWork {
+                Skip,
+                Direct(Vec<(usize, usize, f64)>),
+                Gadget(ClusterGadget),
+            }
+            let work = cc_linalg::par::par_map(&dec.clusters, |cluster| {
                 if cluster.edges.is_empty() {
-                    continue;
-                }
-                if cluster.edges.len() <= cluster.len() + params.direct_edge_slack {
+                    ClusterWork::Skip
+                } else if cluster.edges.len() <= cluster.len() + params.direct_edge_slack {
                     // Keeping the edges verbatim is exact and no larger
                     // than a gadget.
-                    for &eid in &cluster.edges {
-                        let e = remaining.edge(eid);
-                        edges.push((e.u, e.v, e.weight));
-                    }
-                    continue;
+                    ClusterWork::Direct(
+                        cluster
+                            .edges
+                            .iter()
+                            .map(|&eid| {
+                                let e = remaining.edge(eid);
+                                (e.u, e.v, e.weight)
+                            })
+                            .collect(),
+                    )
+                } else {
+                    let degrees = intra_cluster_degrees(&remaining, &cluster.vertices);
+                    ClusterWork::Gadget(ClusterGadget::new(
+                        cluster.vertices.clone(),
+                        &degrees,
+                        cluster.mu2,
+                        cluster.mu_max,
+                    ))
                 }
-                let degrees = intra_cluster_degrees(&remaining, &cluster.vertices);
-                let gadget = ClusterGadget::new(
-                    cluster.vertices.clone(),
-                    &degrees,
-                    cluster.mu2,
-                    cluster.mu_max,
-                );
-                let center = n + aux_count;
-                aux_count += 1;
-                gadget.emit_edges(center, &mut edges);
-                alpha = alpha.max(gadget.alpha);
+            });
+            for item in work {
+                match item {
+                    ClusterWork::Skip => {}
+                    ClusterWork::Direct(cluster_edges) => edges.extend(cluster_edges),
+                    ClusterWork::Gadget(gadget) => {
+                        let center = n + aux_count;
+                        aux_count += 1;
+                        gadget.emit_edges(center, &mut edges);
+                        alpha = alpha.max(gadget.alpha);
+                    }
+                }
             }
             // Crossing edges fall through to the next level.
             let crossing: std::collections::BTreeSet<usize> =
@@ -308,10 +373,7 @@ mod tests {
         let ledger = clique.ledger();
         assert!(ledger.charged_rounds() > 0, "oracle phases must be charged");
         assert!(ledger.implemented_rounds() >= 2 * h.levels() as u64);
-        assert_eq!(
-            ledger.phase_prefix_total("sparsify"),
-            ledger.total_rounds()
-        );
+        assert_eq!(ledger.phase_prefix_total("sparsify"), ledger.total_rounds());
     }
 
     #[test]

@@ -263,8 +263,7 @@ mod tests {
     fn template_instantiation_charges_fewer_rounds_than_rebuild() {
         let g = generators::random_connected(32, 150, 4, 9);
         let mut c1 = Clique::new(32);
-        let (_, template) =
-            build_sparsifier_with_template(&mut c1, &g, &SparsifyParams::default());
+        let (_, template) = build_sparsifier_with_template(&mut c1, &g, &SparsifyParams::default());
         let build_rounds = c1.ledger().total_rounds();
         let before = c1.ledger().total_rounds();
         let _ = template.instantiate(&mut c1, &g);

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             DEMO.to_string()
         }
     };
-    let MaxFlowInstance { graph, source, sink } = parse_dimacs_max_flow(&text)?;
+    let MaxFlowInstance {
+        graph,
+        source,
+        sink,
+    } = parse_dimacs_max_flow(&text)?;
     println!(
         "instance: n = {}, m = {}, U = {}, s = {}, t = {}",
         graph.n(),

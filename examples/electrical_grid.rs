@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     g.add_edge(0, rows * cols - 1, 4.0);
     g.add_edge(cols - 1, (rows - 1) * cols, 4.0);
     let n = g.n();
-    println!("grid: {rows}x{cols} mesh + 2 transmission lines, n = {n}, m = {}", g.m());
+    println!(
+        "grid: {rows}x{cols} mesh + 2 transmission lines, n = {n}, m = {}",
+        g.m()
+    );
 
     let mut clique = Clique::new(n);
     // Resistance of a line = 1 / conductance weight.
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     chi[plant] = 1.0;
     chi[city] = -1.0;
     let flow = net.flow(&mut clique, &chi, 1e-9);
-    println!("dissipated energy: {:.6} (equals R_eff for unit current)", flow.energy);
+    println!(
+        "dissipated energy: {:.6} (equals R_eff for unit current)",
+        flow.energy
+    );
 
     // The five most loaded lines.
     let mut loads: Vec<(usize, f64)> = flow

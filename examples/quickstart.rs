@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b[0] = 1.0;
     b[n - 1] = -1.0;
 
-    println!("\n{:>10} {:>12} {:>18} {:>14}", "eps", "iterations", "achieved error", "rounds");
+    println!(
+        "\n{:>10} {:>12} {:>18} {:>14}",
+        "eps", "iterations", "achieved error", "rounds"
+    );
     for eps in [1e-2, 1e-4, 1e-6, 1e-8, 1e-10] {
         let before = clique.ledger().total_rounds();
         let out = solver.solve(&mut clique, &b, eps);

@@ -33,10 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  total cost            : {}", out.cost);
     println!("  IPM progress steps    : {}", out.stats.progress_steps);
     println!("  perturbation steps    : {}", out.stats.perturbation_steps);
-    println!("  demand satisfied pre-rounding : {:.1}%", 100.0 * out.stats.ipm_progress);
+    println!(
+        "  demand satisfied pre-rounding : {:.1}%",
+        100.0 * out.stats.ipm_progress
+    );
     println!("  repair paths          : {}", out.stats.repair_paths);
     println!("  cancelled cycles      : {}", out.stats.cancelled_cycles);
-    println!("  total rounds          : {}", clique.ledger().total_rounds());
+    println!(
+        "  total rounds          : {}",
+        clique.ledger().total_rounds()
+    );
 
     println!("\nchosen assignment:");
     for (i, e) in g.edges().iter().enumerate() {

@@ -41,7 +41,11 @@ fn main() {
         ipm.stats.boosting_steps,
         ipm.stats.rounded_value,
         ipm.stats.repair_paths,
-        if ipm.stats.fell_back_to_zero { " (fallback)" } else { "" },
+        if ipm.stats.fell_back_to_zero {
+            " (fallback)"
+        } else {
+            ""
+        },
     );
 
     // 2. Ford-Fulkerson over algebraic reachability (O(|f*| n^0.158)).

@@ -64,8 +64,7 @@ pub mod prelude {
     };
     pub use cc_graph::{generators, DiGraph, Graph};
     pub use cc_maxflow::{
-        dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions,
-        MaxFlowOutcome,
+        dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions, MaxFlowOutcome,
     };
     pub use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions, McfOutcome};
     pub use cc_model::{Clique, CliqueConfig, RoundLedger};

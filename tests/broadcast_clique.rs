@@ -62,7 +62,10 @@ fn eulerian_orientation_cannot_run_in_broadcast_mode() {
         let mut bcc = broadcast_clique(12);
         eulerian_orientation(&mut bcc, &g)
     });
-    assert!(result.is_err(), "orientation must fail without unicast routing");
+    assert!(
+        result.is_err(),
+        "orientation must fail without unicast routing"
+    );
 }
 
 /// The trivial max-flow baseline still works in BCC (its all-gather has a

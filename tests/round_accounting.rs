@@ -97,9 +97,17 @@ fn round_model_switch_reattributes_apsp_costs() {
     let (v2, c2) = run(RoundModel::FastMatMul);
     assert_eq!(v1, v2, "accounting must not affect results");
     // Semiring executes; FastMatMul charges.
-    assert!(c1.ledger().phase_prefix_total("ford_fulkerson/repair_augmenting_paths/apsp") > 0);
-    let apsp1 = c1.ledger().phase("ford_fulkerson/repair_augmenting_paths/apsp");
-    let apsp2 = c2.ledger().phase("ford_fulkerson/repair_augmenting_paths/apsp");
+    assert!(
+        c1.ledger()
+            .phase_prefix_total("ford_fulkerson/repair_augmenting_paths/apsp")
+            > 0
+    );
+    let apsp1 = c1
+        .ledger()
+        .phase("ford_fulkerson/repair_augmenting_paths/apsp");
+    let apsp2 = c2
+        .ledger()
+        .phase("ford_fulkerson/repair_augmenting_paths/apsp");
     assert_eq!(apsp1.charged, 0);
     assert_eq!(apsp2.implemented, 0);
     assert!(apsp1.implemented > 0);

@@ -34,7 +34,10 @@ fn theorem_1_1_laplacian_solver() {
     let before = clique.ledger().total_rounds();
     let _ = solver.solve(&mut clique, &b, 1e-3);
     let rounds_loose = clique.ledger().total_rounds() - before;
-    assert!(rounds_loose < rounds1, "fewer digits must cost fewer rounds");
+    assert!(
+        rounds_loose < rounds1,
+        "fewer digits must cost fewer rounds"
+    );
 }
 
 /// **Theorem 1.2.** There exists a deterministic algorithm that, given a
@@ -110,7 +113,11 @@ fn theorem_3_3_spectral_sparsifier() {
     let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
     // Size bound O(n log n log U) — measured far below it:
     let bound = 48.0 * (48f64).ln() * (64f64).ln();
-    assert!((h.edge_count() as f64) < bound, "{} vs {bound}", h.edge_count());
+    assert!(
+        (h.edge_count() as f64) < bound,
+        "{} vs {bound}",
+        h.edge_count()
+    );
     // The approximation factor is certified — and honest (independent
     // dense verification of (1/α)·S_H ⪯ L_G ⪯ α·S_H):
     let exact = verify_sparsifier(&g, &h);
@@ -133,7 +140,12 @@ fn lemma_4_2_flow_rounding() {
     g.add_edge(3, 4, 2, 9);
     // Fractional flow of integral total value 2 spread over the routes.
     let frac = vec![0.75, 0.75, 0.75, 0.75, 0.5, 0.5];
-    let frac_cost: f64 = g.edges().iter().zip(&frac).map(|(e, &f)| e.cost as f64 * f).sum();
+    let frac_cost: f64 = g
+        .edges()
+        .iter()
+        .zip(&frac)
+        .map(|(e, &f)| e.cost as f64 * f)
+        .sum();
     let mut clique = Clique::new(5);
     let out = round_flow(
         &mut clique,
