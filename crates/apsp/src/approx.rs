@@ -12,7 +12,7 @@
 //! roundings of `2^k·ε/(2n)` each at the scale that accepts it, i.e.
 //! relative error ≤ ε, and estimates are never below the truth.
 
-use cc_model::Clique;
+use cc_model::Communicator;
 
 use crate::minplus::{apsp_from_arcs, RoundModel, INFINITY};
 
@@ -61,8 +61,8 @@ impl ApproxApsp {
 ///
 /// Panics if `eps ≤ 0`, an arc is out of range or negative, or
 /// `clique.n() < n`.
-pub fn approx_apsp(
-    clique: &mut Clique,
+pub fn approx_apsp<C: Communicator>(
+    clique: &mut C,
     n: usize,
     arcs: &[(usize, usize, i64)],
     eps: f64,
@@ -113,6 +113,7 @@ pub fn approx_apsp(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_model::Clique;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

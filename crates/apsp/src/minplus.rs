@@ -1,6 +1,6 @@
 //! Min-plus (tropical) matrix squaring with successor tracking.
 
-use cc_model::{Clique, CostKind};
+use cc_model::{Communicator, CostKind};
 
 /// Sentinel "no path" distance (safely addable without overflow).
 pub const INFINITY: i64 = i64::MAX / 4;
@@ -119,8 +119,8 @@ impl Apsp {
 ///
 /// Panics if an arc is out of range, a weight is negative, or
 /// `clique.n() < n`.
-pub fn apsp_from_arcs(
-    clique: &mut Clique,
+pub fn apsp_from_arcs<C: Communicator>(
+    clique: &mut C,
     n: usize,
     arcs: &[(usize, usize, i64)],
     model: RoundModel,
@@ -196,6 +196,7 @@ fn square(n: usize, dist: &mut [i64], next: &mut [usize]) {
 mod tests {
     use super::*;
     use cc_graph::generators;
+    use cc_model::Clique;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -7,7 +7,7 @@
 //! This is the honest implementable `O(n)`-round SSSP the min-cost-flow
 //! optimality backstop charges for.
 
-use cc_model::Clique;
+use cc_model::Communicator;
 
 /// Result of [`sssp_bellman_ford`].
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +39,8 @@ pub enum SsspOutcome {
 /// # Panics
 ///
 /// Panics if an arc is out of range, `source ≥ n`, or `clique.n() < n`.
-pub fn sssp_bellman_ford(
-    clique: &mut Clique,
+pub fn sssp_bellman_ford<C: Communicator>(
+    clique: &mut C,
     n: usize,
     arcs: &[(usize, usize, i64)],
     source: usize,
@@ -102,6 +102,7 @@ pub fn sssp_bellman_ford(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_model::Clique;
 
     #[test]
     fn chain_distances() {

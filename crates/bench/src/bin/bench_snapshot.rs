@@ -14,13 +14,21 @@
 //!
 //! Wall-clock is the only nondeterministic output; the snapshot keeps the
 //! median of an odd number of repetitions to damp scheduler noise.
+//!
+//! The snapshot also embeds a `"congestion"` section: per-phase message,
+//! word, and link-congestion statistics of representative solver runs
+//! captured through `TracingComm` — fully deterministic, so they diff
+//! cleanly across commits.
 
 use std::time::Instant;
 
+use cc_core::{solve_laplacian, SolverOptions};
+use cc_graph::generators;
 use cc_linalg::{
     chebyshev_solve_fixed_into, laplacian_from_edges, par, vec_ops::remove_mean,
     ChebyshevWorkspace, CsrMatrix, DenseMatrix,
 };
+use cc_model::{Clique, Communicator, TracingComm};
 
 /// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
 fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -167,6 +175,57 @@ fn snapshot_chebyshev(n: usize, iterations: usize, reps: usize) -> Record {
     }
 }
 
+/// Per-phase congestion of representative solver runs, captured through
+/// `TracingComm`. Unlike the wall-clock records these are deterministic —
+/// the same JSON on every host — so diffs against a committed
+/// `BENCH_*.json` flag real communication-pattern regressions.
+fn congestion_section() -> String {
+    type GraphBuilder = Box<dyn Fn() -> cc_graph::Graph>;
+    let workloads: [(&str, GraphBuilder); 2] = [
+        (
+            "laplacian_solve/random_connected_32",
+            Box::new(|| generators::random_connected(32, 96, 8, 1)),
+        ),
+        (
+            "laplacian_solve/expander_32",
+            Box::new(|| generators::expander(32)),
+        ),
+    ];
+    let rows: Vec<String> = workloads
+        .iter()
+        .map(|(name, build)| {
+            let g = build();
+            let n = g.n();
+            let mut b = vec![0.0; n];
+            b[0] = 1.0;
+            b[n - 1] = -1.0;
+            let mut comm = TracingComm::new(Clique::new(n));
+            solve_laplacian(&mut comm, &g, &b, 1e-6, &SolverOptions::default())
+                .expect("representative solve succeeds");
+            let stats: String = comm
+                .congestion_json()
+                .lines()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i == 0 {
+                        l.to_string()
+                    } else {
+                        format!("    {l}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "    {{\"workload\": \"{}\", \"total_rounds\": {}, \"stats\": {}}}",
+                name,
+                comm.ledger().total_rounds(),
+                stats
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -187,14 +246,18 @@ fn main() {
     eprintln!("  chebyshev n=16384…");
     records.push(snapshot_chebyshev(16384, 40, 7));
 
+    eprintln!("  congestion traces…");
+    let congestion = congestion_section();
+
     let all_equal = records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v1\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v2\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"congestion\": {}\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
         body.join(",\n"),
+        congestion,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("wrote {out_path}");

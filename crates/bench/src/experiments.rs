@@ -11,7 +11,7 @@ use cc_graph::{generators, DiGraph, Graph};
 use cc_linalg::{chebyshev_iteration_bound, GroundedCholesky};
 use cc_maxflow::{dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions};
-use cc_model::Clique;
+use cc_model::{Clique, Communicator};
 use cc_sparsify::{
     build_randomized_sparsifier, build_sparsifier, verify_sparsifier, SparsifyParams,
 };
@@ -33,7 +33,7 @@ fn st_rhs(n: usize) -> Vec<f64> {
 /// Paper prediction: rounds `= n^{o(1)} · log(U/ε)` — sub-polynomial in
 /// `n` (column `rounds/log n` flattens), linear in the accuracy digits
 /// (column `rounds/log(1/ε)` constant per graph).
-pub fn e1_laplacian() -> Table {
+pub fn e1_laplacian_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E1 — Theorem 1.1: Laplacian solve rounds (per-solve, after sparsifier build)",
         &[
@@ -68,7 +68,7 @@ pub fn e1_laplacian() -> Table {
         for &n in &[32usize, 64, 128] {
             let g = build(n);
             let n = g.n();
-            let mut clique = Clique::new(n);
+            let mut clique = make(n);
             let solver =
                 LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
             for &eps in &[1e-2, 1e-5, 1e-8] {
@@ -100,7 +100,7 @@ pub fn e1_laplacian() -> Table {
 ///
 /// Paper prediction: `|E(H)| = O(n log n log U)`, `α = log^{O(r²)} n`,
 /// rounds `O(log n log U · n^{O(1/r²)})`.
-pub fn e2_sparsifier() -> Table {
+pub fn e2_sparsifier_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E2 — Theorem 3.3: deterministic spectral sparsifier",
         &[
@@ -134,7 +134,7 @@ pub fn e2_sparsifier() -> Table {
         ),
     ];
     for (name, g) in cases {
-        let mut clique = Clique::new(g.n());
+        let mut clique = make(g.n());
         let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
         // Exact pencil verification is O(n³) dense — run it everywhere here
         // (n ≤ 128) as the honesty check of the certified α.
@@ -225,7 +225,7 @@ pub fn e3_chebyshev() -> Table {
 ///
 /// Paper prediction: the normalized column `rounds / log₂(2m)` stays
 /// bounded by a constant (`log* n ≤ 5` throughout the sweep).
-pub fn e4_euler() -> Table {
+pub fn e4_euler_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E4 — Theorem 1.4: Eulerian orientation rounds",
         &[
@@ -240,7 +240,7 @@ pub fn e4_euler() -> Table {
     );
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let g = generators::random_eulerian(n, 3, 5);
-        let mut clique = Clique::new(n);
+        let mut clique = make(n);
         let oriented = eulerian_orientation(&mut clique, &g);
         let rounds = clique.ledger().total_rounds();
         let scale = ((2 * g.m()) as f64).log2();
@@ -261,7 +261,7 @@ pub fn e4_euler() -> Table {
 ///
 /// Paper prediction: rounds grow linearly in `log(1/Δ)` (column
 /// `rounds/log(1/Δ)` roughly constant), value never decreases.
-pub fn e5_rounding() -> Table {
+pub fn e5_rounding_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E5 — Lemma 4.2: flow rounding rounds vs Δ",
         &[
@@ -297,7 +297,7 @@ pub fn e5_rounding() -> Table {
                 }
             })
             .sum();
-        let mut clique = Clique::new(48);
+        let mut clique = make(48);
         let out = round_flow(
             &mut clique,
             &g,
@@ -328,7 +328,7 @@ pub fn e5_rounding() -> Table {
 /// `|f*|·n^{0.158}`; trivial like `n` (in words of size `log U`). At
 /// simulable sizes the trivial baseline wins on raw rounds — the shape
 /// columns show the asymptotic ordering.
-pub fn e6_maxflow() -> Table {
+pub fn e6_maxflow_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E6 — Theorem 1.2: exact max flow, IPM pipeline vs deterministic baselines",
         &[
@@ -357,12 +357,12 @@ pub fn e6_maxflow() -> Table {
     for (n, extra, u, seed) in cases {
         let g = generators::random_flow_network(n, extra, u, seed);
         let (_, want) = dinic(&g, 0, n - 1);
-        let mut c1 = Clique::new(n);
+        let mut c1 = make(n);
         let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default());
         let ipm_rounds = c1.ledger().total_rounds();
-        let mut c2 = Clique::new(n);
+        let mut c2 = make(n);
         let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::FastMatMul);
-        let mut c3 = Clique::new(n);
+        let mut c3 = make(n);
         let tr = max_flow_trivial(&mut c3, &g, 0, n - 1);
         let shape = (g.m() as f64).powf(3.0 / 7.0) * (u as f64).powf(1.0 / 7.0);
         t.push(vec![
@@ -392,7 +392,7 @@ pub fn e6_maxflow() -> Table {
 /// Paper prediction: rounds `Õ(m^{3/7}(n^{0.158} + n^{o(1)} polylog W))`;
 /// the repair loop needs `Õ(m^{3/7})` augmentations. The table reports the
 /// measured shape plus exactness against the SSP reference.
-pub fn e7_mcf() -> Table {
+pub fn e7_mcf_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E7 — Theorem 1.3: unit-capacity min cost flow (assignment workloads)",
         &[
@@ -418,7 +418,7 @@ pub fn e7_mcf() -> Table {
     ] {
         let (g, sigma) = generators::bipartite_assignment(k, 3, w, seed);
         let (_, want) = ssp_min_cost_flow(&g, &sigma).unwrap();
-        let mut clique = Clique::new(g.n() + 2);
+        let mut clique = make(g.n() + 2);
         let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap();
         let rounds = clique.ledger().total_rounds();
         let shape = (g.m() as f64).powf(3.0 / 7.0);
@@ -448,7 +448,7 @@ pub fn e7_mcf() -> Table {
 /// really costs Θ(m/n) = Θ(n) rounds) plus `k` disjoint unit `s`-`t`
 /// routes capping `|f*| = k`. Sweeping `k` exposes the crossover: FF's
 /// rounds grow linearly in `|f*|` while the trivial algorithm's stay flat.
-pub fn e8_comparison() -> Table {
+pub fn e8_comparison_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E8 — §1.1 comparison: fixed n = 66 dense network, |f*| = k sweep",
         &[
@@ -481,10 +481,10 @@ pub fn e8_comparison() -> Table {
                 }
             }
         }
-        let mut c_ff = Clique::new(n);
+        let mut c_ff = make(n);
         let ff = max_flow_ford_fulkerson(&mut c_ff, &g, 0, 1, RoundModel::FastMatMul);
         assert_eq!(ff.value, k as i64);
-        let mut c_tr = Clique::new(n);
+        let mut c_tr = make(n);
         let tr = max_flow_trivial(&mut c_tr, &g, 0, 1);
         assert_eq!(tr.value, k as i64);
         let ff_rounds = c_ff.ledger().total_rounds();
@@ -507,7 +507,7 @@ pub fn e8_comparison() -> Table {
 /// (Theorem 3.3) sparsifier against the randomized effective-resistance
 /// sampler of the paper's \[FV22\] remark — same Chebyshev engine, the
 /// preconditioner quality (certified α) drives the per-solve round count.
-pub fn e1b_solver_ablation() -> Table {
+pub fn e1b_solver_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E1b — ablation: solver rounds with deterministic vs randomized preconditioner",
         &[
@@ -529,7 +529,7 @@ pub fn e1b_solver_ablation() -> Table {
     };
     // Deterministic.
     {
-        let mut clique = Clique::new(64);
+        let mut clique = make(64);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let build_rounds = clique.ledger().total_rounds();
         let out = solver.solve(&mut clique, &b, 1e-8);
@@ -548,7 +548,7 @@ pub fn e1b_solver_ablation() -> Table {
         ("randomized q=8n ln n", None),
         ("randomized q=300", Some(300usize)),
     ] {
-        let mut clique = Clique::new(64);
+        let mut clique = make(64);
         let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 77, q);
         let build_rounds = clique.ledger().total_rounds();
         let solver =
@@ -576,7 +576,7 @@ pub fn e1b_solver_ablation() -> Table {
 /// `polylog n` oracle rounds (the paper's "replace the solver to convert
 /// `n^{o(1)}` into `poly log n`" trade-off). Larger `φ` cuts more,
 /// giving more levels and better-conditioned clusters.
-pub fn e2b_sparsifier_ablation() -> Table {
+pub fn e2b_sparsifier_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E2b — ablation: deterministic vs randomized sparsifiers; φ sweep",
         &[
@@ -600,7 +600,7 @@ pub fn e2b_sparsifier_ablation() -> Table {
         ("det grid φ=0.20", Some(0.20)),
         ("det grid φ=0.45", Some(0.45)),
     ] {
-        let mut clique = Clique::new(64);
+        let mut clique = make(64);
         let params = SparsifyParams {
             phi,
             ..Default::default()
@@ -618,7 +618,7 @@ pub fn e2b_sparsifier_ablation() -> Table {
         ]);
     }
     {
-        let mut clique = Clique::new(64);
+        let mut clique = make(64);
         let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
         t.push(vec![
             "det random".to_string(),
@@ -633,7 +633,7 @@ pub fn e2b_sparsifier_ablation() -> Table {
     }
     // Randomized at two sample sizes.
     for &(label, q) in &[("rand q=4n ln n", None), ("rand q=256", Some(256usize))] {
-        let mut clique = Clique::new(64);
+        let mut clique = make(64);
         let h = build_randomized_sparsifier(&mut clique, &g, 99, q);
         t.push(vec![
             label.to_string(),
@@ -656,7 +656,7 @@ pub fn e2b_sparsifier_ablation() -> Table {
 /// `O(log* n)` coloring rounds per iteration but pays occasionally-longer
 /// token walks — at these sizes the two are within a small factor, with
 /// the deterministic `log*` overhead visible in the per-log column.
-pub fn e4b_orientation_ablation() -> Table {
+pub fn e4b_orientation_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     let mut t = Table::new(
         "E4b — ablation: deterministic vs randomized cycle contraction",
         &[
@@ -671,9 +671,9 @@ pub fn e4b_orientation_ablation() -> Table {
     );
     for &n in &[64usize, 256, 1024] {
         let g = generators::random_eulerian(n, 3, 5);
-        let mut c1 = Clique::new(n);
+        let mut c1 = make(n);
         let o1 = eulerian_orientation(&mut c1, &g);
-        let mut c2 = Clique::new(n);
+        let mut c2 = make(n);
         let o2 = orient_trails_with_strategy(
             &mut c2,
             &g,
@@ -693,6 +693,61 @@ pub fn e4b_orientation_ablation() -> Table {
     }
     t
 }
+
+/// The experiments driven by the canonical simulator, as printed to
+/// `EXPERIMENTS.md`. Each `eN_*` function is a thin wrapper over its
+/// `eN_*_with` twin, which accepts any [`Communicator`] factory — the
+/// workspace tests drive the same experiments through
+/// `cc_model::TracingComm` and assert bitwise-identical round totals.
+macro_rules! canonical {
+    ($(#[$doc:meta])* $name:ident => $with:ident) => {
+        $(#[$doc])*
+        pub fn $name() -> Table {
+            $with(&Clique::new)
+        }
+    };
+}
+
+canonical!(
+    /// [`e1_laplacian_with`] on the bare simulator.
+    e1_laplacian => e1_laplacian_with
+);
+canonical!(
+    /// [`e2_sparsifier_with`] on the bare simulator.
+    e2_sparsifier => e2_sparsifier_with
+);
+canonical!(
+    /// [`e4_euler_with`] on the bare simulator.
+    e4_euler => e4_euler_with
+);
+canonical!(
+    /// [`e5_rounding_with`] on the bare simulator.
+    e5_rounding => e5_rounding_with
+);
+canonical!(
+    /// [`e6_maxflow_with`] on the bare simulator.
+    e6_maxflow => e6_maxflow_with
+);
+canonical!(
+    /// [`e7_mcf_with`] on the bare simulator.
+    e7_mcf => e7_mcf_with
+);
+canonical!(
+    /// [`e8_comparison_with`] on the bare simulator.
+    e8_comparison => e8_comparison_with
+);
+canonical!(
+    /// [`e1b_solver_ablation_with`] on the bare simulator.
+    e1b_solver_ablation => e1b_solver_ablation_with
+);
+canonical!(
+    /// [`e2b_sparsifier_ablation_with`] on the bare simulator.
+    e2b_sparsifier_ablation => e2b_sparsifier_ablation_with
+);
+canonical!(
+    /// [`e4b_orientation_ablation_with`] on the bare simulator.
+    e4b_orientation_ablation => e4b_orientation_ablation_with
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,98 @@
+//! Round-accounting transparency of the wrapping transports, verified
+//! over **every** experiment in `cc-bench`: driving an experiment through
+//! `TracingComm<Clique>` must charge bitwise-identical round totals to
+//! the bare `Clique` — every round column of every table is produced by
+//! the ledger, so identical rendered tables mean identical charges.
+
+use cc_bench::*;
+use cc_model::{Clique, Communicator, FaultComm, FaultPlan, TracingComm};
+
+fn assert_identical<C: Communicator, F: Fn(usize) -> C>(
+    key: &str,
+    bare: fn() -> Table,
+    with: impl Fn(&F) -> Table,
+    make: F,
+) {
+    let reference = bare().render();
+    let wrapped = with(&make).render();
+    assert_eq!(
+        reference, wrapped,
+        "{key}: wrapped run diverged from bare simulator"
+    );
+}
+
+macro_rules! identity_test {
+    ($test:ident, $bare:ident, $with:ident) => {
+        #[test]
+        fn $test() {
+            assert_identical(
+                stringify!($bare),
+                $bare,
+                |make| $with(make),
+                |n| TracingComm::new(Clique::new(n)),
+            );
+        }
+    };
+}
+
+identity_test!(
+    e1_traced_charges_identical_rounds,
+    e1_laplacian,
+    e1_laplacian_with
+);
+identity_test!(
+    e1b_traced_charges_identical_rounds,
+    e1b_solver_ablation,
+    e1b_solver_ablation_with
+);
+identity_test!(
+    e2_traced_charges_identical_rounds,
+    e2_sparsifier,
+    e2_sparsifier_with
+);
+identity_test!(
+    e2b_traced_charges_identical_rounds,
+    e2b_sparsifier_ablation,
+    e2b_sparsifier_ablation_with
+);
+identity_test!(e4_traced_charges_identical_rounds, e4_euler, e4_euler_with);
+identity_test!(
+    e4b_traced_charges_identical_rounds,
+    e4b_orientation_ablation,
+    e4b_orientation_ablation_with
+);
+identity_test!(
+    e5_traced_charges_identical_rounds,
+    e5_rounding,
+    e5_rounding_with
+);
+identity_test!(
+    e6_traced_charges_identical_rounds,
+    e6_maxflow,
+    e6_maxflow_with
+);
+identity_test!(e7_traced_charges_identical_rounds, e7_mcf, e7_mcf_with);
+identity_test!(
+    e8_traced_charges_identical_rounds,
+    e8_comparison,
+    e8_comparison_with
+);
+
+/// A no-fault `FaultComm` is transparent too — same contract, applied to
+/// the other wrapping transport (spot-checked on the cheapest experiment
+/// with point-to-point, broadcast, and sort traffic).
+#[test]
+fn e4_faultcomm_default_plan_is_transparent() {
+    assert_identical("e4_euler", e4_euler, e4_euler_with, |n| {
+        FaultComm::new(Clique::new(n), FaultPlan::default())
+    });
+}
+
+/// Stacked wrappers (trace over fault over simulator) still charge the
+/// same rounds: the seam composes.
+#[test]
+fn e5_stacked_wrappers_are_transparent() {
+    assert_identical("e5_rounding", e5_rounding, e5_rounding_with, |n| {
+        TracingComm::new(FaultComm::new(Clique::new(n), FaultPlan::default()))
+    });
+}

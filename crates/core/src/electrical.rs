@@ -8,7 +8,7 @@
 //! reduction over [`crate::LaplacianSolver`].
 
 use cc_graph::Graph;
-use cc_model::Clique;
+use cc_model::Communicator;
 use cc_sparsify::{build_sparsifier_with_template, SparsifierTemplate};
 
 use crate::{CoreError, LaplacianSolver, SolverOptions};
@@ -49,8 +49,8 @@ impl ElectricalNetwork {
     ///
     /// Panics if a resistance is not strictly positive or an endpoint is
     /// out of range.
-    pub fn build(
-        clique: &mut Clique,
+    pub fn build<C: Communicator>(
+        clique: &mut C,
         n: usize,
         edges: &[(usize, usize, f64)],
         options: &SolverOptions,
@@ -77,8 +77,8 @@ impl ElectricalNetwork {
     /// # Panics
     ///
     /// Same conditions as [`ElectricalNetwork::build`].
-    pub fn build_capturing(
-        clique: &mut Clique,
+    pub fn build_capturing<C: Communicator>(
+        clique: &mut C,
         n: usize,
         edges: &[(usize, usize, f64)],
         options: &SolverOptions,
@@ -107,8 +107,8 @@ impl ElectricalNetwork {
     /// # Panics
     ///
     /// Panics if the template's edge support differs from `edges`.
-    pub fn build_from_template(
-        clique: &mut Clique,
+    pub fn build_from_template<C: Communicator>(
+        clique: &mut C,
         n: usize,
         edges: &[(usize, usize, f64)],
         template: &SparsifierTemplate,
@@ -146,7 +146,7 @@ impl ElectricalNetwork {
     /// # Panics
     ///
     /// Panics if `chi.len() != n` or `eps ≤ 0`.
-    pub fn flow(&self, clique: &mut Clique, chi: &[f64], eps: f64) -> ElectricalFlow {
+    pub fn flow<C: Communicator>(&self, clique: &mut C, chi: &[f64], eps: f64) -> ElectricalFlow {
         let out = self.solver.solve(clique, chi, eps);
         let potentials = out.x;
         let mut flows = Vec::with_capacity(self.edges.len());
@@ -170,7 +170,13 @@ impl ElectricalNetwork {
     /// # Panics
     ///
     /// Panics if `s == t` or either vertex is out of range.
-    pub fn effective_resistance(&self, clique: &mut Clique, s: usize, t: usize, eps: f64) -> f64 {
+    pub fn effective_resistance<C: Communicator>(
+        &self,
+        clique: &mut C,
+        s: usize,
+        t: usize,
+        eps: f64,
+    ) -> f64 {
         assert!(s != t && s < self.n() && t < self.n(), "bad terminals");
         let mut chi = vec![0.0; self.n()];
         chi[s] = 1.0;
@@ -194,6 +200,7 @@ fn conductance_graph(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_model::Clique;
 
     fn unit_resistances(edges: &[(usize, usize)]) -> Vec<(usize, usize, f64)> {
         edges.iter().map(|&(u, v)| (u, v, 1.0)).collect()

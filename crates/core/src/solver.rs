@@ -2,7 +2,7 @@
 
 use cc_graph::Graph;
 use cc_linalg::{chebyshev_iteration_bound, laplacian_from_edges, CsrMatrix, LaplacianNorm};
-use cc_model::{decode_f64, encode_f64, Clique};
+use cc_model::{decode_f64, encode_f64, Communicator};
 use cc_sparsify::{build_sparsifier, SparsifierSolver, SparsifyParams, SpectralSparsifier};
 
 use crate::CoreError;
@@ -90,8 +90,8 @@ impl LaplacianSolver {
     /// # Panics
     ///
     /// Panics if `clique.n() < g.n()`.
-    pub fn build(
-        clique: &mut Clique,
+    pub fn build<C: Communicator>(
+        clique: &mut C,
         g: &Graph,
         options: &SolverOptions,
     ) -> Result<Self, CoreError> {
@@ -202,7 +202,7 @@ impl LaplacianSolver {
     /// # Panics
     ///
     /// Panics if `b.len() != n` or `eps ≤ 0`.
-    pub fn solve(&self, clique: &mut Clique, b: &[f64], eps: f64) -> SolveOutcome {
+    pub fn solve<C: Communicator>(&self, clique: &mut C, b: &[f64], eps: f64) -> SolveOutcome {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         assert!(eps > 0.0, "eps must be positive");
         let eps = eps.min(0.5);
@@ -281,8 +281,8 @@ impl LaplacianSolver {
 /// # Panics
 ///
 /// Panics under the same conditions as [`LaplacianSolver::solve`].
-pub fn solve_laplacian(
-    clique: &mut Clique,
+pub fn solve_laplacian<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     b: &[f64],
     eps: f64,
@@ -296,6 +296,7 @@ pub fn solve_laplacian(
 mod tests {
     use super::*;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     fn st_rhs(n: usize, s: usize, t: usize) -> Vec<f64> {
         let mut b = vec![0.0; n];

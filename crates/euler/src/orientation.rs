@@ -1,7 +1,7 @@
 //! The cycle-contraction engine of Theorem 1.4.
 
 use cc_graph::Graph;
-use cc_model::{Clique, NodeId, Words};
+use cc_model::{Communicator, NodeId, Words};
 
 use crate::darts::{CycleSummary, DartId, DartStructure};
 
@@ -54,7 +54,7 @@ impl OrientationCriterion {
 /// # Panics
 ///
 /// Panics if some vertex has odd degree or `clique.n() < g.n()`.
-pub fn eulerian_orientation(clique: &mut Clique, g: &Graph) -> Vec<bool> {
+pub fn eulerian_orientation<C: Communicator>(clique: &mut C, g: &Graph) -> Vec<bool> {
     orient_trails(clique, g, &OrientationCriterion::default())
 }
 
@@ -82,8 +82,8 @@ pub enum MarkingStrategy {
 /// # Panics
 ///
 /// Same conditions as [`orient_trails`].
-pub fn orient_trails_with_strategy(
-    clique: &mut Clique,
+pub fn orient_trails_with_strategy<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     criterion: &OrientationCriterion,
     strategy: MarkingStrategy,
@@ -114,8 +114,8 @@ pub fn orient_trails_with_strategy(
 ///
 /// Panics if some vertex has odd degree, `clique.n() < g.n()`, or
 /// `dart_costs` has the wrong length.
-pub fn orient_trails(
-    clique: &mut Clique,
+pub fn orient_trails<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     criterion: &OrientationCriterion,
 ) -> Vec<bool> {
@@ -123,8 +123,8 @@ pub fn orient_trails(
 }
 
 /// Per-dart contraction state plus the routed message pattern.
-struct Contraction<'a> {
-    clique: &'a mut Clique,
+struct Contraction<'a, C: Communicator> {
+    clique: &'a mut C,
     darts: &'a DartStructure,
     criterion: &'a OrientationCriterion,
     m: usize,
@@ -140,9 +140,9 @@ struct Contraction<'a> {
     iteration: u64,
 }
 
-impl<'a> Contraction<'a> {
+impl<'a, C: Communicator> Contraction<'a, C> {
     fn new(
-        clique: &'a mut Clique,
+        clique: &'a mut C,
         g: &Graph,
         darts: &'a DartStructure,
         criterion: &'a OrientationCriterion,
@@ -531,6 +531,7 @@ pub fn is_eulerian_orientation(g: &Graph, oriented: &[bool]) -> bool {
 mod tests {
     use super::*;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     fn orient(g: &Graph) -> (Vec<bool>, u64) {
         let mut clique = Clique::new(g.n().max(2));

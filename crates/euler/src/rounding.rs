@@ -8,7 +8,7 @@
 //! Eulerian orientation of Theorem 1.4 and nudges flows by `±Δ`.
 
 use cc_graph::{DiGraph, Graph, VertexId};
-use cc_model::Clique;
+use cc_model::Communicator;
 
 use crate::orientation::{orient_trails, OrientationCriterion};
 
@@ -41,8 +41,8 @@ pub struct RoundedFlow {
 ///
 /// Panics if the preconditions on `delta` or the flow values are violated,
 /// or if `s == t`.
-pub fn round_flow(
-    clique: &mut Clique,
+pub fn round_flow<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     flow: &[f64],
     s: VertexId,
@@ -162,6 +162,7 @@ pub fn round_flow(
 mod tests {
     use super::*;
     use cc_graph::generators;
+    use cc_model::Clique;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -158,7 +158,7 @@ impl DenseMatrix {
     }
 
     /// Matrix product `A·B`, blocked by rows of the output: threads own
-    /// disjoint row blocks of fixed size [`MATMUL_ROW_BLOCK`], and each
+    /// disjoint row blocks of fixed size (`MATMUL_ROW_BLOCK`), and each
     /// output row is accumulated in the same `i,k,j` order as the serial
     /// triple loop — bitwise identical for any thread count.
     ///

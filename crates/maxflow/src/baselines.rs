@@ -3,7 +3,7 @@
 
 use cc_apsp::RoundModel;
 use cc_graph::DiGraph;
-use cc_model::Clique;
+use cc_model::Communicator;
 
 use crate::ipm::MaxFlowOutcome;
 use crate::residual::augment_to_optimality;
@@ -18,8 +18,8 @@ use crate::{dinic, IpmStats};
 /// # Panics
 ///
 /// Panics if terminals are invalid or the clique is smaller than the graph.
-pub fn max_flow_ford_fulkerson(
-    clique: &mut Clique,
+pub fn max_flow_ford_fulkerson<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     s: usize,
     t: usize,
@@ -50,7 +50,12 @@ pub fn max_flow_ford_fulkerson(
 /// # Panics
 ///
 /// Panics if terminals are invalid or the clique is smaller than the graph.
-pub fn max_flow_trivial(clique: &mut Clique, g: &DiGraph, s: usize, t: usize) -> MaxFlowOutcome {
+pub fn max_flow_trivial<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    s: usize,
+    t: usize,
+) -> MaxFlowOutcome {
     assert!(clique.n() >= g.n(), "clique too small");
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     clique.phase("trivial_gather", |clique| {
@@ -74,6 +79,7 @@ pub fn max_flow_trivial(clique: &mut Clique, g: &DiGraph, s: usize, t: usize) ->
 mod tests {
     use super::*;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     #[test]
     fn baselines_agree_with_dinic() {

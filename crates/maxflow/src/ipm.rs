@@ -15,7 +15,7 @@
 use cc_apsp::RoundModel;
 use cc_core::{ElectricalNetwork, SolverOptions};
 use cc_graph::DiGraph;
-use cc_model::Clique;
+use cc_model::Communicator;
 use cc_sparsify::SparsifierTemplate;
 
 use crate::residual::augment_to_optimality;
@@ -206,8 +206,8 @@ fn barrier_resistances(
 
 /// Builds an electrical network, reusing (and on first use capturing) a
 /// sparsifier template when the options allow it.
-fn build_electrical(
-    clique: &mut Clique,
+fn build_electrical<C: Communicator>(
+    clique: &mut C,
     n: usize,
     resist: &[(usize, usize, f64)],
     template: &mut Option<SparsifierTemplate>,
@@ -229,8 +229,8 @@ fn build_electrical(
 /// The interior point method core: returns the recovered fractional flow
 /// on the ORIGINAL arcs plus statistics. Charges every electrical solve's
 /// rounds to `clique`.
-fn ipm_core(
-    clique: &mut Clique,
+fn ipm_core<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     s: usize,
     t: usize,
@@ -448,8 +448,8 @@ fn ipm_core(
 /// center. A few electrical correction solves — the Fixing pattern of
 /// Algorithm 4 applied to the original network — shrink them to solver
 /// precision so the spanning-forest snap succeeds. All rounds charged.
-fn fractional_cleanup(
-    clique: &mut Clique,
+fn fractional_cleanup<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     f: &mut [f64],
     s: usize,
@@ -526,8 +526,8 @@ fn fractional_cleanup(
 /// # Panics
 ///
 /// Panics if terminals are invalid or `clique.n() < g.n()`.
-pub fn max_flow_ipm(
-    clique: &mut Clique,
+pub fn max_flow_ipm<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     s: usize,
     t: usize,
@@ -588,6 +588,7 @@ mod tests {
     use super::*;
     use crate::dinic;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     fn check_exact(g: &DiGraph, s: usize, t: usize) -> (MaxFlowOutcome, u64) {
         let (_, want) = dinic(g, s, t);

@@ -3,7 +3,7 @@
 
 use cc_apsp::{apsp_from_arcs, RoundModel};
 use cc_graph::DiGraph;
-use cc_model::Clique;
+use cc_model::Communicator;
 
 /// Statistics of a repair run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,8 +27,8 @@ pub struct RepairStats {
 ///
 /// Panics if `flow` is not a feasible flow of some value (capacity or
 /// conservation violations) or terminals are invalid.
-pub fn augment_to_optimality(
-    clique: &mut Clique,
+pub fn augment_to_optimality<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     flow: &mut [i64],
     s: usize,
@@ -114,6 +114,7 @@ mod tests {
     use super::*;
     use crate::dinic;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     #[test]
     fn repair_from_zero_is_full_max_flow() {

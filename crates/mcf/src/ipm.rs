@@ -4,7 +4,7 @@
 use cc_apsp::RoundModel;
 use cc_core::{ElectricalNetwork, SolverOptions};
 use cc_graph::DiGraph;
-use cc_model::Clique;
+use cc_model::Communicator;
 use cc_sparsify::SparsifierTemplate;
 
 use crate::repair::{cancel_negative_cycles, route_deficits, McfError};
@@ -86,8 +86,8 @@ pub fn default_step_budget(m: usize, max_cost: i64) -> usize {
 
 /// Builds an electrical network, reusing (and on first use capturing) a
 /// sparsifier template when the options allow it.
-fn build_electrical(
-    clique: &mut Clique,
+fn build_electrical<C: Communicator>(
+    clique: &mut C,
     n: usize,
     resist: &[(usize, usize, f64)],
     template: &mut Option<SparsifierTemplate>,
@@ -141,8 +141,8 @@ fn barrier_resistances(g: &DiGraph, f: &[f64], nu: &[f64]) -> (Vec<(usize, usize
 /// `f = 1/2` (standing in for CMSV's bipartite lifting, `DESIGN.md` §2.6),
 /// with Algorithm 9 progress steps and Algorithm 8-style perturbations.
 /// Returns the fractional flow and statistics.
-fn ipm_core(
-    clique: &mut Clique,
+fn ipm_core<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     sigma: &[i64],
     options: &McfOptions,
@@ -315,8 +315,8 @@ fn ipm_core(
 ///
 /// Panics if `clique.n()` is smaller than the extended graph needs
 /// (`g.n() + 2` for the rounding super source/sink).
-pub fn min_cost_flow_ipm(
-    clique: &mut Clique,
+pub fn min_cost_flow_ipm<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     sigma: &[i64],
     options: &McfOptions,
@@ -399,6 +399,7 @@ mod tests {
     use super::*;
     use crate::ssp_min_cost_flow;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     fn check_exact(g: &DiGraph, sigma: &[i64]) -> (McfOutcome, u64) {
         let (_, want) = ssp_min_cost_flow(g, sigma).expect("feasible instance");

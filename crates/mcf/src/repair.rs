@@ -6,7 +6,7 @@ use std::fmt;
 
 use cc_apsp::{apsp_from_arcs, RoundModel};
 use cc_graph::DiGraph;
-use cc_model::{Clique, CostKind};
+use cc_model::{Communicator, CostKind};
 
 /// Errors of the min cost flow pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,8 +42,8 @@ impl Error for McfError {}
 /// # Panics
 ///
 /// Panics if lengths mismatch or the flow violates capacities.
-pub fn route_deficits(
-    clique: &mut Clique,
+pub fn route_deficits<C: Communicator>(
+    clique: &mut C,
     g: &DiGraph,
     flow: &mut [i64],
     sigma: &[i64],
@@ -162,7 +162,11 @@ pub fn route_deficits(
 /// # Panics
 ///
 /// Panics if lengths mismatch.
-pub fn cancel_negative_cycles(clique: &mut Clique, g: &DiGraph, flow: &mut [i64]) -> usize {
+pub fn cancel_negative_cycles<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    flow: &mut [i64],
+) -> usize {
     assert_eq!(flow.len(), g.m(), "flow length mismatch");
     let n = g.n();
     clique.phase("mcf_cycle_cancelling", |clique| {
@@ -288,6 +292,7 @@ mod tests {
     use super::*;
     use crate::ssp_min_cost_flow;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     #[test]
     fn deficits_routed_from_zero_flow() {

@@ -1,4 +1,4 @@
-use crate::{CostKind, ModelError, NodeId, RoundLedger, Words};
+use crate::{Communicator, CostKind, ModelError, NodeId, RoundLedger, Words};
 
 /// Which communication primitives the simulated model admits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -125,12 +125,10 @@ impl Clique {
     }
 
     /// Runs `f` inside a named ledger phase, so all rounds charged by `f`
-    /// are attributed under `name`.
+    /// are attributed under `name`. The phase is popped even if `f`
+    /// unwinds (drop guard), keeping the phase stack balanced.
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
-        self.ledger.push_phase(name);
-        let out = f(self);
-        self.ledger.pop_phase();
-        out
+        crate::comm::scoped_phase(self, name, f)
     }
 
     /// Charges `rounds` rounds for an oracle subroutine that is simulated
@@ -207,17 +205,24 @@ impl Clique {
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
         self.check_unicast_allowed()?;
         self.check_outboxes(&outboxes)?;
+        // Hot path of every exchange: accumulate per-pair words in a flat
+        // per-destination array reused across sources (touched entries are
+        // reset after each source), instead of a tree node per pair.
         let mut max_pair = 0u64;
-        {
-            let mut pair_words: std::collections::BTreeMap<(NodeId, NodeId), u64> =
-                std::collections::BTreeMap::new();
-            for (src, per_node) in outboxes.iter().enumerate() {
-                for (dst, payload) in per_node {
-                    let e = pair_words.entry((src, *dst)).or_insert(0);
-                    *e += payload.len() as u64;
-                    max_pair = max_pair.max(*e);
+        let mut per_dst = vec![0u64; self.n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        for per_node in outboxes.iter() {
+            for (dst, payload) in per_node {
+                if per_dst[*dst] == 0 {
+                    touched.push(*dst);
                 }
+                per_dst[*dst] += payload.len() as u64;
             }
+            for &dst in &touched {
+                max_pair = max_pair.max(per_dst[dst]);
+                per_dst[dst] = 0;
+            }
+            touched.clear();
         }
         self.ledger.charge(max_pair, CostKind::Implemented);
         Ok(self.deliver(outboxes))
@@ -486,6 +491,80 @@ impl Clique {
         self.ledger
             .charge(total.div_ceil(self.n as u64 - 1), CostKind::Implemented);
         Ok(per_node.to_vec())
+    }
+}
+
+/// The canonical [`Communicator`]: every trait primitive delegates to the
+/// simulator's inherent method of the same name, so generic algorithm code
+/// and direct `Clique` callers charge identical rounds.
+impl Communicator for Clique {
+    fn n(&self) -> usize {
+        Clique::n(self)
+    }
+
+    fn config(&self) -> CliqueConfig {
+        Clique::config(self)
+    }
+
+    fn ledger(&self) -> &RoundLedger {
+        Clique::ledger(self)
+    }
+
+    fn ledger_mut(&mut self) -> &mut RoundLedger {
+        Clique::ledger_mut(self)
+    }
+
+    fn charge_oracle(&mut self, rounds: u64) {
+        Clique::charge_oracle(self, rounds)
+    }
+
+    fn charge_implemented(&mut self, rounds: u64) {
+        Clique::charge_implemented(self, rounds)
+    }
+
+    fn exchange(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        Clique::exchange(self, outboxes)
+    }
+
+    fn route(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        Clique::route(self, outboxes)
+    }
+
+    fn route_strict(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        Clique::route_strict(self, outboxes)
+    }
+
+    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+        Clique::broadcast_all(self, values)
+    }
+
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
+        Clique::broadcast_all_words(self, per_node)
+    }
+
+    fn broadcast_from(&mut self, src: NodeId, words: &Words) -> Result<Words, ModelError> {
+        Clique::broadcast_from(self, src, words)
+    }
+
+    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+        Clique::allgather(self, per_node)
+    }
+
+    fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        Clique::sort(self, per_node)
+    }
+
+    fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        Clique::gather_to(self, dst, per_node)
     }
 }
 

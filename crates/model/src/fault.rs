@@ -1,0 +1,442 @@
+//! [`FaultComm`]: a wrapping transport with deterministic, seeded fault
+//! injection for bandwidth-bound testing.
+//!
+//! The simulator is forgiving by design: [`crate::Clique::route`] batches
+//! overloaded message sets instead of failing, and the broadcast
+//! primitives charge however many rounds the payload needs. That is right
+//! for measuring, but wrong for *proving* a bandwidth bound — an
+//! algorithm that quietly ships twice the words its theorem allows just
+//! charges extra rounds and nobody notices. Wrapping the substrate in a
+//! [`FaultComm`] makes such violations loud:
+//!
+//! * **word-budget tightening** — a [`FaultPlan::routing_capacity_factor`]
+//!   below the substrate's own makes every point-to-point call (including
+//!   plain [`route`](Communicator::route) and
+//!   [`exchange`](Communicator::exchange), which would otherwise batch
+//!   silently) fail with [`ModelError::CongestionExceeded`] when a node
+//!   exceeds the tightened per-call budget;
+//! * **forced faults at chosen phases** — every fallible primitive under
+//!   a phase path matching [`FaultPlan::fail_phases`] fails with a
+//!   synthesized `CongestionExceeded` (capacity 0 marks it as injected),
+//!   exercising the caller's error path deterministically;
+//! * **seeded random faults** — [`FaultPlan::failure_rate`] injects the
+//!   same failures on every run with the same seed (SplitMix64 stream);
+//! * **payload-size assertions** — [`FaultPlan::max_message_words`] turns
+//!   an oversized single message into a panic at the send site, pinning
+//!   the `O(log n)`-bit word discipline.
+
+use crate::{CliqueConfig, Communicator, Envelope, ModelError, NodeId, RoundLedger, Words};
+
+/// Configuration of a [`FaultComm`]. The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic fault stream (SplitMix64).
+    pub seed: u64,
+    /// Tightened per-call routing budget, as a multiple of `n` (compare
+    /// [`CliqueConfig::routing_capacity_factor`]). `None` leaves the
+    /// substrate's own budget in force (and plain `route`/`exchange`
+    /// unchecked).
+    pub routing_capacity_factor: Option<usize>,
+    /// Phase-path fragments: a fallible primitive whose current phase
+    /// path contains any of these strings fails with an injected
+    /// [`ModelError::CongestionExceeded`] (capacity 0).
+    pub fail_phases: Vec<String>,
+    /// Probability in `[0, 1]` that any fallible primitive call fails
+    /// with an injected fault, drawn from the seeded stream.
+    pub failure_rate: f64,
+    /// Maximum words a single message payload may carry; a larger payload
+    /// panics (assertion, not error — an oversized message is a model
+    /// violation, not a runtime condition).
+    pub max_message_words: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            routing_capacity_factor: None,
+            fail_phases: Vec::new(),
+            failure_rate: 0.0,
+            max_message_words: None,
+        }
+    }
+}
+
+/// A [`Communicator`] decorator injecting deterministic faults per a
+/// [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use cc_model::{Clique, Communicator, FaultComm, FaultPlan, ModelError};
+///
+/// // Tighten the routing budget to 1·n words per call: a 9-word burst
+/// // into one node of a 4-clique now fails loudly instead of batching.
+/// let plan = FaultPlan {
+///     routing_capacity_factor: Some(1),
+///     ..FaultPlan::default()
+/// };
+/// let mut comm = FaultComm::new(Clique::new(4), plan);
+/// let outboxes = vec![vec![(1, (0..9).collect())], vec![], vec![], vec![]];
+/// assert!(matches!(
+///     comm.route(outboxes),
+///     Err(ModelError::CongestionExceeded { .. })
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultComm<C: Communicator> {
+    inner: C,
+    plan: FaultPlan,
+    rng_state: u64,
+    injected: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<C: Communicator> FaultComm<C> {
+    /// Wraps `inner` under the given plan.
+    pub fn new(inner: C, plan: FaultPlan) -> Self {
+        let mut rng_state = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let _ = splitmix64(&mut rng_state);
+        Self {
+            inner,
+            plan,
+            rng_state,
+            injected: 0,
+        }
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the plan.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Number of faults injected so far (forced-phase plus seeded).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected
+    }
+
+    /// An injected fault, distinguishable from a genuine congestion error
+    /// by its zero capacity.
+    fn injected_error(&mut self) -> ModelError {
+        self.injected += 1;
+        ModelError::CongestionExceeded {
+            node: 0,
+            words: 0,
+            capacity: 0,
+            sending: true,
+        }
+    }
+
+    /// Checks the forced-phase list and the seeded stream; `Err` if this
+    /// call must fail.
+    fn preflight(&mut self) -> Result<(), ModelError> {
+        let phase = self.inner.ledger().current_phase();
+        if self
+            .plan
+            .fail_phases
+            .iter()
+            .any(|frag| !frag.is_empty() && phase.contains(frag.as_str()))
+        {
+            return Err(self.injected_error());
+        }
+        if self.plan.failure_rate > 0.0 {
+            let draw = (splitmix64(&mut self.rng_state) >> 11) as f64 / (1u64 << 53) as f64;
+            if draw < self.plan.failure_rate {
+                return Err(self.injected_error());
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_payload(&self, words: usize) {
+        if let Some(max) = self.plan.max_message_words {
+            assert!(
+                words <= max,
+                "fault plan violated: message of {words} words exceeds the \
+                 {max}-word payload budget"
+            );
+        }
+    }
+
+    fn check_outbox_payloads(&self, outboxes: &[Vec<(NodeId, Words)>]) {
+        if self.plan.max_message_words.is_some() {
+            for per_node in outboxes {
+                for (_, payload) in per_node {
+                    self.assert_payload(payload.len());
+                }
+            }
+        }
+    }
+
+    /// Tightened per-call budget check (send and receive loads against
+    /// `routing_capacity_factor · n`).
+    fn check_budget(&self, outboxes: &[Vec<(NodeId, Words)>]) -> Result<(), ModelError> {
+        let Some(factor) = self.plan.routing_capacity_factor else {
+            return Ok(());
+        };
+        let n = self.inner.n();
+        let cap = factor * n;
+        let mut send = vec![0usize; n];
+        let mut recv = vec![0usize; n];
+        for (src, per_node) in outboxes.iter().enumerate() {
+            for (dst, payload) in per_node {
+                if src < n && *dst < n {
+                    send[src] += payload.len();
+                    recv[*dst] += payload.len();
+                }
+            }
+        }
+        for node in 0..n {
+            if send[node] > cap {
+                return Err(ModelError::CongestionExceeded {
+                    node,
+                    words: send[node],
+                    capacity: cap,
+                    sending: true,
+                });
+            }
+            if recv[node] > cap {
+                return Err(ModelError::CongestionExceeded {
+                    node,
+                    words: recv[node],
+                    capacity: cap,
+                    sending: false,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<C: Communicator> Communicator for FaultComm<C> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn config(&self) -> CliqueConfig {
+        self.inner.config()
+    }
+
+    fn ledger(&self) -> &RoundLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut RoundLedger {
+        self.inner.ledger_mut()
+    }
+
+    fn push_phase(&mut self, name: &str) {
+        self.inner.push_phase(name);
+    }
+
+    fn pop_phase(&mut self) {
+        self.inner.pop_phase();
+    }
+
+    fn charge_oracle(&mut self, rounds: u64) {
+        self.inner.charge_oracle(rounds);
+    }
+
+    fn charge_implemented(&mut self, rounds: u64) {
+        self.inner.charge_implemented(rounds);
+    }
+
+    fn exchange(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.preflight()?;
+        self.check_outbox_payloads(&outboxes);
+        self.check_budget(&outboxes)?;
+        self.inner.exchange(outboxes)
+    }
+
+    fn route(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.preflight()?;
+        self.check_outbox_payloads(&outboxes);
+        self.check_budget(&outboxes)?;
+        self.inner.route(outboxes)
+    }
+
+    fn route_strict(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        self.preflight()?;
+        self.check_outbox_payloads(&outboxes);
+        self.check_budget(&outboxes)?;
+        self.inner.route_strict(outboxes)
+    }
+
+    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+        self.inner.broadcast_all(values)
+    }
+
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
+        if self.plan.max_message_words.is_some() {
+            for words in per_node {
+                self.assert_payload(words.len());
+            }
+        }
+        self.inner.broadcast_all_words(per_node)
+    }
+
+    fn broadcast_from(&mut self, src: NodeId, words: &Words) -> Result<Words, ModelError> {
+        self.preflight()?;
+        self.assert_payload(words.len());
+        self.inner.broadcast_from(src, words)
+    }
+
+    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+        if self.plan.max_message_words.is_some() {
+            for words in per_node {
+                self.assert_payload(words.len());
+            }
+        }
+        self.inner.allgather(per_node)
+    }
+
+    fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.preflight()?;
+        self.inner.sort(per_node)
+    }
+
+    fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.preflight()?;
+        if self.plan.max_message_words.is_some() {
+            for words in per_node {
+                self.assert_payload(words.len());
+            }
+        }
+        self.inner.gather_to(dst, per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clique;
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let mut bare = Clique::new(4);
+        let mut wrapped = FaultComm::new(Clique::new(4), FaultPlan::default());
+        let outboxes = || vec![vec![(1, vec![1, 2, 3])], vec![], vec![], vec![]];
+        let a = bare.route(outboxes()).unwrap();
+        let b = wrapped.route(outboxes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            bare.ledger().total_rounds(),
+            wrapped.ledger().total_rounds()
+        );
+        assert_eq!(wrapped.injected_faults(), 0);
+    }
+
+    #[test]
+    fn tightened_budget_makes_silent_batching_loud() {
+        // Bare route batches a 9-word burst (charging 3 batches); the
+        // fault transport with a 1·n budget rejects it instead.
+        let plan = FaultPlan {
+            routing_capacity_factor: Some(1),
+            ..FaultPlan::default()
+        };
+        let mut comm = FaultComm::new(Clique::new(4), plan);
+        let outboxes = vec![vec![(1, (0..9).collect())], vec![], vec![], vec![]];
+        let err = comm.route(outboxes).unwrap_err();
+        match err {
+            ModelError::CongestionExceeded {
+                node,
+                words,
+                capacity,
+                sending,
+            } => {
+                assert_eq!((node, words, capacity, sending), (0, 9, 4, true));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Nothing was charged for the rejected call.
+        assert_eq!(comm.ledger().total_rounds(), 0);
+    }
+
+    #[test]
+    fn forced_phase_fault_fires_only_in_matching_phases() {
+        let plan = FaultPlan {
+            fail_phases: vec!["doomed".into()],
+            ..FaultPlan::default()
+        };
+        let mut comm = FaultComm::new(Clique::new(4), plan);
+        let outboxes = || vec![vec![(1, vec![1])], vec![], vec![], vec![]];
+        assert!(comm.route(outboxes()).is_ok());
+        let err = comm
+            .phase("doomed", |comm| comm.route(outboxes()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::CongestionExceeded {
+                node: 0,
+                words: 0,
+                capacity: 0,
+                sending: true
+            }
+        );
+        // Nested phases match by path fragment.
+        let err = comm
+            .phase("outer", |comm| {
+                comm.phase("doomed", |comm| {
+                    comm.sort(&[vec![1], vec![], vec![], vec![]])
+                })
+            })
+            .unwrap_err();
+        assert_eq!(comm.injected_faults(), 2);
+        assert!(matches!(err, ModelError::CongestionExceeded { .. }));
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                seed,
+                failure_rate: 0.5,
+                ..FaultPlan::default()
+            };
+            let mut comm = FaultComm::new(Clique::new(4), plan);
+            let pattern: Vec<bool> = (0..32)
+                .map(|_| {
+                    comm.route(vec![vec![(1, vec![1])], vec![], vec![], vec![]])
+                        .is_ok()
+                })
+                .collect();
+            pattern
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must differ");
+        let oks = run(7).iter().filter(|&&ok| ok).count();
+        assert!((4..=28).contains(&oks), "rate 0.5 wildly off: {oks}/32");
+    }
+
+    #[test]
+    #[should_panic(expected = "payload budget")]
+    fn oversized_payload_panics() {
+        let plan = FaultPlan {
+            max_message_words: Some(2),
+            ..FaultPlan::default()
+        };
+        let mut comm = FaultComm::new(Clique::new(4), plan);
+        let _ = comm.broadcast_from(0, &vec![1, 2, 3]);
+    }
+}

@@ -41,18 +41,24 @@
 #![warn(missing_docs)]
 
 mod clique;
+mod comm;
 mod encode;
 mod error;
+mod fault;
 mod ledger;
 mod program;
+mod trace;
 
 pub use clique::{Clique, CliqueConfig, CommunicationMode, Envelope};
+pub use comm::{scoped_phase, Communicator};
 pub use encode::{
     decode_f64, decode_f64_fixed, decode_i64, encode_f64, encode_f64_fixed, encode_i64,
 };
 pub use error::ModelError;
+pub use fault::{FaultComm, FaultPlan};
 pub use ledger::{CostKind, PhaseCost, RoundLedger};
 pub use program::{run_node_programs, NodeCtx, NodeProgram};
+pub use trace::{PhaseTrace, TraceEvent, TracingComm, TRACE_HIST_BUCKETS};
 
 /// Identifier of a node (processor) of the clique; ranges over `0..n`.
 pub type NodeId = usize;

@@ -39,7 +39,7 @@
 //! assert_eq!(outs, vec![3, 3, 3, 3]);
 //! ```
 
-use crate::{Clique, Envelope, ModelError, NodeId, Words};
+use crate::{Communicator, Envelope, ModelError, NodeId, Words};
 
 /// Per-node execution context handed to every [`NodeProgram::round`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +70,9 @@ pub trait NodeProgram {
 }
 
 /// Executes one [`NodeProgram`] per node until all halt (or the round
-/// budget runs out), delivering messages through [`Clique::route`] so
-/// every super-round's communication is charged by the model's rules.
+/// budget runs out), delivering messages through
+/// [`Communicator::route`] so every super-round's communication is
+/// charged by the substrate's rules.
 ///
 /// # Errors
 ///
@@ -84,8 +85,8 @@ pub trait NodeProgram {
 ///
 /// Panics if `programs.len() != clique.n()` or the programs fail to halt
 /// within `max_rounds` super-rounds.
-pub fn run_node_programs<P: NodeProgram>(
-    clique: &mut Clique,
+pub fn run_node_programs<C: Communicator, P: NodeProgram>(
+    clique: &mut C,
     mut programs: Vec<P>,
     max_rounds: usize,
 ) -> Result<Vec<P::Output>, ModelError> {
@@ -120,6 +121,7 @@ pub fn run_node_programs<P: NodeProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Clique;
 
     /// Distributed BFS layering: node 0 is the root; every node learns its
     /// hop distance in the (arbitrary) communication graph given by

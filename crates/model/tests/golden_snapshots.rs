@@ -1,0 +1,114 @@
+//! Golden snapshots of the human-readable ledger report and the JSON
+//! trace on a small fixed workload.
+//!
+//! Everything in the model is deterministic (no time, no randomness, no
+//! hash-order iteration), so exact string equality is safe — and it is
+//! the point: these snapshots pin the output formats that downstream
+//! tooling (EXPERIMENTS.md, `bench_snapshot`) parses or embeds. If you
+//! change a format deliberately, update the goldens in the same commit.
+
+use cc_model::{Clique, Communicator, TracingComm};
+
+/// A tiny workload exercising every traffic-moving primitive plus nested
+/// phases and oracle charging, on n = 4.
+fn workload<C: Communicator>(comm: &mut C) {
+    comm.phase("build", |c| {
+        c.broadcast_all(&[1, 2, 3, 4]);
+        c.phase("sparsify", |c| {
+            c.route(vec![
+                vec![(1, vec![10, 11])],
+                vec![(2, vec![12])],
+                vec![],
+                vec![],
+            ])
+            .unwrap();
+            c.charge_oracle(4);
+        });
+    });
+    comm.phase("solve", |c| {
+        let _ = c.allgather(&[vec![1], vec![2, 3], vec![], vec![4]]);
+        c.gather_to(0, &[vec![], vec![9], vec![8], vec![7]])
+            .unwrap();
+        c.sort(&[vec![5, 1], vec![2], vec![9], vec![]]).unwrap();
+        c.broadcast_from(2, &vec![6, 6, 6, 6]).unwrap();
+    });
+}
+
+const GOLDEN_REPORT: &str = "\
+total rounds: 17 (implemented 13, charged 4)
+  build                                                     1 (impl        1, charged        0)
+  build/sparsify                                            6 (impl        2, charged        4)
+  solve                                                    10 (impl       10, charged        0)
+";
+
+#[test]
+fn round_ledger_report_matches_golden() {
+    let mut clique = Clique::new(4);
+    workload(&mut clique);
+    assert_eq!(clique.ledger().report(), GOLDEN_REPORT);
+}
+
+const GOLDEN_TRACE: &str = r#"{
+  "schema": "cc-model/trace-v1",
+  "n": 4,
+  "total_rounds": 17,
+  "implemented_rounds": 13,
+  "charged_rounds": 4,
+  "congestion": {
+    "max_pair_words": 4,
+    "max_node_send": 4,
+    "max_node_recv": 4,
+    "phases": [
+      {"phase": "build", "rounds": 1, "messages": 4, "words": 4, "max_pair_words": 1, "max_node_send": 1, "max_node_recv": 4, "calls": {"broadcast_all": 1, "phase_enter": 1, "phase_exit": 1}, "message_words_hist": [0, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]},
+      {"phase": "build/sparsify", "rounds": 6, "messages": 2, "words": 3, "max_pair_words": 2, "max_node_send": 2, "max_node_recv": 2, "calls": {"charge_oracle": 1, "phase_enter": 1, "phase_exit": 1, "route": 1}, "message_words_hist": [0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]},
+      {"phase": "solve", "rounds": 10, "messages": 10, "words": 15, "max_pair_words": 4, "max_node_send": 4, "max_node_recv": 4, "calls": {"allgather": 1, "broadcast_from": 1, "gather_to": 1, "phase_enter": 1, "phase_exit": 1, "sort": 1}, "message_words_hist": [0, 7, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]}
+    ]
+  },
+  "events": [
+    {"seq": 0, "primitive": "phase_enter", "phase": "build", "rounds": 0, "messages": 0, "words": 0},
+    {"seq": 1, "primitive": "broadcast_all", "phase": "build", "rounds": 1, "messages": 4, "words": 4},
+    {"seq": 2, "primitive": "phase_enter", "phase": "build/sparsify", "rounds": 0, "messages": 0, "words": 0},
+    {"seq": 3, "primitive": "route", "phase": "build/sparsify", "rounds": 2, "messages": 2, "words": 3},
+    {"seq": 4, "primitive": "charge_oracle", "phase": "build/sparsify", "rounds": 4, "messages": 0, "words": 0},
+    {"seq": 5, "primitive": "phase_exit", "phase": "build/sparsify", "rounds": 0, "messages": 0, "words": 0},
+    {"seq": 6, "primitive": "phase_exit", "phase": "build", "rounds": 0, "messages": 0, "words": 0},
+    {"seq": 7, "primitive": "phase_enter", "phase": "solve", "rounds": 0, "messages": 0, "words": 0},
+    {"seq": 8, "primitive": "allgather", "phase": "solve", "rounds": 3, "messages": 3, "words": 4},
+    {"seq": 9, "primitive": "gather_to", "phase": "solve", "rounds": 1, "messages": 3, "words": 3},
+    {"seq": 10, "primitive": "sort", "phase": "solve", "rounds": 2, "messages": 3, "words": 4},
+    {"seq": 11, "primitive": "broadcast_from", "phase": "solve", "rounds": 4, "messages": 1, "words": 4},
+    {"seq": 12, "primitive": "phase_exit", "phase": "solve", "rounds": 0, "messages": 0, "words": 0}
+  ]
+}
+"#;
+
+#[test]
+fn trace_json_matches_golden() {
+    let mut comm = TracingComm::new(Clique::new(4));
+    workload(&mut comm);
+    assert_eq!(comm.trace_json(), GOLDEN_TRACE);
+}
+
+#[test]
+fn congestion_json_is_embedded_in_the_trace() {
+    // `congestion_json()` is the phase-level view embedded by
+    // `bench_snapshot`; it must stay consistent with the full trace.
+    let mut comm = TracingComm::new(Clique::new(4));
+    workload(&mut comm);
+    let congestion = comm.congestion_json();
+    for line in congestion.lines() {
+        assert!(
+            GOLDEN_TRACE.contains(line.trim()),
+            "congestion_json line not found in trace_json: {line}"
+        );
+    }
+}
+
+#[test]
+fn tracing_wrapper_reports_the_same_ledger_as_bare() {
+    let mut bare = Clique::new(4);
+    let mut traced = TracingComm::new(Clique::new(4));
+    workload(&mut bare);
+    workload(&mut traced);
+    assert_eq!(bare.ledger().report(), traced.ledger().report());
+}

@@ -113,7 +113,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`](fn@vec): an exact length or a range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

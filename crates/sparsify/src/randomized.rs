@@ -15,7 +15,7 @@
 
 use cc_graph::Graph;
 use cc_linalg::{laplacian_from_edges, GroundedCholesky};
-use cc_model::Clique;
+use cc_model::Communicator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,8 +32,8 @@ use crate::SpectralSparsifier;
 ///
 /// Panics if `clique.n() < g.n()` or the graph has no edges when
 /// `target_edges > 0`.
-pub fn build_randomized_sparsifier(
-    clique: &mut Clique,
+pub fn build_randomized_sparsifier<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     seed: u64,
     target_edges: Option<usize>,
@@ -119,6 +119,7 @@ mod tests {
     use super::*;
     use crate::verify_sparsifier;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     #[test]
     fn randomized_sparsifier_is_certified_honestly() {

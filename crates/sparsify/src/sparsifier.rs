@@ -2,7 +2,7 @@
 
 use cc_graph::Graph;
 use cc_linalg::{laplacian_from_edges, GroundedCholesky, LinalgError, SolveScratch};
-use cc_model::Clique;
+use cc_model::Communicator;
 
 use crate::decomposition::{default_phi, expander_decompose};
 use crate::gadget::{intra_cluster_degrees, ClusterGadget};
@@ -209,8 +209,8 @@ pub struct SparsifierSolveScratch {
 ///
 /// Panics if `clique.n() < g.n()` (every vertex needs a host processor) or
 /// params are out of range.
-pub fn build_sparsifier(
-    clique: &mut Clique,
+pub fn build_sparsifier<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     params: &SparsifyParams,
 ) -> SpectralSparsifier {

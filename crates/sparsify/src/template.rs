@@ -19,7 +19,7 @@
 
 use cc_graph::{EdgeId, Graph, VertexId};
 use cc_linalg::{normalized_laplacian_dense, symmetric_eigen};
-use cc_model::Clique;
+use cc_model::Communicator;
 
 use crate::gadget::ClusterGadget;
 use crate::sparsifier::{build_sparsifier, SparsifyParams, SpectralSparsifier};
@@ -76,7 +76,7 @@ impl SparsifierTemplate {
     ///
     /// Panics if `g`'s vertex or edge count differs from the template's,
     /// or `clique.n() < g.n()`.
-    pub fn instantiate(&self, clique: &mut Clique, g: &Graph) -> SpectralSparsifier {
+    pub fn instantiate<C: Communicator>(&self, clique: &mut C, g: &Graph) -> SpectralSparsifier {
         assert_eq!(g.n(), self.n, "template built for a different vertex count");
         assert_eq!(g.m(), self.m, "template built for a different edge support");
         assert!(clique.n() >= g.n(), "clique too small");
@@ -137,8 +137,8 @@ impl SparsifierTemplate {
 /// # Panics
 ///
 /// Same conditions as [`build_sparsifier`].
-pub fn build_sparsifier_with_template(
-    clique: &mut Clique,
+pub fn build_sparsifier_with_template<C: Communicator>(
+    clique: &mut C,
     g: &Graph,
     params: &SparsifyParams,
 ) -> (SpectralSparsifier, SparsifierTemplate) {
@@ -215,6 +215,7 @@ mod tests {
     use super::*;
     use crate::verify_sparsifier;
     use cc_graph::generators;
+    use cc_model::Clique;
 
     fn reweight(g: &Graph, factor: impl Fn(usize) -> f64) -> Graph {
         let mut out = Graph::new(g.n());
