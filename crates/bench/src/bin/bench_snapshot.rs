@@ -15,10 +15,21 @@
 //! Wall-clock is the only nondeterministic output; the snapshot keeps the
 //! median of an odd number of repetitions to damp scheduler noise.
 //!
-//! The snapshot also embeds a `"congestion"` section: per-phase message,
-//! word, and link-congestion statistics of representative solver runs
-//! captured through `TracingComm` — fully deterministic, so they diff
-//! cleanly across commits.
+//! The snapshot also embeds two fully deterministic sections that diff
+//! cleanly across commits:
+//!
+//! - `"congestion"`: per-phase message, word, and link-congestion
+//!   statistics of representative solver runs captured through
+//!   `TracingComm`.
+//! - `"ipm"`: golden end-to-end runs of both interior-point stacks
+//!   (value/cost, round totals, an FNV-1a hash of the integral flow
+//!   bits, and the barrier engine's per-stage solver stats).
+//!
+//! `bench_snapshot -- --check [path]` recomputes only the deterministic
+//! sections and exits nonzero if any drift-sensitive field (round
+//! totals, flow hashes, solve counts) differs from the committed
+//! baseline — CI runs this to catch silent round-complexity or
+//! determinism regressions.
 
 use std::time::Instant;
 
@@ -28,6 +39,8 @@ use cc_linalg::{
     chebyshev_solve_fixed_into, laplacian_from_edges, par, vec_ops::remove_mean,
     ChebyshevWorkspace, CsrMatrix, DenseMatrix,
 };
+use cc_maxflow::{max_flow_ipm, IpmOptions};
+use cc_mcf::{min_cost_flow_ipm, McfOptions};
 use cc_model::{Clique, Communicator, TracingComm};
 
 /// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
@@ -226,9 +239,164 @@ fn congestion_section() -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+/// FNV-1a over the flow values' two's-complement bits — one word per
+/// edge, so any single-edge change flips the digest.
+fn hash_i64(xs: &[i64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &x in xs {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden end-to-end IPM runs: fixed instances through both
+/// interior-point stacks, reporting exact values, ledger round totals,
+/// flow-bit hashes and the barrier engine's per-stage stats. Everything
+/// here is bitwise deterministic across hosts and thread counts.
+fn ipm_section() -> String {
+    let mut rows = Vec::new();
+    for (n, extra, cap, seed, s, t) in [
+        (8usize, 14usize, 3i64, 5u64, 0usize, 7usize),
+        (12, 26, 4, 13, 0, 11),
+    ] {
+        let g = generators::random_flow_network(n, extra, cap, seed);
+        let mut clique = Clique::new(n);
+        let out = max_flow_ipm(&mut clique, &g, s, t, &IpmOptions::default());
+        rows.push(format!(
+            "    {{\"instance\": \"maxflow/random_flow_network_{}_seed{}\", \"value\": {}, \"total_rounds\": {}, \"charged_rounds\": {}, \"implemented_rounds\": {}, \"flow_hash\": \"{:#018x}\", \"progress_steps\": {}, \"engine\": {}}}",
+            n,
+            seed,
+            out.value,
+            clique.ledger().total_rounds(),
+            clique.ledger().charged_rounds(),
+            clique.ledger().implemented_rounds(),
+            hash_i64(&out.flow),
+            out.stats.progress_steps,
+            out.stats.engine.to_json(),
+        ));
+    }
+    for (k, extra, cost, seed) in [(4usize, 2usize, 8i64, 7u64), (5, 3, 6, 11)] {
+        let (g, sigma) = generators::bipartite_assignment(k, extra, cost, seed);
+        let mut clique = Clique::new(g.n() + 2);
+        let out =
+            min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).expect("feasible");
+        rows.push(format!(
+            "    {{\"instance\": \"mcf/bipartite_assignment_{}_seed{}\", \"cost\": {}, \"total_rounds\": {}, \"charged_rounds\": {}, \"implemented_rounds\": {}, \"flow_hash\": \"{:#018x}\", \"progress_steps\": {}, \"engine\": {}}}",
+            k,
+            seed,
+            out.cost,
+            clique.ledger().total_rounds(),
+            clique.ledger().charged_rounds(),
+            clique.ledger().implemented_rounds(),
+            hash_i64(&out.flow),
+            out.stats.progress_steps,
+            out.stats.engine.to_json(),
+        ));
+    }
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+/// Drift-sensitive fields of a snapshot document, in document order:
+/// every round total, flow hash, exact value and solver count. Wall-clock
+/// fields are deliberately absent — they vary per host.
+fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
+    const KEYS: [&str; 10] = [
+        "total_rounds",
+        "charged_rounds",
+        "implemented_rounds",
+        "rounds",
+        "flow_hash",
+        "value",
+        "cost",
+        "solves",
+        "chebyshev_iterations",
+        "template_reuses",
+    ];
+    let mut found = Vec::new();
+    for key in KEYS {
+        let pat = format!("\"{key}\":");
+        for (pos, _) in doc.match_indices(&pat) {
+            let rest = doc[pos + pat.len()..].trim_start();
+            let val: String = rest
+                .chars()
+                .take_while(|c| !",}\n".contains(*c))
+                .collect::<String>()
+                .trim()
+                .to_string();
+            found.push((pos, key.to_string(), val));
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Recomputes the deterministic sections and compares every
+/// drift-sensitive field against the committed baseline. Exits nonzero
+/// on any mismatch.
+fn check_baseline(path: &str) {
+    let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    if !baseline.contains("\"ipm\":") {
+        eprintln!(
+            "bench_snapshot --check: {path} has no \"ipm\" section (regenerate the baseline)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_snapshot --check: recomputing deterministic sections…");
+    let fresh = format!(
+        "{{\n  \"ipm\": {},\n  \"congestion\": {}\n}}\n",
+        ipm_section(),
+        congestion_section(),
+    );
+    let want: Vec<(String, String)> = drift_fields(&baseline)
+        .into_iter()
+        .map(|(_, k, v)| (k, v))
+        .collect();
+    let got: Vec<(String, String)> = drift_fields(&fresh)
+        .into_iter()
+        .map(|(_, k, v)| (k, v))
+        .collect();
+    if want == got {
+        eprintln!(
+            "bench_snapshot --check: OK — {} drift-sensitive fields match {path}",
+            want.len()
+        );
+        return;
+    }
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w != g {
+            eprintln!(
+                "bench_snapshot --check: field #{i} \"{}\" drifted: baseline {} != current {}",
+                w.0, w.1, g.1
+            );
+        }
+    }
+    if want.len() != got.len() {
+        eprintln!(
+            "bench_snapshot --check: field count changed: baseline {} != current {}",
+            want.len(),
+            got.len()
+        );
+    }
+    std::process::exit(1);
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_baseline.json");
+        check_baseline(path);
+        return;
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_baseline.json".into());
     let threads = par::max_threads();
     eprintln!("bench_snapshot: {threads} thread(s) available");
@@ -246,17 +414,21 @@ fn main() {
     eprintln!("  chebyshev n=16384…");
     records.push(snapshot_chebyshev(16384, 40, 7));
 
+    eprintln!("  ipm goldens…");
+    let ipm = ipm_section();
+
     eprintln!("  congestion traces…");
     let congestion = congestion_section();
 
     let all_equal = records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v2\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"congestion\": {}\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v2\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {}\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
         body.join(",\n"),
+        ipm,
         congestion,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -75,7 +75,9 @@ pub fn e1_laplacian_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
                 let before = clique.ledger().total_rounds();
                 let out = solver.solve(&mut clique, &st_rhs(n), eps);
                 let rounds = clique.ledger().total_rounds() - before;
-                let err = out.relative_error();
+                let err = out
+                    .relative_error()
+                    .expect("reference solution kept by default options");
                 t.push(vec![
                     name.to_string(),
                     n.to_string(),
@@ -339,6 +341,10 @@ pub fn e6_maxflow_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
             "ipm rounds",
             "ipm/m^(3/7)U^(1/7)",
             "ipm steps",
+            "solves",
+            "cheby",
+            "reuse",
+            "stage rounds a/f/c",
             "rounded/|f*|",
             "repair",
             "ff rounds",
@@ -373,6 +379,15 @@ pub fn e6_maxflow_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
             ipm_rounds.to_string(),
             format!("{:.0}", ipm_rounds as f64 / shape),
             ipm.stats.progress_steps.to_string(),
+            ipm.stats.engine.total_solves().to_string(),
+            ipm.stats.engine.total_chebyshev_iterations().to_string(),
+            ipm.stats.engine.total_template_reuses().to_string(),
+            format!(
+                "{}/{}/{}",
+                ipm.stats.engine.stage("augmentation").rounds,
+                ipm.stats.engine.stage("fixing").rounds,
+                ipm.stats.engine.stage("cleanup").rounds,
+            ),
             if want > 0 {
                 format!("{:.2}", ipm.stats.rounded_value as f64 / want as f64)
             } else {
@@ -403,6 +418,10 @@ pub fn e7_mcf_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
             "rounds",
             "rounds/m^(3/7)",
             "steps",
+            "solves",
+            "cheby",
+            "reuse",
+            "stage rounds p/c",
             "satisfied",
             "repair",
             "cancelled",
@@ -430,6 +449,14 @@ pub fn e7_mcf_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
             rounds.to_string(),
             format!("{:.0}", rounds as f64 / shape),
             out.stats.progress_steps.to_string(),
+            out.stats.engine.total_solves().to_string(),
+            out.stats.engine.total_chebyshev_iterations().to_string(),
+            out.stats.engine.total_template_reuses().to_string(),
+            format!(
+                "{}/{}",
+                out.stats.engine.stage("progress").rounds,
+                out.stats.engine.stage("correction").rounds,
+            ),
             format!("{:.2}", out.stats.ipm_progress),
             out.stats.repair_paths.to_string(),
             out.stats.cancelled_cycles.to_string(),
@@ -540,7 +567,9 @@ pub fn e1b_solver_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> 
             format!("{:.3}", solver.kappa()),
             out.iterations.to_string(),
             build_rounds.to_string(),
-            (out.relative_error() <= 1e-8 * 1.05).to_string(),
+            out.relative_error()
+                .is_some_and(|e| e <= 1e-8 * 1.05)
+                .to_string(),
         ]);
     }
     // Randomized at two sampling budgets.
@@ -561,7 +590,9 @@ pub fn e1b_solver_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> 
             format!("{:.3}", solver.kappa()),
             out.iterations.to_string(),
             build_rounds.to_string(),
-            (out.relative_error() <= 1e-8 * 1.05).to_string(),
+            out.relative_error()
+                .is_some_and(|e| e <= 1e-8 * 1.05)
+                .to_string(),
         ]);
     }
     t

@@ -11,7 +11,7 @@ use cc_graph::Graph;
 use cc_model::Communicator;
 use cc_sparsify::{build_sparsifier_with_template, SparsifierTemplate};
 
-use crate::{CoreError, LaplacianSolver, SolverOptions};
+use crate::{CoreError, LaplacianSolver, SolveWorkspace, SolverOptions};
 
 /// An undirected network with positive edge resistances, ready to answer
 /// electrical flow queries in the congested clique.
@@ -23,7 +23,10 @@ pub struct ElectricalNetwork {
 }
 
 /// Result of an electrical flow computation.
-#[derive(Debug, Clone)]
+///
+/// Implements `Default` (empty buffers) so one instance can be reused as
+/// the output slot of many [`ElectricalNetwork::flow_into`] calls.
+#[derive(Debug, Clone, Default)]
 pub struct ElectricalFlow {
     /// Vertex potentials `φ ≈ L†χ` (zero mean per component).
     pub potentials: Vec<f64>,
@@ -147,21 +150,40 @@ impl ElectricalNetwork {
     ///
     /// Panics if `chi.len() != n` or `eps ≤ 0`.
     pub fn flow<C: Communicator>(&self, clique: &mut C, chi: &[f64], eps: f64) -> ElectricalFlow {
-        let out = self.solver.solve(clique, chi, eps);
-        let potentials = out.x;
-        let mut flows = Vec::with_capacity(self.edges.len());
+        let mut out = ElectricalFlow::default();
+        let mut ws = SolveWorkspace::new();
+        self.flow_into(clique, chi, eps, &mut out, &mut ws);
+        out
+    }
+
+    /// [`ElectricalNetwork::flow`] into caller-owned buffers: identical
+    /// round accounting and bitwise-identical result, but `out` and `ws`
+    /// are reused, so the steady-state call performs no heap allocation —
+    /// the per-iteration path of the interior point methods (`cc-ipm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chi.len() != n` or `eps ≤ 0`.
+    pub fn flow_into<C: Communicator>(
+        &self,
+        clique: &mut C,
+        chi: &[f64],
+        eps: f64,
+        out: &mut ElectricalFlow,
+        ws: &mut SolveWorkspace,
+    ) {
+        out.iterations = self
+            .solver
+            .solve_into(clique, chi, eps, &mut out.potentials, ws);
+        out.flows.clear();
+        out.flows.reserve(self.edges.len());
         let mut energy = 0.0;
         for (&(u, v, _), &r) in self.edges.iter().zip(&self.resistances) {
-            let f = (potentials[u] - potentials[v]) / r;
+            let f = (out.potentials[u] - out.potentials[v]) / r;
             energy += r * f * f;
-            flows.push(f);
+            out.flows.push(f);
         }
-        ElectricalFlow {
-            potentials,
-            flows,
-            energy,
-            iterations: out.iterations,
-        }
+        out.energy = energy;
     }
 
     /// Approximate effective resistance between `s` and `t`:

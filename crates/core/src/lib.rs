@@ -35,7 +35,7 @@
 //! b[0] = 1.0;
 //! b[17] = -1.0;
 //! let out = solver.solve(&mut clique, &b, 1e-8);
-//! assert!(out.relative_error() <= 1e-8);
+//! assert!(out.relative_error().unwrap() <= 1e-8);
 //! # Ok::<(), cc_core::CoreError>(())
 //! ```
 
@@ -48,4 +48,4 @@ mod solver;
 
 pub use electrical::{ElectricalFlow, ElectricalNetwork};
 pub use error::CoreError;
-pub use solver::{solve_laplacian, LaplacianSolver, SolveOutcome, SolverOptions};
+pub use solver::{solve_laplacian, LaplacianSolver, SolveOutcome, SolveWorkspace, SolverOptions};

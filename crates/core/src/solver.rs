@@ -17,7 +17,7 @@ pub struct SolverOptions {
     /// `None` (default) ships full `f64` payloads, one word each.
     pub message_frac_bits: Option<u32>,
     /// Skip computing the exact reference solution per solve.
-    /// [`SolveOutcome::relative_error`] then returns `NaN`. The interior
+    /// [`SolveOutcome::relative_error`] then returns `None`. The interior
     /// point methods enable this: they issue hundreds of solves and never
     /// read the reference, whose `O(n³)` factorization would dominate
     /// wall-clock (not rounds — the reference is a measurement artifact).
@@ -43,18 +43,52 @@ pub struct SolveOutcome {
 impl SolveOutcome {
     /// The achieved relative error `‖x − L†b‖_{L_G} / ‖L†b‖_{L_G}`
     /// (the error functional of Theorem 1.1), computed against an exact
-    /// internal reference solve of the same right-hand side. Returns `NaN`
-    /// when the solver was built with
-    /// [`SolverOptions::skip_reference`].
-    pub fn relative_error(&self) -> f64 {
-        let Some(x_star) = &self.x_star else {
-            return f64::NAN;
-        };
+    /// internal reference solve of the same right-hand side. Returns
+    /// `None` when the solver was built with
+    /// [`SolverOptions::skip_reference`] (no reference exists to compare
+    /// against).
+    pub fn relative_error(&self) -> Option<f64> {
+        let x_star = self.x_star.as_ref()?;
         let denom = self.norm.norm(x_star);
         if denom == 0.0 {
-            return 0.0;
+            return Some(0.0);
         }
-        self.norm.distance(&self.x, x_star) / denom
+        Some(self.norm.distance(&self.x, x_star) / denom)
+    }
+}
+
+/// Reusable buffers of [`LaplacianSolver::solve_into`].
+///
+/// One workspace serves any number of solves (buffers are sized on first
+/// use and kept), so the steady-state per-solve hot path performs no heap
+/// allocation — the discipline the counting-allocator tests pin down. The
+/// projected right-hand side of the most recent solve is retained in the
+/// workspace for callers that need it (e.g. the reference solve of
+/// [`LaplacianSolver::solve`]).
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    /// `b` projected onto `range(L_G)` (the actual system solved).
+    b_proj: Vec<f64>,
+    /// Per-component sums of the projection.
+    comp_sums: Vec<f64>,
+    /// Per-component vertex counts of the projection.
+    comp_counts: Vec<usize>,
+    /// Encoded broadcast words (one per clique node).
+    words: Vec<u64>,
+    /// Shared broadcast view received back.
+    view: Vec<u64>,
+    /// Decoded shared iterate.
+    shared: Vec<f64>,
+    /// Chebyshev iteration vectors.
+    cheby: cc_linalg::ChebyshevWorkspace,
+    /// Preconditioner (sparsifier Cholesky) scratch.
+    scratch: cc_sparsify::SparsifierSolveScratch,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -176,20 +210,21 @@ impl LaplacianSolver {
         chebyshev_iteration_bound(self.kappa, eps.clamp(f64::MIN_POSITIVE, 0.5))
     }
 
-    /// Projects `b` onto `range(L_G)` (removes the per-component mean) —
-    /// free internally: connectivity is known from the globally known
-    /// sparsifier.
-    fn project(&self, b: &[f64]) -> Vec<f64> {
-        let mut sums = vec![0.0; self.comp_count];
-        let mut counts = vec![0usize; self.comp_count];
-        for (v, &bv) in b.iter().enumerate() {
-            sums[self.components[v]] += bv;
+    /// Projects `x` onto `range(L_G)` in place (removes the per-component
+    /// mean) — free internally: connectivity is known from the globally
+    /// known sparsifier. `sums`/`counts` are caller-owned scratch.
+    fn project_in_place(&self, x: &mut [f64], sums: &mut Vec<f64>, counts: &mut Vec<usize>) {
+        sums.clear();
+        sums.resize(self.comp_count, 0.0);
+        counts.clear();
+        counts.resize(self.comp_count, 0);
+        for (v, &xv) in x.iter().enumerate() {
+            sums[self.components[v]] += xv;
             counts[self.components[v]] += 1;
         }
-        b.iter()
-            .enumerate()
-            .map(|(v, &bv)| bv - sums[self.components[v]] / counts[self.components[v]] as f64)
-            .collect()
+        for (v, xv) in x.iter_mut().enumerate() {
+            *xv -= sums[self.components[v]] / counts[self.components[v]] as f64;
+        }
     }
 
     /// Solves `L_G x = b` to relative `L_G`-norm error `eps` (Theorem 1.1).
@@ -199,19 +234,79 @@ impl LaplacianSolver {
     /// internal). The returned solution is the zero-mean-per-component
     /// pseudo-inverse representative.
     ///
+    /// This is a convenience wrapper over [`LaplacianSolver::solve_into`]
+    /// that allocates a fresh workspace per call and (unless built with
+    /// [`SolverOptions::skip_reference`]) attaches the exact reference
+    /// solution. Hot paths issuing many solves should call `solve_into`
+    /// with a reused [`SolveWorkspace`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != n` or `eps ≤ 0`.
     pub fn solve<C: Communicator>(&self, clique: &mut C, b: &[f64], eps: f64) -> SolveOutcome {
+        let mut ws = SolveWorkspace::new();
+        let mut x = Vec::new();
+        let spent = self.solve_into(clique, b, eps, &mut x, &mut ws);
+        let x_star = if self.skip_reference {
+            None
+        } else {
+            let exact = self.exact.get_or_init(|| {
+                cc_linalg::GroundedCholesky::new(&self.laplacian)
+                    .expect("Laplacian of positive weights factors")
+            });
+            Some(exact.solve(&ws.b_proj))
+        };
+        SolveOutcome {
+            x,
+            iterations: spent,
+            kappa: self.kappa,
+            norm: LaplacianNorm::new(self.edges.clone()),
+            x_star,
+        }
+    }
+
+    /// [`LaplacianSolver::solve`] into caller-owned buffers: writes the
+    /// solution into `x` (resized to `n`) and returns the Chebyshev
+    /// iterations spent. Identical round accounting and bitwise-identical
+    /// solution to `solve`; no reference solution is computed. With a
+    /// reused [`SolveWorkspace`] the steady-state call performs no heap
+    /// allocation — this is the per-iteration path of the interior point
+    /// methods (`cc-ipm`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `eps ≤ 0`.
+    pub fn solve_into<C: Communicator>(
+        &self,
+        clique: &mut C,
+        b: &[f64],
+        eps: f64,
+        x: &mut Vec<f64>,
+        ws: &mut SolveWorkspace,
+    ) -> usize {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         assert!(eps > 0.0, "eps must be positive");
         let eps = eps.min(0.5);
-        let b = self.project(b);
+        ws.b_proj.clear();
+        ws.b_proj.extend_from_slice(b);
+        {
+            // Split borrows: the projection target and its scratch live in
+            // the same workspace.
+            let SolveWorkspace {
+                ref mut b_proj,
+                ref mut comp_sums,
+                ref mut comp_counts,
+                ..
+            } = *ws;
+            self.project_in_place(b_proj, comp_sums, comp_counts);
+        }
         let kappa = self.kappa;
         let alpha = self.sparsifier.alpha();
         let iterations = chebyshev_iteration_bound(kappa, eps);
+        x.clear();
+        x.resize(self.n, 0.0);
 
-        clique.phase("laplacian_solve", |clique| {
+        let spent = clique.phase("laplacian_solve", |clique| {
             let frac_bits = self.message_frac_bits;
             let encode = |x: f64| match frac_bits {
                 Some(b) => cc_model::encode_f64_fixed(x, b),
@@ -221,53 +316,47 @@ impl LaplacianSolver {
                 Some(b) => cc_model::decode_f64_fixed(w, b),
                 None => decode_f64(w),
             };
-            // Encode/decode staging buffers, reused across all iterations.
-            let mut words: Vec<u64> = vec![0; clique.n()];
-            let mut shared: Vec<f64> = vec![0.0; self.n];
+            let SolveWorkspace {
+                ref b_proj,
+                ref mut words,
+                ref mut view,
+                ref mut shared,
+                ref mut cheby,
+                ref mut scratch,
+                ..
+            } = *ws;
+            // Encode/decode staging buffers, reused across all iterations
+            // (and across solves sharing this workspace).
+            words.clear();
+            words.resize(clique.n(), 0);
+            shared.clear();
+            shared.resize(self.n, 0.0);
             let apply_a = |v: &[f64], out: &mut [f64]| {
                 // One broadcast round: every node ships its coordinate to
                 // everyone, then evaluates its Laplacian row locally.
                 for (w, &x) in words.iter_mut().zip(v.iter()) {
                     *w = encode(x);
                 }
-                let view = clique.broadcast_all(&words);
+                clique.broadcast_all_into(words, view);
                 for (s, &w) in shared.iter_mut().zip(view[..self.n].iter()) {
                     *s = decode(w);
                 }
-                self.laplacian.matvec_into(&shared, out);
+                self.laplacian.matvec_into(shared, out);
             };
             // B = α·S_H  ⇒  B-solve = (1/α)·S_H†; internal, zero rounds.
-            let mut scratch = cc_sparsify::SparsifierSolveScratch::default();
             let solve_b = |r: &[f64], z: &mut [f64]| {
-                self.inner.solve_into(r, z, &mut scratch);
+                self.inner.solve_into(r, z, scratch);
                 for zi in z.iter_mut() {
                     *zi /= alpha;
                 }
             };
-            let mut x = vec![0.0; self.n];
-            let mut ws = cc_linalg::ChebyshevWorkspace::new(self.n);
-            let spent = cc_linalg::chebyshev_solve_fixed_into(
-                apply_a, solve_b, &b, kappa, iterations, &mut x, &mut ws,
-            );
-            // Canonical representative: zero mean per component (free).
-            let x = self.project(&x);
-            let x_star = if self.skip_reference {
-                None
-            } else {
-                let exact = self.exact.get_or_init(|| {
-                    cc_linalg::GroundedCholesky::new(&self.laplacian)
-                        .expect("Laplacian of positive weights factors")
-                });
-                Some(exact.solve(&b))
-            };
-            SolveOutcome {
-                x,
-                iterations: spent,
-                kappa,
-                norm: LaplacianNorm::new(self.edges.clone()),
-                x_star,
-            }
-        })
+            cc_linalg::chebyshev_solve_fixed_into(
+                apply_a, solve_b, b_proj, kappa, iterations, x, cheby,
+            )
+        });
+        // Canonical representative: zero mean per component (free).
+        self.project_in_place(x, &mut ws.comp_sums, &mut ws.comp_counts);
+        spent
     }
 }
 
@@ -313,7 +402,7 @@ mod tests {
         let b = st_rhs(24, 0, 23);
         for &eps in &[1e-1, 1e-4, 1e-8] {
             let out = solver.solve(&mut clique, &b, eps);
-            let err = out.relative_error();
+            let err = out.relative_error().expect("reference enabled");
             assert!(
                 err <= eps * 1.05,
                 "eps={eps} err={err} iters={}",
@@ -361,7 +450,7 @@ mod tests {
         b[3] = 2.0;
         b[4] = -2.0;
         let out = solver.solve(&mut clique, &b, 1e-9);
-        assert!(out.relative_error() <= 1e-8);
+        assert!(out.relative_error().unwrap() <= 1e-8);
         // Isolated vertex keeps zero.
         assert_eq!(out.x[5], 0.0);
     }
@@ -372,7 +461,7 @@ mod tests {
         let mut clique = Clique::new(20);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let out = solver.solve(&mut clique, &st_rhs(20, 0, 19), 1e-7);
-        assert!(out.relative_error() <= 1e-7 * 1.05);
+        assert!(out.relative_error().unwrap() <= 1e-7 * 1.05);
     }
 
     #[test]
@@ -381,7 +470,7 @@ mod tests {
         let mut clique = Clique::new(20);
         let b = st_rhs(20, 0, 19);
         let out = solve_laplacian(&mut clique, &g, &b, 1e-6, &SolverOptions::default()).unwrap();
-        assert!(out.relative_error() <= 1e-6 * 1.05);
+        assert!(out.relative_error().unwrap() <= 1e-6 * 1.05);
         assert!(clique.ledger().phase_prefix_total("sparsify") > 0);
         assert!(clique.ledger().phase_prefix_total("laplacian_solve") > 0);
     }
@@ -394,7 +483,7 @@ mod tests {
         let b = vec![1.0; 8]; // entirely in the nullspace
         let out = solver.solve(&mut clique, &b, 1e-6);
         assert!(out.x.iter().all(|&x| x.abs() < 1e-9));
-        assert_eq!(out.relative_error(), 0.0);
+        assert_eq!(out.relative_error(), Some(0.0));
     }
 
     #[test]
@@ -415,7 +504,7 @@ mod tests {
                 },
             )
             .unwrap();
-            solver.solve(&mut clique, &b, eps).relative_error()
+            solver.solve(&mut clique, &b, eps).relative_error().unwrap()
         };
         assert!(
             run(Some(44), 1e-6) <= 1e-6 * 1.5,
@@ -437,11 +526,11 @@ mod tests {
         let solver = LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
         let b = st_rhs(24, 0, 23);
         let out = solver.solve(&mut clique, &b, 1e-7);
-        assert!(out.relative_error() <= 1e-7 * 1.05);
+        assert!(out.relative_error().unwrap() <= 1e-7 * 1.05);
     }
 
     #[test]
-    fn skip_reference_returns_nan_error_but_same_solution() {
+    fn skip_reference_returns_no_error_but_same_solution() {
         let g = generators::expander(16);
         let b = st_rhs(16, 0, 8);
         let mut c1 = Clique::new(16);
@@ -462,8 +551,8 @@ mod tests {
             a.x, z.x,
             "reference computation must not affect the solution"
         );
-        assert!(a.relative_error().is_finite());
-        assert!(z.relative_error().is_nan());
+        assert!(a.relative_error().expect("reference enabled").is_finite());
+        assert!(z.relative_error().is_none());
     }
 
     #[test]
@@ -476,6 +565,32 @@ mod tests {
             solver.solve(&mut clique, &st_rhs(16, 2, 13), 1e-8).x
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise_and_reuses_workspace() {
+        let g = generators::random_connected(20, 48, 6, 4);
+        let mut c1 = Clique::new(20);
+        let solver = LaplacianSolver::build(&mut c1, &g, &SolverOptions::default()).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut x = Vec::new();
+        // One workspace across several right-hand sides; every solve must
+        // match the allocating path bitwise and charge identical rounds.
+        for (s, t) in [(0usize, 19usize), (3, 11), (7, 2)] {
+            let b = st_rhs(20, s, t);
+            let before = c1.ledger().total_rounds();
+            let out = solver.solve(&mut c1, &b, 1e-8);
+            let solve_rounds = c1.ledger().total_rounds() - before;
+            let before = c1.ledger().total_rounds();
+            let spent = solver.solve_into(&mut c1, &b, 1e-8, &mut x, &mut ws);
+            let into_rounds = c1.ledger().total_rounds() - before;
+            assert_eq!(spent, out.iterations);
+            assert_eq!(solve_rounds, into_rounds);
+            assert_eq!(out.x.len(), x.len());
+            for (a, b) in out.x.iter().zip(&x) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use cc_core::CoreError;
+
+/// Typed failures of the barrier engine's build/solve paths.
+///
+/// The interior point methods treat every variant as "hand the instance
+/// over to the exact repair phase" — the engine never panics on
+/// numerically degenerate barrier states.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IpmError {
+    /// A resistance handed to [`crate::BarrierEngine::build_network`] was
+    /// not finite and strictly positive (the barrier gradient produced a
+    /// NaN or the clamp was bypassed).
+    InvalidResistance {
+        /// Index of the offending edge in the resistance buffer.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An edge endpoint is out of range for the engine's vertex count.
+    EndpointOutOfRange {
+        /// Index of the offending edge in the resistance buffer.
+        index: usize,
+        /// The offending endpoint.
+        endpoint: usize,
+        /// Number of vertices the engine was built for.
+        n: usize,
+    },
+    /// Laplacian solver construction failed (degenerate sparsifier
+    /// factorization, infeasible demand, ...).
+    Core(CoreError),
+}
+
+impl fmt::Display for IpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpmError::InvalidResistance { index, value } => {
+                write!(f, "resistance {index} is not finite positive: {value}")
+            }
+            IpmError::EndpointOutOfRange { index, endpoint, n } => {
+                write!(f, "edge {index} endpoint {endpoint} out of range for n={n}")
+            }
+            IpmError::Core(e) => write!(f, "electrical build failed: {e}"),
+        }
+    }
+}
+
+impl Error for IpmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IpmError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for IpmError {
+    fn from(e: CoreError) -> Self {
+        IpmError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = IpmError::InvalidResistance {
+            index: 3,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = IpmError::from(CoreError::RhsLength {
+            got: 1,
+            expected: 2,
+        });
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -92,9 +92,15 @@ pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen, LinalgError> {
     tred2(&mut z, &mut d, &mut e);
     tql2(&mut z, &mut d, &mut e)?;
 
+    // A NaN eigenvalue means the QL iteration produced garbage (possible
+    // only for non-finite input); report it as a typed error instead of
+    // panicking inside the sort below.
+    if let Some(index) = d.iter().position(|v| v.is_nan()) {
+        return Err(LinalgError::EigenNoConvergence { index });
+    }
     // Sort ascending, permuting eigenvector columns along.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("NaN eigenvalue"));
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut eigenvectors = DenseMatrix::zeros(n, n);
     for (newc, &oldc) in order.iter().enumerate() {

@@ -11,12 +11,19 @@
 //! target value is reached or the step size stalls. Exactness of the final
 //! flow never depends on the IPM: rounding + repair finish the job
 //! unconditionally.
+//!
+//! Since the barrier-engine refactor (`DESIGN.md` §8) this module is a
+//! thin *problem adapter*: it supplies the transformed-graph barrier
+//! gradient, the `‖ρ‖₃` step rule and the rounding/repair hooks, while
+//! [`cc_ipm::BarrierEngine`] owns the electrical builds (with sparsifier
+//! template reuse), the allocation-free solve workspace and the
+//! per-stage [`EngineStats`].
 
 use cc_apsp::RoundModel;
-use cc_core::{ElectricalNetwork, SolverOptions};
+use cc_core::{ElectricalFlow, SolverOptions};
 use cc_graph::DiGraph;
+use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
-use cc_sparsify::SparsifierTemplate;
 
 use crate::residual::augment_to_optimality;
 use crate::rounding_bridge::{snap_to_delta_multiples, SnapOutcome};
@@ -63,8 +70,17 @@ impl Default for IpmOptions {
     }
 }
 
+/// The engine-facing slice of [`IpmOptions`].
+fn engine_options(options: &IpmOptions) -> EngineOptions {
+    EngineOptions {
+        solver_eps: options.solver_eps,
+        solver: options.solver,
+        reuse_sparsifier: options.reuse_sparsifier,
+    }
+}
+
 /// Execution statistics of the pipeline — what the E6 experiment reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IpmStats {
     /// Progress steps executed (Augmentation + Fixing pairs).
     pub progress_steps: usize,
@@ -79,6 +95,10 @@ pub struct IpmStats {
     /// True if the snap/rounding guard rejected the fractional flow and the
     /// repair started from zero (pure Ford–Fulkerson fallback).
     pub fell_back_to_zero: bool,
+    /// Per-stage barrier-engine accounting (`augmentation` / `fixing` /
+    /// `cleanup` solves, Chebyshev iterations, sparsifier builds vs
+    /// template reuses, ledger rounds).
+    pub engine: EngineStats,
 }
 
 /// Result of a distributed max-flow computation.
@@ -163,66 +183,27 @@ fn transform(g: &DiGraph, s: usize, t: usize) -> Vec<TEdge> {
     edges
 }
 
-/// Fixed chunk size of the per-edge fan-outs below. Decomposition depends
-/// only on the edge count, never the thread count.
-const EDGE_CHUNK: usize = 2048;
-
-/// Per-edge barrier resistances `r_e = d_e²(1/gf² + 1/gb²)` of the
-/// transformed graph, fanned out across cores in fixed chunks. Bitwise
-/// identical to the serial loop: chunks concatenate in index order and
-/// the gap fold uses the exact `min`. `gap_floor` clamps both residuals
-/// from below (`NEG_INFINITY` leaves them untouched); the returned
-/// minimum gap is of the *unclamped* residuals.
-fn barrier_resistances(
+/// The transformed-graph barrier gradient, one fixed chunk at a time:
+/// `r_e = d_e²(1/gf² + 1/gb²)`, both residuals floored at `gap_floor`
+/// (`NEG_INFINITY` leaves them untouched). Handed to
+/// [`BarrierEngine::resistances_into`]; every slot is a pure function of
+/// its edge index, so the fan-out is bitwise thread-count independent.
+fn fill_barrier(
     t_edges: &[TEdge],
     x: &[f64],
     damp: &[f64],
     gap_floor: f64,
-) -> (Vec<(usize, usize, f64)>, f64) {
-    let parts = cc_linalg::par::par_map_chunks(t_edges.len(), EDGE_CHUNK, |range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut min_gap = f64::INFINITY;
-        for i in range {
-            let te = &t_edges[i];
-            let gf = te.cap - x[i];
-            let gb = te.cap + x[i];
-            min_gap = min_gap.min(gf.min(gb));
-            let gf = gf.max(gap_floor);
-            let gb = gb.max(gap_floor);
-            let de = damp[i];
-            let r = de * de * (1.0 / (gf * gf) + 1.0 / (gb * gb));
-            out.push((te.a, te.b, r.clamp(1e-12, 1e12)));
-        }
-        (out, min_gap)
-    });
-    let mut resist = Vec::with_capacity(t_edges.len());
-    let mut min_gap = f64::INFINITY;
-    for (part, mg) in parts {
-        resist.extend(part);
-        min_gap = min_gap.min(mg);
-    }
-    (resist, min_gap)
-}
-
-/// Builds an electrical network, reusing (and on first use capturing) a
-/// sparsifier template when the options allow it.
-fn build_electrical<C: Communicator>(
-    clique: &mut C,
-    n: usize,
-    resist: &[(usize, usize, f64)],
-    template: &mut Option<SparsifierTemplate>,
-    options: &IpmOptions,
-) -> Result<ElectricalNetwork, cc_core::CoreError> {
-    if !options.reuse_sparsifier {
-        return ElectricalNetwork::build(clique, n, resist, &options.solver);
-    }
-    match template {
-        Some(t) => ElectricalNetwork::build_from_template(clique, n, resist, t, &options.solver),
-        None => {
-            let (net, t) = ElectricalNetwork::build_capturing(clique, n, resist, &options.solver)?;
-            *template = Some(t);
-            Ok(net)
-        }
+    base: usize,
+    out: &mut [(usize, usize, f64)],
+) {
+    for (j, slot) in out.iter_mut().enumerate() {
+        let i = base + j;
+        let te = &t_edges[i];
+        let gf = (te.cap - x[i]).max(gap_floor);
+        let gb = (te.cap + x[i]).max(gap_floor);
+        let de = damp[i];
+        let r = de * de * (1.0 / (gf * gf) + 1.0 / (gb * gb));
+        *slot = (te.a, te.b, r.clamp(1e-12, 1e12));
     }
 }
 
@@ -243,7 +224,15 @@ fn ipm_core<C: Communicator>(
     let mut y = vec![0.0f64; n]; // dual iterate (Algorithm 2 line 5)
     let mut damp = vec![1.0f64; mt]; // boosting-lite damping
     let mut stats = IpmStats::default();
-    let mut template: Option<SparsifierTemplate> = None;
+    let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
+
+    // Per-iteration buffers, sized once: the steady-state loop body's
+    // solve path allocates nothing (see `crates/ipm/tests/alloc_free.rs`).
+    let mut chi = vec![0.0f64; n];
+    let mut residue = vec![0.0f64; n];
+    let mut minus: Vec<f64> = Vec::with_capacity(n);
+    let mut electrical = ElectricalFlow::default();
+    let mut correction = ElectricalFlow::default();
 
     // Target: route the original upper bound plus the Σu/2 the gadget
     // absorbs (see DESIGN.md §2.5 — overshoot is safe, congestion control
@@ -285,18 +274,25 @@ fn ipm_core<C: Communicator>(
                 break;
             }
             // ---- Augmentation (Algorithm 3) ----
-            let (resist, min_gap) = barrier_resistances(&t_edges, &x, &damp, f64::NEG_INFINITY);
+            let min_gap = engine.resistances_into(
+                mt,
+                |base, out| fill_barrier(&t_edges, &x, &damp, f64::NEG_INFINITY, base, out),
+                |i| {
+                    let te = &t_edges[i];
+                    (te.cap - x[i]).min(te.cap + x[i])
+                },
+            );
             if min_gap < 1e-7 {
                 break; // numerically at the boundary: hand over to repair
             }
-            let net = match build_electrical(clique, n, &resist, &mut template, options) {
+            let net = match engine.build_network(clique, "augmentation") {
                 Ok(net) => net,
                 Err(_) => break,
             };
-            let mut chi = vec![0.0; n];
+            chi.fill(0.0);
             chi[s] = remaining;
             chi[t] = -remaining;
-            let electrical = net.flow(clique, &chi, options.solver_eps);
+            engine.flow_into(clique, "augmentation", &net, &chi, &mut electrical);
             let f_tilde = &electrical.flows;
 
             // Congestion vector ρ (Algorithm 2 lines 7/14); one broadcast
@@ -310,7 +306,7 @@ fn ipm_core<C: Communicator>(
                 rho_raw_inf = rho_raw_inf.max((fe / gap).abs());
             }
             let rho3 = rho3.cbrt();
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            engine.norm_roundtrip(clique);
 
             if rho3 > rho_threshold {
                 // ---- Boosting (Algorithm 5, damping stand-in) ----
@@ -338,7 +334,7 @@ fn ipm_core<C: Communicator>(
                 }
                 stats.boosting_steps += 1;
                 // Selecting S* globally: one small allgather.
-                clique.broadcast_all(&vec![0u64; clique.n()]);
+                engine.norm_roundtrip(clique);
             }
 
             // Step size: the paper's 1/(33‖ρ‖₃) rule, capped by hard
@@ -363,7 +359,7 @@ fn ipm_core<C: Communicator>(
             // ---- Fixing (Algorithm 4): electrical correction of the
             // conservation residue accumulated by the approximate solve ----
             let target_routed = routed + delta * remaining;
-            let mut residue = vec![0.0; n];
+            residue.fill(0.0);
             for (xe, te) in x.iter().zip(&t_edges) {
                 residue[te.a] += xe;
                 residue[te.b] -= xe;
@@ -371,11 +367,17 @@ fn ipm_core<C: Communicator>(
             residue[s] -= target_routed;
             residue[t] += target_routed;
             let resid_norm: f64 = residue.iter().map(|r| r * r).sum::<f64>().sqrt();
+            engine.record_residual("fixing", resid_norm);
             if resid_norm > 1e-12 {
-                let (resist2, _) = barrier_resistances(&t_edges, &x, &damp, 1e-9);
-                if let Ok(net2) = build_electrical(clique, n, &resist2, &mut template, options) {
-                    let minus: Vec<f64> = residue.iter().map(|r| -r).collect();
-                    let correction = net2.flow(clique, &minus, options.solver_eps);
+                engine.resistances_into(
+                    mt,
+                    |base, out| fill_barrier(&t_edges, &x, &damp, 1e-9, base, out),
+                    |_| f64::INFINITY, // gap unused on the fixing build
+                );
+                if let Ok(net2) = engine.build_network(clique, "fixing") {
+                    minus.clear();
+                    minus.extend(residue.iter().map(|r| -r));
+                    engine.flow_into(clique, "fixing", &net2, &minus, &mut correction);
                     // Guarded application: halve until strictly feasible.
                     let mut scale = 1.0;
                     'guard: for _ in 0..40 {
@@ -410,6 +412,7 @@ fn ipm_core<C: Communicator>(
             1.0
         };
     });
+    stats.engine = engine.into_stats();
 
     // Recover a fractional flow on the original arcs via the gadget
     // correspondence f_e = x₁ + (x₂ + x₃)/2 (an original flow f maps to
@@ -448,6 +451,8 @@ fn ipm_core<C: Communicator>(
 /// center. A few electrical correction solves — the Fixing pattern of
 /// Algorithm 4 applied to the original network — shrink them to solver
 /// precision so the spanning-forest snap succeeds. All rounds charged.
+/// Runs on its own [`BarrierEngine`] (different edge support than the
+/// transformed graph); returns its engine statistics for merging.
 fn fractional_cleanup<C: Communicator>(
     clique: &mut C,
     g: &DiGraph,
@@ -455,14 +460,18 @@ fn fractional_cleanup<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
-) {
+) -> EngineStats {
     let n = g.n();
-    let mut template: Option<SparsifierTemplate> = None;
+    let edges = g.edges();
+    let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
+    let mut violation = vec![0.0f64; n];
+    let mut minus: Vec<f64> = Vec::with_capacity(n);
+    let mut corr = ElectricalFlow::default();
     clique.phase("maxflow_cleanup", |clique| {
         for _ in 0..6 {
             // Conservation violation at non-terminals.
-            let mut violation = vec![0.0; n];
-            for (i, e) in g.edges().iter().enumerate() {
+            violation.fill(0.0);
+            for (i, e) in edges.iter().enumerate() {
                 violation[e.from] += f[i];
                 violation[e.to] -= f[i];
             }
@@ -472,31 +481,35 @@ fn fractional_cleanup<C: Communicator>(
             if worst < 1e-9 {
                 break;
             }
-            let resist: Vec<(usize, usize, f64)> = g
-                .edges()
-                .iter()
-                .zip(f.iter())
-                .map(|(e, &fe)| {
-                    let u = e.capacity as f64;
-                    let gf = (u - fe).max(1e-6);
-                    let gb = fe.max(1e-6);
-                    (
-                        e.from,
-                        e.to,
-                        (1.0 / (gf * gf) + 1.0 / (gb * gb)).clamp(1e-12, 1e12),
-                    )
-                })
-                .collect();
-            let Ok(net) = build_electrical(clique, n, &resist, &mut template, options) else {
+            let flows: &[f64] = f;
+            engine.resistances_into(
+                g.m(),
+                |base, out| {
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        let i = base + j;
+                        let e = &edges[i];
+                        let u = e.capacity as f64;
+                        let gf = (u - flows[i]).max(1e-6);
+                        let gb = flows[i].max(1e-6);
+                        *slot = (
+                            e.from,
+                            e.to,
+                            (1.0 / (gf * gf) + 1.0 / (gb * gb)).clamp(1e-12, 1e12),
+                        );
+                    }
+                },
+                |_| f64::INFINITY, // the cleanup pass has no gap cutoff
+            );
+            let Ok(net) = engine.build_network(clique, "cleanup") else {
                 break;
             };
-            let minus: Vec<f64> = violation.iter().map(|v| -v).collect();
-            let corr = net.flow(clique, &minus, options.solver_eps);
+            minus.clear();
+            minus.extend(violation.iter().map(|v| -v));
+            engine.flow_into(clique, "cleanup", &net, &minus, &mut corr);
             // Apply with step halving so f stays within [0, u].
             let mut scale = 1.0;
             for _ in 0..40 {
-                let ok = g
-                    .edges()
+                let ok = edges
                     .iter()
                     .zip(f.iter())
                     .zip(&corr.flows)
@@ -517,6 +530,7 @@ fn fractional_cleanup<C: Communicator>(
             }
         }
     });
+    engine.into_stats()
 }
 
 /// Exact deterministic maximum flow in the congested clique
@@ -542,7 +556,8 @@ pub fn max_flow_ipm<C: Communicator>(
             ipm_core(clique, g, s, t, options)
         };
         if g.m() > 0 {
-            fractional_cleanup(clique, g, &mut fractional, s, t, options);
+            let cleanup = fractional_cleanup(clique, g, &mut fractional, s, t, options);
+            stats.engine.merge(&cleanup);
         }
 
         // Δ = 2^{-⌈log₂(2m)⌉} ≤ 1/(2m): the precision the IPM maintains.
@@ -746,5 +761,21 @@ mod tests {
         let phases = clique.ledger().phases();
         assert!(phases.keys().any(|k| k.contains("maxflow_ipm")));
         assert!(phases.keys().any(|k| k.contains("repair_augmenting_paths")));
+    }
+
+    #[test]
+    fn engine_stats_cover_every_ipm_stage() {
+        let g = generators::random_flow_network(10, 18, 4, 0);
+        let mut clique = Clique::new(10);
+        let out = max_flow_ipm(&mut clique, &g, 0, 9, &IpmOptions::default());
+        let aug = out.stats.engine.stage("augmentation");
+        assert_eq!(aug.solves, out.stats.progress_steps);
+        assert!(aug.builds >= 1, "first build captures the template");
+        assert!(aug.chebyshev_iterations > 0);
+        assert!(aug.rounds > 0);
+        assert!(out.stats.engine.stage("fixing").solves <= out.stats.progress_steps);
+        // The engine only accounts build/solve rounds, never more than
+        // the whole pipeline cost.
+        assert!(out.stats.engine.total_rounds() <= clique.ledger().total_rounds());
     }
 }

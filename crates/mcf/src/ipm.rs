@@ -1,11 +1,18 @@
 //! The CMSV interior point method core (Algorithms 6–9) in the congested
 //! clique, plus the full Theorem 1.3 pipeline.
+//!
+//! Since the barrier-engine refactor (`DESIGN.md` §8) this module is a
+//! thin *problem adapter*: it supplies the ν-weighted two-sided barrier
+//! gradient on `f_e ∈ (0, 1)`, the `‖ρ‖_{ν,4}` step rule and the
+//! rounding/repair hooks, while [`cc_ipm::BarrierEngine`] owns the
+//! electrical builds (with sparsifier template reuse), the
+//! allocation-free solve workspace and the per-stage [`EngineStats`].
 
 use cc_apsp::RoundModel;
-use cc_core::{ElectricalNetwork, SolverOptions};
+use cc_core::{ElectricalFlow, SolverOptions};
 use cc_graph::DiGraph;
+use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
-use cc_sparsify::SparsifierTemplate;
 
 use crate::repair::{cancel_negative_cycles, route_deficits, McfError};
 use crate::snap::snap_to_sigma_multiples;
@@ -48,8 +55,17 @@ impl Default for McfOptions {
     }
 }
 
+/// The engine-facing slice of [`McfOptions`].
+fn engine_options(options: &McfOptions) -> EngineOptions {
+    EngineOptions {
+        solver_eps: options.solver_eps,
+        solver: options.solver,
+        reuse_sparsifier: options.reuse_sparsifier,
+    }
+}
+
 /// Pipeline statistics — what the E7 experiment reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct McfStats {
     /// Progress steps executed (Algorithm 9 invocations).
     pub progress_steps: usize,
@@ -63,6 +79,10 @@ pub struct McfStats {
     pub repair_paths: usize,
     /// Negative cycles cancelled by the optimality backstop.
     pub cancelled_cycles: usize,
+    /// Per-stage barrier-engine accounting (`progress` / `correction`
+    /// solves, Chebyshev iterations, sparsifier builds vs template
+    /// reuses, ledger rounds).
+    pub engine: EngineStats,
 }
 
 /// Result of a distributed min cost flow computation.
@@ -84,57 +104,19 @@ pub fn default_step_budget(m: usize, max_cost: i64) -> usize {
     (steps.ceil() as usize).clamp(8, 600)
 }
 
-/// Builds an electrical network, reusing (and on first use capturing) a
-/// sparsifier template when the options allow it.
-fn build_electrical<C: Communicator>(
-    clique: &mut C,
-    n: usize,
-    resist: &[(usize, usize, f64)],
-    template: &mut Option<SparsifierTemplate>,
-    options: &McfOptions,
-) -> Result<ElectricalNetwork, cc_core::CoreError> {
-    if !options.reuse_sparsifier {
-        return ElectricalNetwork::build(clique, n, resist, &options.solver);
-    }
-    match template {
-        Some(t) => ElectricalNetwork::build_from_template(clique, n, resist, t, &options.solver),
-        None => {
-            let (net, t) = ElectricalNetwork::build_capturing(clique, n, resist, &options.solver)?;
-            *template = Some(t);
-            Ok(net)
-        }
-    }
-}
-
-/// Fixed chunk size of the per-edge fan-outs below. Decomposition depends
-/// only on the edge count, never the thread count.
-const EDGE_CHUNK: usize = 2048;
-
-/// Per-edge ν-weighted barrier resistances
-/// `r_e = ν_e (1/f² + 1/(1−f)²)`, fanned out across cores in fixed
-/// chunks. Bitwise identical to the serial loop: chunks concatenate in
-/// index order and the gap fold uses the exact `min`.
-fn barrier_resistances(g: &DiGraph, f: &[f64], nu: &[f64]) -> (Vec<(usize, usize, f64)>, f64) {
+/// The ν-weighted two-sided barrier gradient
+/// `r_e = ν_e (1/f² + 1/(1−f)²)`, one fixed chunk at a time. Handed to
+/// [`BarrierEngine::resistances_into`]; every slot is a pure function of
+/// its edge index, so the fan-out is bitwise thread-count independent.
+fn fill_barrier(g: &DiGraph, f: &[f64], nu: &[f64], base: usize, out: &mut [(usize, usize, f64)]) {
     let edges = g.edges();
-    let parts = cc_linalg::par::par_map_chunks(edges.len(), EDGE_CHUNK, |range| {
-        let mut out = Vec::with_capacity(range.len());
-        let mut min_gap = f64::INFINITY;
-        for i in range {
-            let e = &edges[i];
-            let fe = f[i];
-            min_gap = min_gap.min(fe.min(1.0 - fe));
-            let r = nu[i] * (1.0 / (fe * fe) + 1.0 / ((1.0 - fe) * (1.0 - fe)));
-            out.push((e.from, e.to, r.clamp(1e-12, 1e12)));
-        }
-        (out, min_gap)
-    });
-    let mut resist = Vec::with_capacity(edges.len());
-    let mut min_gap = f64::INFINITY;
-    for (part, mg) in parts {
-        resist.extend(part);
-        min_gap = min_gap.min(mg);
+    for (j, slot) in out.iter_mut().enumerate() {
+        let i = base + j;
+        let e = &edges[i];
+        let fe = f[i];
+        let r = nu[i] * (1.0 / (fe * fe) + 1.0 / ((1.0 - fe) * (1.0 - fe)));
+        *slot = (e.from, e.to, r.clamp(1e-12, 1e12));
     }
-    (resist, min_gap)
 }
 
 /// IPM core: log-barrier on `f_e ∈ (0, 1)` from the analytic center
@@ -153,12 +135,20 @@ fn ipm_core<C: Communicator>(
     let mut nu = vec![1.0f64; m]; // CMSV's ν weights
     let mut y = vec![0.0f64; n]; // duals
     let mut stats = McfStats::default();
-    let mut template: Option<SparsifierTemplate> = None;
+    let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
     let sigma_f: Vec<f64> = sigma.iter().map(|&s| s as f64).collect();
     let sigma_l1: f64 = sigma.iter().map(|&s| s.abs() as f64).sum();
     if m == 0 {
         return (f, stats);
     }
+
+    // Per-iteration buffers, sized once: the steady-state loop body's
+    // solve path allocates nothing (see `crates/ipm/tests/alloc_free.rs`).
+    let mut d = vec![0.0f64; n];
+    let mut remaining: Vec<f64> = Vec::with_capacity(n);
+    let mut residue: Vec<f64> = Vec::with_capacity(n);
+    let mut electrical = ElectricalFlow::default();
+    let mut correction = ElectricalFlow::default();
 
     let budget = options
         .max_progress_steps
@@ -169,36 +159,43 @@ fn ipm_core<C: Communicator>(
     let c_rho = (400.0 * 3f64.sqrt() * w.ln().powf(1.0 / 3.0)) / 100.0;
     let rho_threshold = c_rho * (m as f64).powf(0.5 - options.eta);
 
-    let net_out = |f: &[f64]| -> Vec<f64> {
-        let mut d = vec![0.0; n];
+    let net_out_into = |f: &[f64], d: &mut [f64]| {
+        d.fill(0.0);
         for (i, e) in g.edges().iter().enumerate() {
             d[e.from] += f[i];
             d[e.to] -= f[i];
         }
-        d
     };
 
     clique.phase("mcf_ipm", |clique| {
         for _step in 0..budget {
             // Remaining demand the electrical step must route
             // (Algorithm 9 line 2 solves L φ = σ̂ for the current target).
-            let d = net_out(&f);
-            let remaining: Vec<f64> = sigma_f.iter().zip(&d).map(|(s, o)| s - o).collect();
+            net_out_into(&f, &mut d);
+            remaining.clear();
+            remaining.extend(sigma_f.iter().zip(&d).map(|(s, o)| s - o));
             let rem_norm: f64 = remaining.iter().map(|r| r.abs()).sum();
             if rem_norm < 1e-7 {
                 break;
             }
             // Resistances r_e = ν_e (1/f² + 1/(1−f)²): CMSV's ν/f² barrier
             // extended two-sidedly for the explicit unit capacity.
-            let (resist, min_gap) = barrier_resistances(g, &f, &nu);
+            let min_gap = engine.resistances_into(
+                m,
+                |base, out| fill_barrier(g, &f, &nu, base, out),
+                |i| {
+                    let fe = f[i];
+                    fe.min(1.0 - fe)
+                },
+            );
             if min_gap < 1e-7 {
                 break;
             }
-            let net = match build_electrical(clique, n, &resist, &mut template, options) {
+            let net = match engine.build_network(clique, "progress") {
                 Ok(net) => net,
                 Err(_) => break,
             };
-            let electrical = net.flow(clique, &remaining, options.solver_eps);
+            engine.flow_into(clique, "progress", &net, &remaining, &mut electrical);
             let f_tilde = &electrical.flows;
 
             // Congestion ρ_e = f̃_e / min(f, 1−f) with ν weights
@@ -215,7 +212,7 @@ fn ipm_core<C: Communicator>(
             }
             let rho4 = rho4.powf(0.25);
             let rho3 = rho3.cbrt();
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            engine.norm_roundtrip(clique);
 
             if rho3 > rho_threshold {
                 // Perturbation (Algorithm 8): double ν on the congested
@@ -233,7 +230,7 @@ fn ipm_core<C: Communicator>(
                     nu[i] *= 2.0;
                 }
                 stats.perturbation_steps += 1;
-                clique.broadcast_all(&vec![0u64; clique.n()]);
+                engine.norm_roundtrip(clique);
             }
 
             // Step (Algorithm 9 line 4): δ = min(1/(8‖ρ‖_{ν,4}), 1/8),
@@ -257,25 +254,32 @@ fn ipm_core<C: Communicator>(
 
             // Residue correction (Algorithm 9 lines 7–10): a second
             // electrical solve re-targets the demands after the step.
-            let d2 = net_out(&f);
-            let residue: Vec<f64> = sigma_f
-                .iter()
-                .zip(&d2)
-                .map(|(s, o)| (s - o) * delta.min(1.0))
-                .collect();
+            net_out_into(&f, &mut d);
+            residue.clear();
+            residue.extend(
+                sigma_f
+                    .iter()
+                    .zip(&d)
+                    .map(|(s, o)| (s - o) * delta.min(1.0)),
+            );
             let res_norm: f64 = residue.iter().map(|r| r * r).sum::<f64>().sqrt();
+            engine.record_residual("correction", res_norm);
             if res_norm > 1e-12 {
-                let (resist2, _) = barrier_resistances(g, &f, &nu);
-                if let Ok(net2) = build_electrical(clique, n, &resist2, &mut template, options) {
-                    let corr = net2.flow(clique, &residue, options.solver_eps);
+                engine.resistances_into(
+                    m,
+                    |base, out| fill_barrier(g, &f, &nu, base, out),
+                    |_| f64::INFINITY, // gap unused on the correction build
+                );
+                if let Ok(net2) = engine.build_network(clique, "correction") {
+                    engine.flow_into(clique, "correction", &net2, &residue, &mut correction);
                     let mut scale = 1.0;
                     for _ in 0..40 {
-                        let ok = f.iter().zip(&corr.flows).all(|(&fe, &ce)| {
+                        let ok = f.iter().zip(&correction.flows).all(|(&fe, &ce)| {
                             let nf = fe + scale * ce;
                             nf > 1e-9 && nf < 1.0 - 1e-9
                         });
                         if ok {
-                            for (fe, &ce) in f.iter_mut().zip(&corr.flows) {
+                            for (fe, &ce) in f.iter_mut().zip(&correction.flows) {
                                 *fe += scale * ce;
                             }
                             break;
@@ -287,7 +291,7 @@ fn ipm_core<C: Communicator>(
             stats.progress_steps += 1;
         }
 
-        let d = net_out(&f);
+        net_out_into(&f, &mut d);
         let satisfied: f64 = sigma_f
             .iter()
             .zip(&d)
@@ -300,6 +304,7 @@ fn ipm_core<C: Communicator>(
             1.0
         };
     });
+    stats.engine = engine.into_stats();
     (f, stats)
 }
 
@@ -515,5 +520,64 @@ mod tests {
         assert!(default_step_budget(50, 4) <= default_step_budget(500, 4));
         assert!(default_step_budget(50, 4) <= default_step_budget(50, 1 << 20));
         assert!(default_step_budget(2, 1) >= 8);
+    }
+
+    #[test]
+    fn sparsifier_reuse_preserves_exactness_and_saves_oracle_rounds() {
+        // Twin of the maxflow reuse test: on random unit digraphs the
+        // template-reusing engine must give the *bitwise identical*
+        // outcome (flow vector, cost, progress steps) while charging
+        // fewer oracle rounds than rebuilding the sparsifier every step.
+        for seed in [3u64, 11] {
+            let g = generators::random_unit_digraph(9, 24, 5, seed);
+            let mut sigma = vec![0i64; 9];
+            sigma[0] = 2;
+            sigma[1] = -1;
+            sigma[8] = -1;
+            let run = |reuse: bool| {
+                let mut clique = Clique::new(g.n() + 2);
+                let out = min_cost_flow_ipm(
+                    &mut clique,
+                    &g,
+                    &sigma,
+                    &McfOptions {
+                        reuse_sparsifier: reuse,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                (
+                    out.flow,
+                    out.cost,
+                    clique.ledger().charged_rounds(),
+                    out.stats.progress_steps,
+                )
+            };
+            let (flow_reuse, cost_reuse, charged_reuse, steps_reuse) = run(true);
+            let (flow_fresh, cost_fresh, charged_fresh, steps_fresh) = run(false);
+            assert_eq!(flow_reuse, flow_fresh, "seed {seed}: identical flows");
+            assert_eq!(cost_reuse, cost_fresh, "seed {seed}: identical costs");
+            assert_eq!(steps_reuse, steps_fresh, "seed {seed}: identical steps");
+            assert!(steps_reuse > 0, "seed {seed}: IPM must run");
+            // Reuse skips the per-step [CS20] oracle charges.
+            assert!(
+                charged_reuse < charged_fresh,
+                "seed {seed}: reuse {charged_reuse} vs fresh {charged_fresh}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_stats_cover_every_ipm_stage() {
+        let (g, sigma) = generators::bipartite_assignment(4, 2, 8, 7);
+        let mut clique = Clique::new(g.n() + 2);
+        let out = min_cost_flow_ipm(&mut clique, &g, &sigma, &McfOptions::default()).unwrap();
+        let progress = out.stats.engine.stage("progress");
+        assert_eq!(progress.solves, out.stats.progress_steps);
+        assert!(progress.builds >= 1, "first build captures the template");
+        assert!(progress.chebyshev_iterations > 0);
+        assert!(progress.rounds > 0);
+        assert!(out.stats.engine.stage("correction").solves <= out.stats.progress_steps);
+        assert!(out.stats.engine.total_rounds() <= clique.ledger().total_rounds());
     }
 }

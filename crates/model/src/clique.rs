@@ -328,6 +328,21 @@ impl Clique {
         values.to_vec()
     }
 
+    /// [`Clique::broadcast_all`] into a caller-owned buffer: identical
+    /// round accounting and shared view, but `out` is cleared and refilled
+    /// instead of allocating a fresh vector — allocation-free once `out`
+    /// has capacity `n`. Used by the per-iteration solver hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    pub fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(values.len(), self.n, "one broadcast word per node required");
+        self.ledger.charge(1, CostKind::Implemented);
+        out.clear();
+        out.extend_from_slice(values);
+    }
+
     /// Every node broadcasts a word vector; everyone learns all of them.
     ///
     /// Node `i` broadcasts `per_node[i]` (possibly empty). Cost: one round
@@ -436,14 +451,16 @@ impl Clique {
     ///
     /// # Errors
     ///
-    /// [`ModelError::BroadcastOnly`] in broadcast mode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `per_node.len() != n`.
+    /// [`ModelError::BroadcastOnly`] in broadcast mode;
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
     pub fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         self.check_unicast_allowed()?;
-        assert_eq!(per_node.len(), self.n, "one key vector per node required");
+        if per_node.len() != self.n {
+            return Err(ModelError::WrongOutboxCount {
+                got: per_node.len(),
+                expected: self.n,
+            });
+        }
         let max_keys = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
         if max_keys > 0 {
             let batches = max_keys.div_ceil(self.n as u64);
@@ -477,7 +494,7 @@ impl Clique {
     /// # Errors
     ///
     /// [`ModelError::InvalidNode`] if `dst` is out of range;
-    /// panics if `per_node.len() != n`.
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
     pub fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         self.check_unicast_allowed()?;
         if dst >= self.n {
@@ -486,7 +503,12 @@ impl Clique {
                 n: self.n,
             });
         }
-        assert_eq!(per_node.len(), self.n, "one word vector per node required");
+        if per_node.len() != self.n {
+            return Err(ModelError::WrongOutboxCount {
+                got: per_node.len(),
+                expected: self.n,
+            });
+        }
         let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
         self.ledger
             .charge(total.div_ceil(self.n as u64 - 1), CostKind::Implemented);
@@ -545,6 +567,10 @@ impl Communicator for Clique {
 
     fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
         Clique::broadcast_all(self, values)
+    }
+
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
+        Clique::broadcast_all_into(self, values, out)
     }
 
     fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {

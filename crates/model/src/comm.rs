@@ -175,6 +175,22 @@ pub trait Communicator {
     /// Panics if `values.len() != n`.
     fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64>;
 
+    /// [`Communicator::broadcast_all`] into a caller-owned buffer: `out`
+    /// is cleared and refilled with the shared view. The default delegates
+    /// to [`Communicator::broadcast_all`] (so wrapping transports trace and
+    /// charge it identically); substrates with an allocation-free fast path
+    /// override it ([`crate::Clique`] does). Round accounting must be
+    /// identical to `broadcast_all`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
+        let view = self.broadcast_all(values);
+        out.clear();
+        out.extend_from_slice(&view);
+    }
+
     /// Every node broadcasts a word vector; everyone learns all of them.
     ///
     /// # Panics

@@ -51,7 +51,13 @@ impl PhaseCost {
 pub struct RoundLedger {
     total: PhaseCost,
     phases: BTreeMap<String, PhaseCost>,
-    stack: Vec<String>,
+    /// `/`-joined name of the current phase stack — maintained incrementally
+    /// so [`RoundLedger::charge`] never allocates in steady state (each
+    /// phase key is cloned into `phases` once, on its first charge).
+    path: String,
+    /// `path.len()` snapshots taken before each push, so a pop is a
+    /// truncation.
+    depths: Vec<usize>,
 }
 
 impl RoundLedger {
@@ -96,8 +102,12 @@ impl RoundLedger {
     }
 
     /// Enters a nested phase named `name`.
-    pub fn push_phase(&mut self, name: impl Into<String>) {
-        self.stack.push(name.into());
+    pub fn push_phase(&mut self, name: impl AsRef<str>) {
+        self.depths.push(self.path.len());
+        if self.depths.len() > 1 {
+            self.path.push('/');
+        }
+        self.path.push_str(name.as_ref());
     }
 
     /// Leaves the innermost phase.
@@ -107,29 +117,40 @@ impl RoundLedger {
     /// builds, where an unbalanced pop cannot corrupt the counters — only
     /// the attribution of later charges).
     pub fn pop_phase(&mut self) {
-        let popped = self.stack.pop();
+        let popped = self.depths.pop();
         debug_assert!(
             popped.is_some(),
             "RoundLedger::pop_phase called with empty phase stack"
         );
+        if let Some(len) = popped {
+            self.path.truncate(len);
+        }
     }
 
     /// Name of the current phase stack, `/`-joined (empty string at top level).
-    pub fn current_phase(&self) -> String {
-        self.stack.join("/")
+    pub fn current_phase(&self) -> &str {
+        &self.path
     }
 
     /// Records `rounds` rounds of the given kind against the current phase.
+    ///
+    /// Allocation-free once the phase has been charged before: the joined
+    /// phase name is maintained incrementally and the key is only cloned on
+    /// the first charge of a phase.
     pub fn charge(&mut self, rounds: u64, kind: CostKind) {
-        let entry = self.phases.entry(self.current_phase()).or_default();
-        match kind {
-            CostKind::Implemented => {
-                entry.implemented += rounds;
-                self.total.implemented += rounds;
-            }
-            CostKind::Charged => {
-                entry.charged += rounds;
-                self.total.charged += rounds;
+        if !self.phases.contains_key(self.path.as_str()) {
+            self.phases.insert(self.path.clone(), PhaseCost::default());
+        }
+        if let Some(entry) = self.phases.get_mut(self.path.as_str()) {
+            match kind {
+                CostKind::Implemented => {
+                    entry.implemented += rounds;
+                    self.total.implemented += rounds;
+                }
+                CostKind::Charged => {
+                    entry.charged += rounds;
+                    self.total.charged += rounds;
+                }
             }
         }
     }

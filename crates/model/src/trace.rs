@@ -265,7 +265,7 @@ impl<C: Communicator> TracingComm<C> {
     }
 
     fn record(&mut self, primitive: &'static str, stats: CallStats, sizes: &[usize], rounds: u64) {
-        let phase = self.inner.ledger().current_phase();
+        let phase = self.inner.ledger().current_phase().to_string();
         self.max_pair_words = self.max_pair_words.max(stats.max_pair_words);
         self.max_node_send = self.max_node_send.max(stats.max_node_send);
         self.max_node_recv = self.max_node_recv.max(stats.max_node_recv);

@@ -31,7 +31,7 @@
 //! b[0] = 1.0;
 //! b[31] = -1.0;
 //! let solution = solver.solve(&mut clique, &b, 1e-8);
-//! assert!(solution.relative_error() <= 1e-8);
+//! assert!(solution.relative_error().expect("reference kept") <= 1e-8);
 //! println!("{}", clique.ledger().report());
 //! # Ok::<(), laplacian_clique::core::CoreError>(())
 //! ```

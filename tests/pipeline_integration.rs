@@ -26,7 +26,7 @@ fn laplacian_solver_meets_epsilon_across_families() {
         b[n - 1] = -0.5;
         for eps in [1e-3, 1e-7, 1e-10] {
             let out = solver.solve(&mut clique, &b, eps);
-            let err = out.relative_error();
+            let err = out.relative_error().expect("reference kept");
             assert!(err <= eps * 1.05, "{name} eps={eps}: err={err}");
         }
     }
