@@ -1,0 +1,42 @@
+//! Typed errors of the shortest-path routines.
+
+use std::fmt;
+
+use cc_model::ModelError;
+
+/// Failure of a distributed shortest-path run.
+///
+/// Precondition violations (out-of-range arcs, bad source, clique too
+/// small) remain panics; runtime failures of the communication substrate
+/// (congestion under a tightened budget, injected faults) surface here.
+/// Note that [`crate::apsp_from_arcs`] and [`crate::approx_apsp`] only
+/// *charge* rounds to the ledger — they move no payload through the
+/// substrate, so they have no failure path and stay infallible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApspError {
+    /// The communication substrate rejected a primitive call.
+    Comm(ModelError),
+}
+
+impl fmt::Display for ApspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApspError::Comm(e) => write!(f, "communication failure during shortest paths: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApspError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for ApspError {
+    fn from(e: ModelError) -> Self {
+        ApspError::Comm(e)
+    }
+}

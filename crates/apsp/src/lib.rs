@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod approx;
+mod error;
 mod minplus;
 mod sssp;
 
 pub use approx::{approx_apsp, ApproxApsp};
+pub use error::ApspError;
 pub use minplus::{apsp_from_arcs, Apsp, RoundModel, INFINITY};
 pub use sssp::{sssp_bellman_ford, SsspOutcome};

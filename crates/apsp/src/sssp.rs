@@ -9,6 +9,8 @@
 
 use cc_model::Communicator;
 
+use crate::ApspError;
+
 /// Result of [`sssp_bellman_ford`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SsspOutcome {
@@ -36,6 +38,11 @@ pub enum SsspOutcome {
 /// `(from, to, weight)` on vertices `0..n`, charging one broadcast round
 /// per relaxation sweep to `clique`.
 ///
+/// # Errors
+///
+/// [`ApspError::Comm`] if the communication substrate rejects a sweep's
+/// broadcast (injected faults surface here, never as panics).
+///
 /// # Panics
 ///
 /// Panics if an arc is out of range, `source ≥ n`, or `clique.n() < n`.
@@ -44,7 +51,7 @@ pub fn sssp_bellman_ford<C: Communicator>(
     n: usize,
     arcs: &[(usize, usize, i64)],
     source: usize,
-) -> SsspOutcome {
+) -> Result<SsspOutcome, ApspError> {
     assert!(source < n, "source out of range");
     assert!(clique.n() >= n, "clique too small");
     for &(u, v, _) in arcs {
@@ -59,7 +66,7 @@ pub fn sssp_bellman_ford<C: Communicator>(
         let mut rounds = 0usize;
         for sweep in 0..n {
             // Every vertex broadcasts its distance: 1 round.
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
             rounds += 1;
             let snapshot = dist.clone();
             let mut changed = false;
@@ -71,11 +78,11 @@ pub fn sssp_bellman_ford<C: Communicator>(
                 }
             }
             if !changed {
-                return SsspOutcome::Converged {
+                return Ok(SsspOutcome::Converged {
                     dist: dist.iter().map(|&d| (d < UNREACHED).then_some(d)).collect(),
                     parent,
                     rounds,
-                };
+                });
             }
             if sweep == n - 1 {
                 // An improvement in the n-th synchronous sweep certifies a
@@ -88,14 +95,14 @@ pub fn sssp_bellman_ford<C: Communicator>(
                     })
                     .map(|(_, &(_, v, _))| v)
                     .unwrap_or(source);
-                return SsspOutcome::NegativeCycle { witness };
+                return Ok(SsspOutcome::NegativeCycle { witness });
             }
         }
-        SsspOutcome::Converged {
+        Ok(SsspOutcome::Converged {
             dist: dist.iter().map(|&d| (d < UNREACHED).then_some(d)).collect(),
             parent,
             rounds,
-        }
+        })
     })
 }
 
@@ -112,7 +119,8 @@ mod tests {
             4,
             &[(0, 1, 2), (1, 2, 3), (0, 2, 10), (3, 0, 1)],
             0,
-        );
+        )
+        .unwrap();
         match out {
             SsspOutcome::Converged {
                 dist,
@@ -134,7 +142,8 @@ mod tests {
     #[test]
     fn handles_negative_arcs_without_cycles() {
         let mut clique = Clique::new(3);
-        let out = sssp_bellman_ford(&mut clique, 3, &[(0, 1, 5), (1, 2, -3), (0, 2, 4)], 0);
+        let out =
+            sssp_bellman_ford(&mut clique, 3, &[(0, 1, 5), (1, 2, -3), (0, 2, 4)], 0).unwrap();
         match out {
             SsspOutcome::Converged { dist, .. } => {
                 assert_eq!(dist[2], Some(2));
@@ -146,7 +155,8 @@ mod tests {
     #[test]
     fn detects_negative_cycles() {
         let mut clique = Clique::new(3);
-        let out = sssp_bellman_ford(&mut clique, 3, &[(0, 1, 1), (1, 2, -2), (2, 1, 1)], 0);
+        let out =
+            sssp_bellman_ford(&mut clique, 3, &[(0, 1, 1), (1, 2, -2), (2, 1, 1)], 0).unwrap();
         assert!(matches!(out, SsspOutcome::NegativeCycle { .. }));
     }
 
@@ -154,7 +164,8 @@ mod tests {
     fn unreachable_negative_cycle_is_ignored() {
         let mut clique = Clique::new(4);
         // Cycle 2↔3 is negative but not reachable from 0.
-        let out = sssp_bellman_ford(&mut clique, 4, &[(0, 1, 1), (2, 3, -5), (3, 2, 1)], 0);
+        let out =
+            sssp_bellman_ford(&mut clique, 4, &[(0, 1, 1), (2, 3, -5), (3, 2, 1)], 0).unwrap();
         assert!(matches!(out, SsspOutcome::Converged { .. }));
     }
 
@@ -164,7 +175,7 @@ mod tests {
         let n = 32;
         let arcs: Vec<(usize, usize, i64)> = (1..n).map(|v| (0, v, 1)).collect();
         let mut clique = Clique::new(n);
-        let out = sssp_bellman_ford(&mut clique, n, &arcs, 0);
+        let out = sssp_bellman_ford(&mut clique, n, &arcs, 0).unwrap();
         match out {
             SsspOutcome::Converged { rounds, .. } => assert!(rounds <= 2),
             other => panic!("unexpected {other:?}"),

@@ -262,7 +262,8 @@ fn ipm_section() -> String {
     ] {
         let g = generators::random_flow_network(n, extra, cap, seed);
         let mut clique = Clique::new(n);
-        let out = max_flow_ipm(&mut clique, &g, s, t, &IpmOptions::default());
+        let out =
+            max_flow_ipm(&mut clique, &g, s, t, &IpmOptions::default()).expect("honest clique");
         rows.push(format!(
             "    {{\"instance\": \"maxflow/random_flow_network_{}_seed{}\", \"value\": {}, \"total_rounds\": {}, \"charged_rounds\": {}, \"implemented_rounds\": {}, \"flow_hash\": \"{:#018x}\", \"progress_steps\": {}, \"engine\": {}}}",
             n,

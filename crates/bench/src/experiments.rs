@@ -73,7 +73,9 @@ pub fn e1_laplacian_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
                 LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
             for &eps in &[1e-2, 1e-5, 1e-8] {
                 let before = clique.ledger().total_rounds();
-                let out = solver.solve(&mut clique, &st_rhs(n), eps);
+                let out = solver
+                    .solve(&mut clique, &st_rhs(n), eps)
+                    .expect("honest clique");
                 let rounds = clique.ledger().total_rounds() - before;
                 let err = out
                     .relative_error()
@@ -137,10 +139,11 @@ pub fn e2_sparsifier_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table 
     ];
     for (name, g) in cases {
         let mut clique = make(g.n());
-        let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+        let h =
+            build_sparsifier(&mut clique, &g, &SparsifyParams::default()).expect("honest clique");
         // Exact pencil verification is O(n³) dense — run it everywhere here
         // (n ≤ 128) as the honesty check of the certified α.
-        let bounds = verify_sparsifier(&g, &h);
+        let bounds = verify_sparsifier(&g, &h).expect("pencil converges");
         let exact_alpha = bounds.alpha();
         t.push(vec![
             name.to_string(),
@@ -243,7 +246,7 @@ pub fn e4_euler_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let g = generators::random_eulerian(n, 3, 5);
         let mut clique = make(n);
-        let oriented = eulerian_orientation(&mut clique, &g);
+        let oriented = eulerian_orientation(&mut clique, &g).expect("honest clique");
         let rounds = clique.ledger().total_rounds();
         let scale = ((2 * g.m()) as f64).log2();
         t.push(vec![
@@ -308,7 +311,8 @@ pub fn e5_rounding_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
             47,
             delta,
             &FlowRoundingOptions::default(),
-        );
+        )
+        .expect("honest clique");
         let rounds = clique.ledger().total_rounds();
         let value = g.flow_value(&out.flow, 0);
         t.push(vec![
@@ -364,12 +368,14 @@ pub fn e6_maxflow_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table {
         let g = generators::random_flow_network(n, extra, u, seed);
         let (_, want) = dinic(&g, 0, n - 1);
         let mut c1 = make(n);
-        let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default());
+        let ipm =
+            max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default()).expect("honest clique");
         let ipm_rounds = c1.ledger().total_rounds();
         let mut c2 = make(n);
-        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::FastMatMul);
+        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::FastMatMul)
+            .expect("honest clique");
         let mut c3 = make(n);
-        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1);
+        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1).expect("honest clique");
         let shape = (g.m() as f64).powf(3.0 / 7.0) * (u as f64).powf(1.0 / 7.0);
         t.push(vec![
             n.to_string(),
@@ -509,10 +515,11 @@ pub fn e8_comparison_with<C: Communicator>(make: &impl Fn(usize) -> C) -> Table 
             }
         }
         let mut c_ff = make(n);
-        let ff = max_flow_ford_fulkerson(&mut c_ff, &g, 0, 1, RoundModel::FastMatMul);
+        let ff = max_flow_ford_fulkerson(&mut c_ff, &g, 0, 1, RoundModel::FastMatMul)
+            .expect("honest clique");
         assert_eq!(ff.value, k as i64);
         let mut c_tr = make(n);
-        let tr = max_flow_trivial(&mut c_tr, &g, 0, 1);
+        let tr = max_flow_trivial(&mut c_tr, &g, 0, 1).expect("honest clique");
         assert_eq!(tr.value, k as i64);
         let ff_rounds = c_ff.ledger().total_rounds();
         let tr_rounds = c_tr.ledger().total_rounds();
@@ -559,7 +566,7 @@ pub fn e1b_solver_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> 
         let mut clique = make(64);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let build_rounds = clique.ledger().total_rounds();
-        let out = solver.solve(&mut clique, &b, 1e-8);
+        let out = solver.solve(&mut clique, &b, 1e-8).expect("honest clique");
         t.push(vec![
             "deterministic (Thm 3.3)".into(),
             "64".into(),
@@ -578,11 +585,12 @@ pub fn e1b_solver_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C) -> 
         ("randomized q=300", Some(300usize)),
     ] {
         let mut clique = make(64);
-        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 77, q);
+        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 77, q)
+            .expect("honest clique");
         let build_rounds = clique.ledger().total_rounds();
         let solver =
             cc_core::LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
-        let out = solver.solve(&mut clique, &b, 1e-8);
+        let out = solver.solve(&mut clique, &b, 1e-8).expect("honest clique");
         t.push(vec![
             label.into(),
             "64".into(),
@@ -636,7 +644,7 @@ pub fn e2b_sparsifier_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C)
             phi,
             ..Default::default()
         };
-        let h = build_sparsifier(&mut clique, &grid, &params);
+        let h = build_sparsifier(&mut clique, &grid, &params).expect("honest clique");
         t.push(vec![
             label.to_string(),
             grid.n().to_string(),
@@ -650,7 +658,8 @@ pub fn e2b_sparsifier_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C)
     }
     {
         let mut clique = make(64);
-        let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+        let h =
+            build_sparsifier(&mut clique, &g, &SparsifyParams::default()).expect("honest clique");
         t.push(vec![
             "det random".to_string(),
             g.n().to_string(),
@@ -665,7 +674,7 @@ pub fn e2b_sparsifier_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C)
     // Randomized at two sample sizes.
     for &(label, q) in &[("rand q=4n ln n", None), ("rand q=256", Some(256usize))] {
         let mut clique = make(64);
-        let h = build_randomized_sparsifier(&mut clique, &g, 99, q);
+        let h = build_randomized_sparsifier(&mut clique, &g, 99, q).expect("honest clique");
         t.push(vec![
             label.to_string(),
             g.n().to_string(),
@@ -703,14 +712,15 @@ pub fn e4b_orientation_ablation_with<C: Communicator>(make: &impl Fn(usize) -> C
     for &n in &[64usize, 256, 1024] {
         let g = generators::random_eulerian(n, 3, 5);
         let mut c1 = make(n);
-        let o1 = eulerian_orientation(&mut c1, &g);
+        let o1 = eulerian_orientation(&mut c1, &g).expect("honest clique");
         let mut c2 = make(n);
         let o2 = orient_trails_with_strategy(
             &mut c2,
             &g,
             &OrientationCriterion::default(),
             MarkingStrategy::Randomized { seed: 17 },
-        );
+        )
+        .expect("honest clique");
         let scale = ((2 * g.m()) as f64).log2();
         t.push(vec![
             n.to_string(),

@@ -1,0 +1,43 @@
+//! # cc-conform — differential conformance harness
+//!
+//! Every theorem pipeline in this workspace is checked against a
+//! *sequential reference oracle* on a *seeded instance corpus*, under
+//! *every transport* — the plain simulator, the tracing wrapper, and
+//! stacked fault-injecting wrappers. The three layers:
+//!
+//! * [`oracle`] — textbook sequential implementations (dense grounded
+//!   Laplacian solves, Dijkstra, Edmonds–Karp, successive shortest
+//!   paths, brute-force effective resistance and quadratic-form probes)
+//!   written against plain graph data, with **no dependence on the
+//!   communication model**. These are the ground truth the distributed
+//!   pipelines must agree with.
+//! * [`corpus`] — a deterministic instance corpus with stable IDs over
+//!   the `cc-graph` generators: paths, grids, expanders, random weighted
+//!   graphs, adversarially near-disconnected graphs, and high-dynamic-
+//!   range weights. `CONFORM_CASES=N` scales the randomized slice for
+//!   soak runs without changing the base corpus.
+//! * [`driver`] — the differential checkers, generic over
+//!   `C: Communicator`: run a public entry point on a corpus instance,
+//!   compare against the oracle within a typed [`driver::Tolerances`],
+//!   and return the round count so callers can assert theorem shapes via
+//!   [`shapes`]. [`driver::fault_plans`] enumerates per-pipeline
+//!   [`FaultPlan`]s whose injected faults must surface as typed errors —
+//!   never panics, never silently wrong results.
+//!
+//! The harness is itself deterministic: same corpus, same probes, same
+//! fault streams on every run and every thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod driver;
+pub mod oracle;
+pub mod shapes;
+
+pub use cc_model::{FaultComm, FaultPlan};
+pub use corpus::{
+    arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus, undirected_corpus,
+    ArcCase, DemandCase, FlowCase, UndirectedCase,
+};
+pub use driver::{fault_plans, FaultTarget, Tolerances};

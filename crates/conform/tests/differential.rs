@@ -1,0 +1,114 @@
+//! The differential conformance suite: every public entry point against
+//! its sequential oracle, over the full seeded corpus, on the plain
+//! simulator. `CONFORM_CASES=N` appends N seeded random instances per
+//! corpus for soak runs.
+
+use cc_conform::driver::{
+    check_apsp, check_maxflow_ff, check_maxflow_ipm, check_maxflow_trivial, check_mcf,
+    check_orientation, check_resistance, check_rounding, check_solver, check_sparsifier,
+    check_sssp, Tolerances,
+};
+use cc_conform::{
+    arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus, undirected_corpus,
+};
+use cc_model::Clique;
+
+#[test]
+fn solver_conforms_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_solver(&mut clique, &case, 1e-6, &tol).unwrap_or_else(|e| {
+            panic!("{}: unexpected solver failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn effective_resistance_conforms_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_resistance(&mut clique, &case, &tol).unwrap_or_else(|e| {
+            panic!("{}: unexpected resistance failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn sparsifier_conforms_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_sparsifier(&mut clique, &case, &tol).unwrap_or_else(|e| {
+            panic!("{}: unexpected sparsifier failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn orientation_conforms_on_corpus() {
+    for case in eulerian_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_orientation(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected orientation failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn flow_rounding_conforms_on_corpus() {
+    for case in flow_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_rounding(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected rounding failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn maxflow_ipm_conforms_on_corpus() {
+    for case in flow_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_maxflow_ipm(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected IPM failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn maxflow_baselines_conform_on_corpus() {
+    for case in flow_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n());
+        check_maxflow_ff(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected FF failure: {e}", case.id);
+        });
+        let mut clique = Clique::new(case.graph.n());
+        check_maxflow_trivial(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected trivial-baseline failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn mcf_conforms_on_corpus() {
+    for case in demand_corpus(case_budget()) {
+        let mut clique = Clique::new(case.graph.n() + 2);
+        check_mcf(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected MCF failure: {e}", case.id);
+        });
+    }
+}
+
+#[test]
+fn shortest_paths_conform_on_corpus() {
+    let tol = Tolerances::default();
+    for case in arc_corpus(case_budget()) {
+        let mut clique = Clique::new(case.n);
+        check_sssp(&mut clique, &case).unwrap_or_else(|e| {
+            panic!("{}: unexpected SSSP failure: {e}", case.id);
+        });
+        let mut clique = Clique::new(case.n);
+        check_apsp(&mut clique, &case, &tol);
+    }
+}

@@ -87,7 +87,7 @@ impl ElectricalNetwork {
         options: &SolverOptions,
     ) -> Result<(Self, SparsifierTemplate), CoreError> {
         let g = conductance_graph(n, edges);
-        let (sparsifier, template) = build_sparsifier_with_template(clique, &g, &options.sparsify);
+        let (sparsifier, template) = build_sparsifier_with_template(clique, &g, &options.sparsify)?;
         let solver = LaplacianSolver::with_sparsifier(&g, sparsifier, options)?;
         Ok((
             Self {
@@ -118,7 +118,7 @@ impl ElectricalNetwork {
         options: &SolverOptions,
     ) -> Result<Self, CoreError> {
         let g = conductance_graph(n, edges);
-        let sparsifier = template.instantiate(clique, &g);
+        let sparsifier = template.instantiate(clique, &g)?;
         let solver = LaplacianSolver::with_sparsifier(&g, sparsifier, options)?;
         Ok(Self {
             edges: edges.iter().map(|&(u, v, _)| (u, v, 0.0)).collect(),
@@ -146,20 +146,35 @@ impl ElectricalNetwork {
     /// `eps` (relative `L`-norm error, Theorem 1.1), charging rounds to
     /// `clique`.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects a solve
+    /// iteration's broadcast.
+    ///
     /// # Panics
     ///
     /// Panics if `chi.len() != n` or `eps ≤ 0`.
-    pub fn flow<C: Communicator>(&self, clique: &mut C, chi: &[f64], eps: f64) -> ElectricalFlow {
+    pub fn flow<C: Communicator>(
+        &self,
+        clique: &mut C,
+        chi: &[f64],
+        eps: f64,
+    ) -> Result<ElectricalFlow, CoreError> {
         let mut out = ElectricalFlow::default();
         let mut ws = SolveWorkspace::new();
-        self.flow_into(clique, chi, eps, &mut out, &mut ws);
-        out
+        self.flow_into(clique, chi, eps, &mut out, &mut ws)?;
+        Ok(out)
     }
 
     /// [`ElectricalNetwork::flow`] into caller-owned buffers: identical
     /// round accounting and bitwise-identical result, but `out` and `ws`
     /// are reused, so the steady-state call performs no heap allocation —
     /// the per-iteration path of the interior point methods (`cc-ipm`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects a solve
+    /// iteration's broadcast.
     ///
     /// # Panics
     ///
@@ -171,10 +186,10 @@ impl ElectricalNetwork {
         eps: f64,
         out: &mut ElectricalFlow,
         ws: &mut SolveWorkspace,
-    ) {
+    ) -> Result<(), CoreError> {
         out.iterations = self
             .solver
-            .solve_into(clique, chi, eps, &mut out.potentials, ws);
+            .solve_into(clique, chi, eps, &mut out.potentials, ws)?;
         out.flows.clear();
         out.flows.reserve(self.edges.len());
         let mut energy = 0.0;
@@ -184,10 +199,16 @@ impl ElectricalNetwork {
             out.flows.push(f);
         }
         out.energy = energy;
+        Ok(())
     }
 
     /// Approximate effective resistance between `s` and `t`:
     /// `R_eff = φ_s − φ_t` for the unit `s`-`t` electrical flow.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects a solve
+    /// iteration's broadcast.
     ///
     /// # Panics
     ///
@@ -198,13 +219,13 @@ impl ElectricalNetwork {
         s: usize,
         t: usize,
         eps: f64,
-    ) -> f64 {
+    ) -> Result<f64, CoreError> {
         assert!(s != t && s < self.n() && t < self.n(), "bad terminals");
         let mut chi = vec![0.0; self.n()];
         chi[s] = 1.0;
         chi[t] = -1.0;
-        let flow = self.flow(clique, &chi, eps);
-        flow.potentials[s] - flow.potentials[t]
+        let flow = self.flow(clique, &chi, eps)?;
+        Ok(flow.potentials[s] - flow.potentials[t])
     }
 }
 
@@ -239,7 +260,7 @@ mod tests {
             &SolverOptions::default(),
         )
         .unwrap();
-        let r = net.effective_resistance(&mut clique, 0, 2, 1e-10);
+        let r = net.effective_resistance(&mut clique, 0, 2, 1e-10).unwrap();
         assert!((r - 3.0).abs() < 1e-8, "got {r}");
     }
 
@@ -254,7 +275,7 @@ mod tests {
             &SolverOptions::default(),
         )
         .unwrap();
-        let r = net.effective_resistance(&mut clique, 0, 1, 1e-10);
+        let r = net.effective_resistance(&mut clique, 0, 1, 1e-10).unwrap();
         assert!((r - 0.5).abs() < 1e-8, "got {r}");
     }
 
@@ -267,7 +288,7 @@ mod tests {
         let mut chi = vec![0.0; 4];
         chi[0] = 2.0;
         chi[3] = -2.0;
-        let flow = net.flow(&mut clique, &chi, 1e-10);
+        let flow = net.flow(&mut clique, &chi, 1e-10).unwrap();
         // Net outflow at every vertex matches the demand.
         let mut net_out = [0.0; 4];
         for (i, &(u, v, _)) in net.edges.iter().enumerate() {
@@ -289,7 +310,7 @@ mod tests {
         let mut chi = vec![0.0; 4];
         chi[1] = 1.0;
         chi[3] = -1.0;
-        let flow = net.flow(&mut clique, &chi, 1e-11);
+        let flow = net.flow(&mut clique, &chi, 1e-11).unwrap();
         let chi_phi: f64 = chi.iter().zip(&flow.potentials).map(|(a, b)| a * b).sum();
         assert!((flow.energy - chi_phi).abs() < 1e-7);
     }
@@ -327,8 +348,8 @@ mod tests {
                 &SolverOptions::default(),
             )
             .unwrap();
-            let a = fresh.flow(&mut clique, &chi, 1e-10);
-            let b = reused.flow(&mut clique, &chi, 1e-10);
+            let a = fresh.flow(&mut clique, &chi, 1e-10).unwrap();
+            let b = reused.flow(&mut clique, &chi, 1e-10).unwrap();
             for (x, y) in a.flows.iter().zip(&b.flows) {
                 assert!((x - y).abs() < 1e-7, "step {step}: {x} vs {y}");
             }

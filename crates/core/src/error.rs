@@ -2,6 +2,8 @@ use std::error::Error;
 use std::fmt;
 
 use cc_linalg::LinalgError;
+use cc_model::ModelError;
+use cc_sparsify::SparsifyError;
 
 /// Errors raised by the Laplacian solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +12,11 @@ pub enum CoreError {
     /// The sparsifier's internal factorization failed (numerically
     /// degenerate weights).
     Factorization(LinalgError),
+    /// The communication substrate rejected a primitive call (congestion
+    /// under a tightened budget, or an injected fault).
+    Comm(ModelError),
+    /// The sparsifier construction failed.
+    Sparsify(SparsifyError),
     /// The right-hand side has the wrong length.
     RhsLength {
         /// Entries supplied.
@@ -30,6 +37,8 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Factorization(e) => write!(f, "sparsifier factorization failed: {e}"),
+            CoreError::Comm(e) => write!(f, "communication failure during solve: {e}"),
+            CoreError::Sparsify(e) => write!(f, "sparsifier construction failed: {e}"),
             CoreError::RhsLength { got, expected } => {
                 write!(f, "rhs has {got} entries, expected {expected}")
             }
@@ -44,6 +53,8 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Factorization(e) => Some(e),
+            CoreError::Comm(e) => Some(e),
+            CoreError::Sparsify(e) => Some(e),
             _ => None,
         }
     }
@@ -52,6 +63,18 @@ impl Error for CoreError {
 impl From<LinalgError> for CoreError {
     fn from(e: LinalgError) -> Self {
         CoreError::Factorization(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Comm(e)
+    }
+}
+
+impl From<SparsifyError> for CoreError {
+    fn from(e: SparsifyError) -> Self {
+        CoreError::Sparsify(e)
     }
 }
 

@@ -34,7 +34,7 @@
 //! let mut b = vec![0.0; 32];
 //! b[0] = 1.0;
 //! b[17] = -1.0;
-//! let out = solver.solve(&mut clique, &b, 1e-8);
+//! let out = solver.solve(&mut clique, &b, 1e-8)?;
 //! assert!(out.relative_error().unwrap() <= 1e-8);
 //! # Ok::<(), cc_core::CoreError>(())
 //! ```

@@ -2,7 +2,7 @@
 
 use cc_graph::Graph;
 use cc_linalg::{chebyshev_iteration_bound, laplacian_from_edges, CsrMatrix, LaplacianNorm};
-use cc_model::{decode_f64, encode_f64, Communicator};
+use cc_model::{decode_f64, encode_f64, Communicator, ModelError};
 use cc_sparsify::{build_sparsifier, SparsifierSolver, SparsifyParams, SpectralSparsifier};
 
 use crate::CoreError;
@@ -119,7 +119,9 @@ impl LaplacianSolver {
     /// # Errors
     ///
     /// [`CoreError::Factorization`] if the gadget Laplacian cannot be
-    /// factored (degenerate weights).
+    /// factored (degenerate weights); [`CoreError::Sparsify`] if the
+    /// sparsifier construction itself fails (e.g. a fault-injecting
+    /// substrate rejects its broadcasts).
     ///
     /// # Panics
     ///
@@ -129,7 +131,7 @@ impl LaplacianSolver {
         g: &Graph,
         options: &SolverOptions,
     ) -> Result<Self, CoreError> {
-        let sparsifier = build_sparsifier(clique, g, &options.sparsify);
+        let sparsifier = build_sparsifier(clique, g, &options.sparsify)?;
         let inner = sparsifier.solver()?;
         let edges = g.edge_triples();
         let laplacian = laplacian_from_edges(g.n(), &edges);
@@ -240,13 +242,24 @@ impl LaplacianSolver {
     /// solution. Hot paths issuing many solves should call `solve_into`
     /// with a reused [`SolveWorkspace`] instead.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects an
+    /// iteration's broadcast (injected faults surface here, never as
+    /// panics).
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != n` or `eps ≤ 0`.
-    pub fn solve<C: Communicator>(&self, clique: &mut C, b: &[f64], eps: f64) -> SolveOutcome {
+    pub fn solve<C: Communicator>(
+        &self,
+        clique: &mut C,
+        b: &[f64],
+        eps: f64,
+    ) -> Result<SolveOutcome, CoreError> {
         let mut ws = SolveWorkspace::new();
         let mut x = Vec::new();
-        let spent = self.solve_into(clique, b, eps, &mut x, &mut ws);
+        let spent = self.solve_into(clique, b, eps, &mut x, &mut ws)?;
         let x_star = if self.skip_reference {
             None
         } else {
@@ -256,13 +269,13 @@ impl LaplacianSolver {
             });
             Some(exact.solve(&ws.b_proj))
         };
-        SolveOutcome {
+        Ok(SolveOutcome {
             x,
             iterations: spent,
             kappa: self.kappa,
             norm: LaplacianNorm::new(self.edges.clone()),
             x_star,
-        }
+        })
     }
 
     /// [`LaplacianSolver::solve`] into caller-owned buffers: writes the
@@ -272,6 +285,11 @@ impl LaplacianSolver {
     /// reused [`SolveWorkspace`] the steady-state call performs no heap
     /// allocation — this is the per-iteration path of the interior point
     /// methods (`cc-ipm`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects an
+    /// iteration's broadcast.
     ///
     /// # Panics
     ///
@@ -283,7 +301,7 @@ impl LaplacianSolver {
         eps: f64,
         x: &mut Vec<f64>,
         ws: &mut SolveWorkspace,
-    ) -> usize {
+    ) -> Result<usize, CoreError> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
         assert!(eps > 0.0, "eps must be positive");
         let eps = eps.min(0.5);
@@ -306,6 +324,7 @@ impl LaplacianSolver {
         x.clear();
         x.resize(self.n, 0.0);
 
+        let mut comm_err: Option<ModelError> = None;
         let spent = clique.phase("laplacian_solve", |clique| {
             let frac_bits = self.message_frac_bits;
             let encode = |x: f64| match frac_bits {
@@ -331,13 +350,25 @@ impl LaplacianSolver {
             words.resize(clique.n(), 0);
             shared.clear();
             shared.resize(self.n, 0.0);
+            let comm_err = &mut comm_err;
             let apply_a = |v: &[f64], out: &mut [f64]| {
                 // One broadcast round: every node ships its coordinate to
-                // everyone, then evaluates its Laplacian row locally.
+                // everyone, then evaluates its Laplacian row locally. A
+                // substrate failure latches in `comm_err`; the remaining
+                // (abandoned) iterations run on a zeroed view and the
+                // caller returns the error after the loop unwinds.
                 for (w, &x) in words.iter_mut().zip(v.iter()) {
                     *w = encode(x);
                 }
-                clique.broadcast_all_into(words, view);
+                if comm_err.is_none() {
+                    if let Err(e) = clique.try_broadcast_all_into(words, view) {
+                        *comm_err = Some(e);
+                    }
+                }
+                if comm_err.is_some() {
+                    view.clear();
+                    view.resize(words.len(), 0);
+                }
                 for (s, &w) in shared.iter_mut().zip(view[..self.n].iter()) {
                     *s = decode(w);
                 }
@@ -354,9 +385,12 @@ impl LaplacianSolver {
                 apply_a, solve_b, b_proj, kappa, iterations, x, cheby,
             )
         });
+        if let Some(e) = comm_err {
+            return Err(CoreError::Comm(e));
+        }
         // Canonical representative: zero mean per component (free).
         self.project_in_place(x, &mut ws.comp_sums, &mut ws.comp_counts);
-        spent
+        Ok(spent)
     }
 }
 
@@ -378,7 +412,7 @@ pub fn solve_laplacian<C: Communicator>(
     options: &SolverOptions,
 ) -> Result<SolveOutcome, CoreError> {
     let solver = LaplacianSolver::build(clique, g, options)?;
-    Ok(solver.solve(clique, b, eps))
+    solver.solve(clique, b, eps)
 }
 
 #[cfg(test)]
@@ -401,7 +435,7 @@ mod tests {
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let b = st_rhs(24, 0, 23);
         for &eps in &[1e-1, 1e-4, 1e-8] {
-            let out = solver.solve(&mut clique, &b, eps);
+            let out = solver.solve(&mut clique, &b, eps).unwrap();
             let err = out.relative_error().expect("reference enabled");
             assert!(
                 err <= eps * 1.05,
@@ -430,7 +464,7 @@ mod tests {
         let mut clique = Clique::new(16);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let before = clique.ledger().total_rounds();
-        let out = solver.solve(&mut clique, &st_rhs(16, 0, 8), 1e-6);
+        let out = solver.solve(&mut clique, &st_rhs(16, 0, 8), 1e-6).unwrap();
         let spent = clique.ledger().total_rounds() - before;
         assert_eq!(spent, out.iterations as u64);
     }
@@ -449,7 +483,7 @@ mod tests {
         b[2] = -1.0;
         b[3] = 2.0;
         b[4] = -2.0;
-        let out = solver.solve(&mut clique, &b, 1e-9);
+        let out = solver.solve(&mut clique, &b, 1e-9).unwrap();
         assert!(out.relative_error().unwrap() <= 1e-8);
         // Isolated vertex keeps zero.
         assert_eq!(out.x[5], 0.0);
@@ -460,7 +494,7 @@ mod tests {
         let g = generators::random_connected(20, 50, 1 << 12, 3);
         let mut clique = Clique::new(20);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
-        let out = solver.solve(&mut clique, &st_rhs(20, 0, 19), 1e-7);
+        let out = solver.solve(&mut clique, &st_rhs(20, 0, 19), 1e-7).unwrap();
         assert!(out.relative_error().unwrap() <= 1e-7 * 1.05);
     }
 
@@ -481,7 +515,7 @@ mod tests {
         let mut clique = Clique::new(8);
         let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
         let b = vec![1.0; 8]; // entirely in the nullspace
-        let out = solver.solve(&mut clique, &b, 1e-6);
+        let out = solver.solve(&mut clique, &b, 1e-6).unwrap();
         assert!(out.x.iter().all(|&x| x.abs() < 1e-9));
         assert_eq!(out.relative_error(), Some(0.0));
     }
@@ -504,7 +538,11 @@ mod tests {
                 },
             )
             .unwrap();
-            solver.solve(&mut clique, &b, eps).relative_error().unwrap()
+            solver
+                .solve(&mut clique, &b, eps)
+                .unwrap()
+                .relative_error()
+                .unwrap()
         };
         assert!(
             run(Some(44), 1e-6) <= 1e-6 * 1.5,
@@ -522,10 +560,10 @@ mod tests {
     fn randomized_sparsifier_plugs_into_the_solver() {
         let g = generators::random_connected(24, 100, 4, 6);
         let mut clique = Clique::new(24);
-        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 3, None);
+        let h = cc_sparsify::build_randomized_sparsifier(&mut clique, &g, 3, None).unwrap();
         let solver = LaplacianSolver::with_sparsifier(&g, h, &SolverOptions::default()).unwrap();
         let b = st_rhs(24, 0, 23);
-        let out = solver.solve(&mut clique, &b, 1e-7);
+        let out = solver.solve(&mut clique, &b, 1e-7).unwrap();
         assert!(out.relative_error().unwrap() <= 1e-7 * 1.05);
     }
 
@@ -545,8 +583,8 @@ mod tests {
             },
         )
         .unwrap();
-        let a = with_ref.solve(&mut c1, &b, 1e-8);
-        let z = without_ref.solve(&mut c2, &b, 1e-8);
+        let a = with_ref.solve(&mut c1, &b, 1e-8).unwrap();
+        let z = without_ref.solve(&mut c2, &b, 1e-8).unwrap();
         assert_eq!(
             a.x, z.x,
             "reference computation must not affect the solution"
@@ -562,7 +600,10 @@ mod tests {
             let mut clique = Clique::new(16);
             let solver =
                 LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
-            solver.solve(&mut clique, &st_rhs(16, 2, 13), 1e-8).x
+            solver
+                .solve(&mut clique, &st_rhs(16, 2, 13), 1e-8)
+                .unwrap()
+                .x
         };
         assert_eq!(run(), run());
     }
@@ -579,10 +620,12 @@ mod tests {
         for (s, t) in [(0usize, 19usize), (3, 11), (7, 2)] {
             let b = st_rhs(20, s, t);
             let before = c1.ledger().total_rounds();
-            let out = solver.solve(&mut c1, &b, 1e-8);
+            let out = solver.solve(&mut c1, &b, 1e-8).unwrap();
             let solve_rounds = c1.ledger().total_rounds() - before;
             let before = c1.ledger().total_rounds();
-            let spent = solver.solve_into(&mut c1, &b, 1e-8, &mut x, &mut ws);
+            let spent = solver
+                .solve_into(&mut c1, &b, 1e-8, &mut x, &mut ws)
+                .unwrap();
             let into_rounds = c1.ledger().total_rounds() - before;
             assert_eq!(spent, out.iterations);
             assert_eq!(solve_rounds, into_rounds);

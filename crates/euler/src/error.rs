@@ -1,0 +1,40 @@
+//! Typed errors of the orientation/rounding pipelines.
+
+use std::fmt;
+
+use cc_model::ModelError;
+
+/// Failure of an Eulerian-orientation or flow-rounding run.
+///
+/// Precondition violations (odd degrees, bad `delta`, wrong vector
+/// lengths) remain panics — they are caller bugs, not runtime conditions.
+/// Runtime failures of the communication substrate (congestion under a
+/// tightened budget, injected faults) surface here instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EulerError {
+    /// The communication substrate rejected a primitive call.
+    Comm(ModelError),
+}
+
+impl fmt::Display for EulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EulerError::Comm(e) => write!(f, "communication failure during orientation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EulerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EulerError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for EulerError {
+    fn from(e: ModelError) -> Self {
+        EulerError::Comm(e)
+    }
+}

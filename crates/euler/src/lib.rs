@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 
 mod darts;
+mod error;
 mod orientation;
 mod rounding;
 
 pub use darts::{CycleSummary, DartStructure};
+pub use error::EulerError;
 pub use orientation::{
     eulerian_orientation, is_eulerian_orientation, orient_trails, orient_trails_with_strategy,
     MarkingStrategy, OrientationCriterion,

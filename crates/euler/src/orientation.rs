@@ -4,6 +4,7 @@ use cc_graph::Graph;
 use cc_model::{Communicator, NodeId, Words};
 
 use crate::darts::{CycleSummary, DartId, DartStructure};
+use crate::error::EulerError;
 
 /// What the leader of each dart cycle optimizes when it picks the trail's
 /// direction.
@@ -51,10 +52,19 @@ impl OrientationCriterion {
 /// (Theorem 1.4). Returns, per edge, `true` if the edge is oriented
 /// `u → v` as stored.
 ///
+/// # Errors
+///
+/// [`EulerError::Comm`] if the communication substrate rejects a routed
+/// step — tightened budgets or injected faults under a fault-injecting
+/// transport never panic; they surface here.
+///
 /// # Panics
 ///
 /// Panics if some vertex has odd degree or `clique.n() < g.n()`.
-pub fn eulerian_orientation<C: Communicator>(clique: &mut C, g: &Graph) -> Vec<bool> {
+pub fn eulerian_orientation<C: Communicator>(
+    clique: &mut C,
+    g: &Graph,
+) -> Result<Vec<bool>, EulerError> {
     orient_trails(clique, g, &OrientationCriterion::default())
 }
 
@@ -79,6 +89,10 @@ pub enum MarkingStrategy {
 /// the E4b ablation comparing the paper's deterministic contraction with
 /// its randomized remark.
 ///
+/// # Errors
+///
+/// [`EulerError::Comm`] on substrate failure.
+///
 /// # Panics
 ///
 /// Same conditions as [`orient_trails`].
@@ -87,10 +101,10 @@ pub fn orient_trails_with_strategy<C: Communicator>(
     g: &Graph,
     criterion: &OrientationCriterion,
     strategy: MarkingStrategy,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, EulerError> {
     assert!(clique.n() >= g.n().max(2), "clique too small for the graph");
     if g.m() == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let darts = DartStructure::new(g);
     if let Some(costs) = &criterion.dart_costs {
@@ -102,13 +116,17 @@ pub fn orient_trails_with_strategy<C: Communicator>(
     }
     clique.phase("eulerian_orientation", |clique| {
         let mut engine = Contraction::new(clique, g, &darts, criterion, strategy);
-        engine.run();
-        engine.into_orientation()
+        engine.run()?;
+        Ok(engine.into_orientation())
     })
 }
 
 /// Like [`eulerian_orientation`] but with a custom per-trail direction
 /// criterion (used by flow rounding).
+///
+/// # Errors
+///
+/// [`EulerError::Comm`] on substrate failure.
 ///
 /// # Panics
 ///
@@ -118,7 +136,7 @@ pub fn orient_trails<C: Communicator>(
     clique: &mut C,
     g: &Graph,
     criterion: &OrientationCriterion,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, EulerError> {
     orient_trails_with_strategy(clique, g, criterion, MarkingStrategy::Deterministic)
 }
 
@@ -176,9 +194,9 @@ impl<'a, C: Communicator> Contraction<'a, C> {
 
     /// Routes one word-vector per (src dart → dst dart) message and charges
     /// the corresponding rounds.
-    fn route(&mut self, msgs: Vec<(DartId, DartId, Words)>) {
+    fn route(&mut self, msgs: Vec<(DartId, DartId, Words)>) -> Result<(), EulerError> {
         if msgs.is_empty() {
-            return;
+            return Ok(());
         }
         let mut outboxes: Vec<Vec<(NodeId, Words)>> = vec![Vec::new(); self.clique.n()];
         for (src, dst, mut payload) in msgs {
@@ -187,9 +205,8 @@ impl<'a, C: Communicator> Contraction<'a, C> {
             words.append(&mut payload);
             outboxes[self.host(src)].push((self.host(dst), words));
         }
-        self.clique
-            .route(outboxes)
-            .expect("routing within the clique");
+        self.clique.route(outboxes)?;
+        Ok(())
     }
 
     fn live_darts(&self) -> Vec<DartId> {
@@ -208,7 +225,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
         }
     }
 
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), EulerError> {
         self.settle_leaders();
         let mut guard = 0usize;
         // Deterministic marking halves every cycle per iteration; the
@@ -224,20 +241,20 @@ impl<'a, C: Communicator> Contraction<'a, C> {
             }
             guard += 1;
             assert!(guard <= max_iters, "contraction failed to converge");
-            self.contract_once(&live);
+            self.contract_once(&live)?;
             self.settle_leaders();
         }
-        self.reverse_sweep();
+        self.reverse_sweep()
     }
 
     /// One iteration: color, match, mark, splice.
-    fn contract_once(&mut self, live: &[DartId]) {
+    fn contract_once(&mut self, live: &[DartId]) -> Result<(), EulerError> {
         self.iteration += 1;
         let mut marked: Vec<bool> = vec![false; self.darts.dart_count()];
         match self.strategy {
             MarkingStrategy::Deterministic => {
-                let colors = self.three_color(live);
-                let matched_link = self.maximal_matching(live, &colors);
+                let colors = self.three_color(live)?;
+                let matched_link = self.maximal_matching(live, &colors)?;
                 // Mark the higher-id endpoint of every matched link;
                 // unmatched darts stay unmarked (paper step 2a).
                 for &d in live {
@@ -265,7 +282,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                     .iter()
                     .map(|&d| (d, self.succ[d], vec![coin(d)]))
                     .collect();
-                self.route(msgs);
+                self.route(msgs)?;
                 for &d in live {
                     let (c, cp, cs) = (coin(d), coin(self.pred[d]), coin(self.succ[d]));
                     // Strict local maximum (ties broken by dart id).
@@ -304,7 +321,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
             .filter(|&&d| marked[d])
             .map(|&d| (d, self.succ[d], vec![d as u64]))
             .collect();
-        self.route(launch);
+        self.route(launch)?;
         let mut arrived: Vec<(DartId, Token)> = Vec::new();
         // Deterministic marking guarantees gaps ≤ 3 (4 hops); randomized
         // marking walks until every token has arrived.
@@ -335,7 +352,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                 msgs.push((pos, self.succ[pos], payload));
                 next.insert(self.succ[pos], tok);
             }
-            self.route(msgs);
+            self.route(msgs)?;
             at = next;
         }
         let token_hops = hops;
@@ -361,7 +378,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
         }
         // The ack retraces the forward walk; charge the same hop count.
         for _ in 0..token_hops.max(1) {
-            self.route(acks.clone());
+            self.route(acks.clone())?;
         }
         // Rebuild succ from pred among still-active darts.
         let nd = self.darts.dart_count();
@@ -372,10 +389,11 @@ impl<'a, C: Communicator> Contraction<'a, C> {
             }
         }
         self.records.push(record);
+        Ok(())
     }
 
     /// Cole–Vishkin 3-coloring of the live (directed) cycles.
-    fn three_color(&mut self, live: &[DartId]) -> Vec<u64> {
+    fn three_color(&mut self, live: &[DartId]) -> Result<Vec<u64>, EulerError> {
         let nd = self.darts.dart_count();
         let mut color: Vec<u64> = (0..nd as u64).collect();
         let mut max_color = (nd as u64).max(2);
@@ -389,7 +407,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                 .iter()
                 .map(|&d| (d, self.succ[d], vec![color[d]]))
                 .collect();
-            self.route(msgs);
+            self.route(msgs)?;
             let mut next = color.clone();
             for &d in live {
                 let mine = color[d];
@@ -416,7 +434,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                     ]
                 })
                 .collect();
-            self.route(msgs);
+            self.route(msgs)?;
             let snapshot = color.clone();
             for &d in live {
                 if snapshot[d] == c {
@@ -432,12 +450,16 @@ impl<'a, C: Communicator> Contraction<'a, C> {
         debug_assert!(live
             .iter()
             .all(|&d| color[d] != color[self.succ[d]] || self.succ[d] == d));
-        color
+        Ok(color)
     }
 
     /// Maximal matching on the links of the live cycles from a 3-coloring:
     /// three propose/accept subphases (2 routed rounds each).
-    fn maximal_matching(&mut self, live: &[DartId], colors: &[u64]) -> Vec<bool> {
+    fn maximal_matching(
+        &mut self,
+        live: &[DartId],
+        colors: &[u64],
+    ) -> Result<Vec<bool>, EulerError> {
         let nd = self.darts.dart_count();
         let mut matched_link = vec![false; nd];
         let mut matched = vec![false; nd];
@@ -452,7 +474,7 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                 .iter()
                 .map(|&d| (d, self.succ[d], vec![d as u64]))
                 .collect();
-            self.route(msgs);
+            self.route(msgs)?;
             // Accept (a dart has a unique predecessor, so no conflicts) and
             // reply.
             let mut replies = Vec::new();
@@ -465,14 +487,14 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                     replies.push((s, d, vec![1u64]));
                 }
             }
-            self.route(replies);
+            self.route(replies)?;
         }
-        matched_link
+        Ok(matched_link)
     }
 
     /// Reverse sweep: verdicts flow from leaders back through the recorded
     /// absorptions (one routed step per contraction iteration).
-    fn reverse_sweep(&mut self) {
+    fn reverse_sweep(&mut self) -> Result<(), EulerError> {
         let records = std::mem::take(&mut self.records);
         for record in records.into_iter().rev() {
             let msgs: Vec<(DartId, DartId, Words)> = record
@@ -483,11 +505,12 @@ impl<'a, C: Communicator> Contraction<'a, C> {
                     (collector, u, vec![v as u64])
                 })
                 .collect();
-            self.route(msgs);
+            self.route(msgs)?;
             for (u, collector) in record {
                 self.verdict[u] = self.verdict[collector];
             }
         }
+        Ok(())
     }
 
     /// Extracts the per-edge orientation from the dart verdicts.
@@ -535,7 +558,7 @@ mod tests {
 
     fn orient(g: &Graph) -> (Vec<bool>, u64) {
         let mut clique = Clique::new(g.n().max(2));
-        let o = eulerian_orientation(&mut clique, g);
+        let o = eulerian_orientation(&mut clique, g).expect("bare clique cannot fault");
         (o, clique.ledger().total_rounds())
     }
 
@@ -606,7 +629,8 @@ mod tests {
                 dart_costs: Some(costs),
                 special_dart: None,
             },
-        );
+        )
+        .unwrap();
         assert!(is_eulerian_orientation(&g, &o));
         // All edges should be traversed along their cheap (reversed) darts.
         // The pairing may produce either one cycle; the winning direction
@@ -631,7 +655,8 @@ mod tests {
                     dart_costs: None,
                     special_dart: Some(special),
                 },
-            );
+            )
+            .unwrap();
             assert!(is_eulerian_orientation(&g, &o));
             // Edge 2 must follow the special dart's direction.
             assert_eq!(o[2], darts.is_canonical(special));
@@ -657,7 +682,8 @@ mod tests {
                 &g,
                 &OrientationCriterion::default(),
                 MarkingStrategy::Randomized { seed: seed * 7 + 1 },
-            );
+            )
+            .unwrap();
             assert!(is_eulerian_orientation(&g, &o), "seed {seed}");
         }
     }
@@ -672,7 +698,8 @@ mod tests {
                 &g,
                 &OrientationCriterion::default(),
                 MarkingStrategy::Randomized { seed },
-            );
+            )
+            .unwrap();
             (o, clique.ledger().total_rounds())
         };
         assert_eq!(run(5), run(5));
@@ -690,7 +717,8 @@ mod tests {
                 special_dart: Some(2 * 4 + 1), // reversed dart of edge 4
             },
             MarkingStrategy::Randomized { seed: 3 },
-        );
+        )
+        .unwrap();
         assert!(is_eulerian_orientation(&g, &o));
         assert!(!o[4], "edge 4 must follow the reversed special dart");
     }
@@ -699,7 +727,7 @@ mod tests {
     fn empty_graph_is_trivial() {
         let g = Graph::new(4);
         let mut clique = Clique::new(4);
-        let o = eulerian_orientation(&mut clique, &g);
+        let o = eulerian_orientation(&mut clique, &g).unwrap();
         assert!(o.is_empty());
         assert_eq!(clique.ledger().total_rounds(), 0);
     }

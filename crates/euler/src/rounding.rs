@@ -10,6 +10,7 @@
 use cc_graph::{DiGraph, Graph, VertexId};
 use cc_model::Communicator;
 
+use crate::error::EulerError;
 use crate::orientation::{orient_trails, OrientationCriterion};
 
 /// Options of [`round_flow`].
@@ -37,6 +38,11 @@ pub struct RoundedFlow {
 /// Rounds charged to `clique`:
 /// `O(log n · log* n)` per scaling iteration, `log₂(1/Δ)` iterations.
 ///
+/// # Errors
+///
+/// [`EulerError::Comm`] if a scaling iteration's orientation fails on the
+/// communication substrate.
+///
 /// # Panics
 ///
 /// Panics if the preconditions on `delta` or the flow values are violated,
@@ -49,7 +55,7 @@ pub fn round_flow<C: Communicator>(
     t: VertexId,
     delta: f64,
     options: &FlowRoundingOptions,
-) -> RoundedFlow {
+) -> Result<RoundedFlow, EulerError> {
     assert_eq!(flow.len(), g.m(), "one flow value per edge required");
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1]");
@@ -137,7 +143,7 @@ pub fn round_flow<C: Communicator>(
                         criterion.special_dart = Some(2 * pos);
                     }
                 }
-                let oriented = orient_trails(clique, &ug, &criterion);
+                let oriented = orient_trails(clique, &ug, &criterion)?;
                 for (pos, &e) in odd.iter().enumerate() {
                     if oriented[pos] {
                         units[e] += step_units;
@@ -154,7 +160,7 @@ pub fn round_flow<C: Communicator>(
         }
         let flow: Vec<i64> = units.iter().map(|&u| u / unit_scale).collect();
         debug_assert!(units.iter().all(|&u| u % unit_scale == 0));
-        RoundedFlow { flow, iterations }
+        Ok(RoundedFlow { flow, iterations })
     })
 }
 
@@ -264,7 +270,8 @@ mod tests {
             2,
             0.5,
             &FlowRoundingOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.flow, vec![1, 1]);
         assert_eq!(out.iterations, 1);
     }
@@ -281,7 +288,8 @@ mod tests {
             2,
             0.25,
             &FlowRoundingOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.flow, vec![2, 2]);
     }
 
@@ -300,7 +308,8 @@ mod tests {
                 11,
                 delta,
                 &FlowRoundingOptions::default(),
-            );
+            )
+            .unwrap();
             assert_valid_rounding(&g, &frac, &out.flow, 0, 11);
             assert_eq!(out.iterations, 4);
         }
@@ -331,7 +340,8 @@ mod tests {
             3,
             0.5,
             &FlowRoundingOptions { use_costs: true },
-        );
+        )
+        .unwrap();
         assert_valid_rounding(&g, &frac, &out.flow, 0, 3);
         let cost = g.flow_cost(&out.flow);
         assert!(
@@ -356,7 +366,8 @@ mod tests {
             2,
             0.25,
             &FlowRoundingOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.flow, vec![1, 1]);
     }
 
@@ -385,7 +396,8 @@ mod tests {
             3,
             0.25,
             &FlowRoundingOptions { use_costs: true },
-        );
+        )
+        .unwrap();
         assert!(g.flow_cost(&out.flow) as f64 <= frac_cost + 1e-9);
         assert_eq!(g.flow_value(&out.flow, 0), 1);
     }
@@ -404,7 +416,8 @@ mod tests {
                 1,
                 delta,
                 &FlowRoundingOptions::default(),
-            );
+            )
+            .unwrap();
             assert_eq!(out.iterations, k as usize);
             assert!(out.flow[0] == 0 || out.flow[0] == 1);
         }
@@ -426,6 +439,7 @@ mod tests {
                 delta,
                 &FlowRoundingOptions::default(),
             )
+            .unwrap()
             .flow
         };
         assert_eq!(run(), run());

@@ -2,7 +2,7 @@
 
 use std::marker::PhantomData;
 
-use cc_core::{ElectricalFlow, ElectricalNetwork, SolveWorkspace, SolverOptions};
+use cc_core::{CoreError, ElectricalFlow, ElectricalNetwork, SolveWorkspace, SolverOptions};
 use cc_model::Communicator;
 use cc_sparsify::SparsifierTemplate;
 
@@ -210,6 +210,12 @@ impl<C: Communicator> BarrierEngine<C> {
     /// allocation-free twin of [`ElectricalNetwork::flow`], with rounds,
     /// solve count and Chebyshev iterations attributed to `stage`.
     ///
+    /// # Errors
+    ///
+    /// [`IpmError::Core`] if the communication substrate rejects a solve
+    /// iteration's broadcast. Rounds spent before the failure are still
+    /// attributed to `stage`.
+    ///
     /// # Panics
     ///
     /// Panics if `chi.len() != net.n()` or the engine's `solver_eps` is
@@ -221,13 +227,15 @@ impl<C: Communicator> BarrierEngine<C> {
         net: &ElectricalNetwork,
         chi: &[f64],
         out: &mut ElectricalFlow,
-    ) {
+    ) -> Result<(), IpmError> {
         let before = clique.ledger().total_rounds();
-        net.flow_into(clique, chi, self.options.solver_eps, out, &mut self.ws);
+        let result = net.flow_into(clique, chi, self.options.solver_eps, out, &mut self.ws);
         let stage = self.stats.stage_mut(stage);
         stage.solves += 1;
         stage.chebyshev_iterations += out.iterations;
         stage.rounds += clique.ledger().total_rounds() - before;
+        result?;
+        Ok(())
     }
 
     /// One broadcast round aggregating the step's scalar norms — the
@@ -235,10 +243,18 @@ impl<C: Communicator> BarrierEngine<C> {
     /// `‖ρ‖` globally. Buffer-reusing twin of
     /// `clique.broadcast_all(&vec![0; n])`: identical round cost and
     /// tracing, zero steady-state allocations.
-    pub fn norm_roundtrip(&mut self, clique: &mut C) {
+    ///
+    /// # Errors
+    ///
+    /// [`IpmError::Core`] if the communication substrate rejects the
+    /// broadcast.
+    pub fn norm_roundtrip(&mut self, clique: &mut C) -> Result<(), IpmError> {
         self.zeros.clear();
         self.zeros.resize(clique.n(), 0);
-        clique.broadcast_all_into(&self.zeros, &mut self.echo);
+        clique
+            .try_broadcast_all_into(&self.zeros, &mut self.echo)
+            .map_err(CoreError::from)?;
+        Ok(())
     }
 
     /// Records the residual norm the adapter observed for `stage`
@@ -361,9 +377,13 @@ mod tests {
         chi[3] = -1.0;
         let mut out = ElectricalFlow::default();
         let before = clique.ledger().total_rounds();
-        engine.flow_into(&mut clique, "solve", &net, &chi, &mut out);
+        engine
+            .flow_into(&mut clique, "solve", &net, &chi, &mut out)
+            .unwrap();
         let expected = clique.ledger().total_rounds() - before;
-        let reference = net.flow(&mut clique, &chi, engine.options().solver_eps);
+        let reference = net
+            .flow(&mut clique, &chi, engine.options().solver_eps)
+            .unwrap();
         assert_eq!(out.flows, reference.flows);
         assert_eq!(out.potentials, reference.potentials);
         let stage = engine.stats().stage("solve");
@@ -379,7 +399,7 @@ mod tests {
         let mut clique = Clique::new(6);
         let mut engine: BarrierEngine<Clique> = BarrierEngine::new(6, EngineOptions::default());
         let before = clique.ledger().total_rounds();
-        engine.norm_roundtrip(&mut clique);
+        engine.norm_roundtrip(&mut clique).unwrap();
         assert_eq!(clique.ledger().total_rounds() - before, 1);
     }
 }

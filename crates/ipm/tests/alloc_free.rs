@@ -97,8 +97,10 @@ fn steady_state_iteration_performs_zero_heap_allocations() {
         // template, size the solve workspace and the stats stages.
         engine.resistances_into(M, fill(1.0), |i| 1.0 + i as f64);
         let net = engine.build_network(&mut clique, "steady").unwrap();
-        engine.flow_into(&mut clique, "steady", &net, &chi, &mut out);
-        engine.norm_roundtrip(&mut clique);
+        engine
+            .flow_into(&mut clique, "steady", &net, &chi, &mut out)
+            .unwrap();
+        engine.norm_roundtrip(&mut clique).unwrap();
         engine.record_residual("steady", 0.5);
 
         let (min_gap, count) = armed(|| engine.resistances_into(M, fill(1.5), |i| 1.0 + i as f64));
@@ -106,12 +108,15 @@ fn steady_state_iteration_performs_zero_heap_allocations() {
         assert_eq!(count, 0, "resistances_into allocated in steady state");
 
         let ((), count) = armed(|| {
-            engine.flow_into(&mut clique, "steady", &net, &chi, &mut out);
+            engine
+                .flow_into(&mut clique, "steady", &net, &chi, &mut out)
+                .unwrap();
         });
         assert!(out.flows.iter().all(|f| f.is_finite()));
         assert_eq!(count, 0, "flow_into allocated in steady state");
 
-        let ((), count) = armed(|| engine.norm_roundtrip(&mut clique));
+        let (r, count) = armed(|| engine.norm_roundtrip(&mut clique));
+        r.unwrap();
         assert_eq!(count, 0, "norm_roundtrip allocated in steady state");
 
         let ((), count) = armed(|| engine.record_residual("steady", 0.25));

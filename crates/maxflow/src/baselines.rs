@@ -7,13 +7,18 @@ use cc_model::Communicator;
 
 use crate::ipm::MaxFlowOutcome;
 use crate::residual::augment_to_optimality;
-use crate::{dinic, IpmStats};
+use crate::{dinic, IpmStats, MaxFlowError};
 
 /// Ford–Fulkerson in the congested clique: `|f*|`-style iterations, each
 /// one `s`-`t` reachability computed algebraically (`O(n^{0.158})` rounds
 /// under [`RoundModel::FastMatMul`] — the §1.1 baseline costing
 /// `O(|f*| · n^{0.158})` rounds). Bottleneck augmentation is used, so the
 /// iteration count is at most (and typically far below) `|f*|`.
+///
+/// # Errors
+///
+/// [`MaxFlowError::Comm`] if the communication substrate rejects a
+/// primitive call during the augmentation loop.
 ///
 /// # Panics
 ///
@@ -24,20 +29,20 @@ pub fn max_flow_ford_fulkerson<C: Communicator>(
     s: usize,
     t: usize,
     model: RoundModel,
-) -> MaxFlowOutcome {
+) -> Result<MaxFlowOutcome, MaxFlowError> {
     assert!(clique.n() >= g.n(), "clique too small");
     clique.phase("ford_fulkerson", |clique| {
         let mut flow = vec![0i64; g.m()];
-        let stats = augment_to_optimality(clique, g, &mut flow, s, t, model);
+        let stats = augment_to_optimality(clique, g, &mut flow, s, t, model)?;
         let value = g.flow_value(&flow, s);
-        MaxFlowOutcome {
+        Ok(MaxFlowOutcome {
             flow,
             value,
             stats: IpmStats {
                 repair_paths: stats.paths,
                 ..IpmStats::default()
             },
-        }
+        })
     })
 }
 
@@ -47,6 +52,11 @@ pub fn max_flow_ford_fulkerson<C: Communicator>(
 /// rounds, i.e. `O(n)` for dense graphs (`O(n log U)` in the paper's
 /// bit-level accounting; capacities fit one word here).
 ///
+/// # Errors
+///
+/// [`MaxFlowError::Comm`] if the communication substrate rejects the
+/// all-gather.
+///
 /// # Panics
 ///
 /// Panics if terminals are invalid or the clique is smaller than the graph.
@@ -55,7 +65,7 @@ pub fn max_flow_trivial<C: Communicator>(
     g: &DiGraph,
     s: usize,
     t: usize,
-) -> MaxFlowOutcome {
+) -> Result<MaxFlowOutcome, MaxFlowError> {
     assert!(clique.n() >= g.n(), "clique too small");
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     clique.phase("trivial_gather", |clique| {
@@ -64,14 +74,14 @@ pub fn max_flow_trivial<C: Communicator>(
         for e in g.edges() {
             per_node[e.from].extend_from_slice(&[e.from as u64, e.to as u64, e.capacity as u64]);
         }
-        let _ = clique.allgather(&per_node);
+        let _ = clique.try_allgather(&per_node)?;
         // Everything is global: solve internally (free in the model).
         let (flow, value) = dinic(g, s, t);
-        MaxFlowOutcome {
+        Ok(MaxFlowOutcome {
             flow,
             value,
             stats: IpmStats::default(),
-        }
+        })
     })
 }
 
@@ -88,11 +98,11 @@ mod tests {
             let (_, want) = dinic(&g, 0, 9);
 
             let mut c1 = Clique::new(10);
-            let ff = max_flow_ford_fulkerson(&mut c1, &g, 0, 9, RoundModel::FastMatMul);
+            let ff = max_flow_ford_fulkerson(&mut c1, &g, 0, 9, RoundModel::FastMatMul).unwrap();
             assert_eq!(ff.value, want, "ff seed {seed}");
 
             let mut c2 = Clique::new(10);
-            let tr = max_flow_trivial(&mut c2, &g, 0, 9);
+            let tr = max_flow_trivial(&mut c2, &g, 0, 9).unwrap();
             assert_eq!(tr.value, want, "trivial seed {seed}");
 
             // Trivial should cost far fewer rounds on tiny instances, and
@@ -106,7 +116,7 @@ mod tests {
     fn trivial_rounds_scale_with_volume_not_iterations() {
         let g = generators::random_flow_network(16, 40, 8, 3);
         let mut clique = Clique::new(16);
-        let _ = max_flow_trivial(&mut clique, &g, 0, 15);
+        let _ = max_flow_trivial(&mut clique, &g, 0, 15).unwrap();
         let rounds = clique.ledger().total_rounds();
         // allgather of 3m words over n nodes plus balancing.
         let expect_ceiling = 2 * (3 * g.m() as u64).div_ceil(16) + 16;
@@ -131,7 +141,8 @@ mod tests {
         for &k in &[2usize, 4, 8] {
             let g = build(k);
             let mut clique = Clique::new(2 + k);
-            let out = max_flow_ford_fulkerson(&mut clique, &g, 0, 1, RoundModel::FastMatMul);
+            let out =
+                max_flow_ford_fulkerson(&mut clique, &g, 0, 1, RoundModel::FastMatMul).unwrap();
             assert_eq!(out.value, k as i64);
             r.push(clique.ledger().total_rounds());
         }

@@ -25,8 +25,10 @@ use cc_graph::DiGraph;
 use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
 
+use crate::error::comm_rooted;
 use crate::residual::augment_to_optimality;
 use crate::rounding_bridge::{snap_to_delta_multiples, SnapOutcome};
+use crate::MaxFlowError;
 
 /// Options of [`max_flow_ipm`].
 #[derive(Debug, Clone, Copy)]
@@ -216,7 +218,7 @@ fn ipm_core<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
-) -> (Vec<f64>, IpmStats) {
+) -> Result<(Vec<f64>, IpmStats), MaxFlowError> {
     let t_edges = transform(g, s, t);
     let mt = t_edges.len();
     let n = g.n();
@@ -243,7 +245,7 @@ fn ipm_core<C: Communicator>(
     let gadget_half: f64 = g.edges().iter().map(|e| e.capacity as f64 / 2.0).sum();
     let f_target = f_ub + gadget_half;
     if f_target <= 0.0 {
-        return (vec![0.0; g.m()], stats);
+        return Ok((vec![0.0; g.m()], stats));
     }
 
     let budget = options
@@ -266,7 +268,7 @@ fn ipm_core<C: Communicator>(
         v
     };
 
-    clique.phase("maxflow_ipm", |clique| {
+    clique.phase("maxflow_ipm", |clique| -> Result<(), MaxFlowError> {
         for _step in 0..budget {
             let routed = value(&x);
             let remaining = f_target - routed;
@@ -287,12 +289,16 @@ fn ipm_core<C: Communicator>(
             }
             let net = match engine.build_network(clique, "augmentation") {
                 Ok(net) => net,
+                // Comm-rooted failures (injected faults, congestion
+                // rejections) must surface; numerical degradation hands
+                // over to repair as before.
+                Err(e) if comm_rooted(&e) => return Err(e.into()),
                 Err(_) => break,
             };
             chi.fill(0.0);
             chi[s] = remaining;
             chi[t] = -remaining;
-            engine.flow_into(clique, "augmentation", &net, &chi, &mut electrical);
+            engine.flow_into(clique, "augmentation", &net, &chi, &mut electrical)?;
             let f_tilde = &electrical.flows;
 
             // Congestion vector ρ (Algorithm 2 lines 7/14); one broadcast
@@ -306,7 +312,7 @@ fn ipm_core<C: Communicator>(
                 rho_raw_inf = rho_raw_inf.max((fe / gap).abs());
             }
             let rho3 = rho3.cbrt();
-            engine.norm_roundtrip(clique);
+            engine.norm_roundtrip(clique)?;
 
             if rho3 > rho_threshold {
                 // ---- Boosting (Algorithm 5, damping stand-in) ----
@@ -334,7 +340,7 @@ fn ipm_core<C: Communicator>(
                 }
                 stats.boosting_steps += 1;
                 // Selecting S* globally: one small allgather.
-                engine.norm_roundtrip(clique);
+                engine.norm_roundtrip(clique)?;
             }
 
             // Step size: the paper's 1/(33‖ρ‖₃) rule, capped by hard
@@ -374,10 +380,15 @@ fn ipm_core<C: Communicator>(
                     |base, out| fill_barrier(&t_edges, &x, &damp, 1e-9, base, out),
                     |_| f64::INFINITY, // gap unused on the fixing build
                 );
-                if let Ok(net2) = engine.build_network(clique, "fixing") {
+                let net2 = match engine.build_network(clique, "fixing") {
+                    Ok(net2) => Some(net2),
+                    Err(e) if comm_rooted(&e) => return Err(e.into()),
+                    Err(_) => None,
+                };
+                if let Some(net2) = net2 {
                     minus.clear();
                     minus.extend(residue.iter().map(|r| -r));
-                    engine.flow_into(clique, "fixing", &net2, &minus, &mut correction);
+                    engine.flow_into(clique, "fixing", &net2, &minus, &mut correction)?;
                     // Guarded application: halve until strictly feasible.
                     let mut scale = 1.0;
                     'guard: for _ in 0..40 {
@@ -411,7 +422,8 @@ fn ipm_core<C: Communicator>(
         } else {
             1.0
         };
-    });
+        Ok(())
+    })?;
     stats.engine = engine.into_stats();
 
     // Recover a fractional flow on the original arcs via the gadget
@@ -442,7 +454,7 @@ fn ipm_core<C: Communicator>(
         };
         recovered[e] = (x1[e] + c).clamp(0.0, u);
     }
-    (recovered, stats)
+    Ok((recovered, stats))
 }
 
 /// Post-IPM conservation cleanup on the original graph: the gadget
@@ -460,14 +472,14 @@ fn fractional_cleanup<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
-) -> EngineStats {
+) -> Result<EngineStats, MaxFlowError> {
     let n = g.n();
     let edges = g.edges();
     let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
     let mut violation = vec![0.0f64; n];
     let mut minus: Vec<f64> = Vec::with_capacity(n);
     let mut corr = ElectricalFlow::default();
-    clique.phase("maxflow_cleanup", |clique| {
+    clique.phase("maxflow_cleanup", |clique| -> Result<(), MaxFlowError> {
         for _ in 0..6 {
             // Conservation violation at non-terminals.
             violation.fill(0.0);
@@ -500,12 +512,14 @@ fn fractional_cleanup<C: Communicator>(
                 },
                 |_| f64::INFINITY, // the cleanup pass has no gap cutoff
             );
-            let Ok(net) = engine.build_network(clique, "cleanup") else {
-                break;
+            let net = match engine.build_network(clique, "cleanup") {
+                Ok(net) => net,
+                Err(e) if comm_rooted(&e) => return Err(e.into()),
+                Err(_) => break,
             };
             minus.clear();
             minus.extend(violation.iter().map(|v| -v));
-            engine.flow_into(clique, "cleanup", &net, &minus, &mut corr);
+            engine.flow_into(clique, "cleanup", &net, &minus, &mut corr)?;
             // Apply with step halving so f stays within [0, u].
             let mut scale = 1.0;
             for _ in 0..40 {
@@ -529,13 +543,20 @@ fn fractional_cleanup<C: Communicator>(
                 break;
             }
         }
-    });
-    engine.into_stats()
+        Ok(())
+    })?;
+    Ok(engine.into_stats())
 }
 
 /// Exact deterministic maximum flow in the congested clique
 /// (Theorem 1.2): IPM → flow rounding (Lemma 4.2) → augmenting-path
 /// repair. See the crate docs for the pipeline and accounting.
+///
+/// # Errors
+///
+/// [`MaxFlowError`] if the communication substrate rejects a primitive
+/// call in any stage (IPM solves, rounding, repair) — injected faults
+/// surface here, never as panics or silently wrong flows.
 ///
 /// # Panics
 ///
@@ -546,17 +567,17 @@ pub fn max_flow_ipm<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
-) -> MaxFlowOutcome {
+) -> Result<MaxFlowOutcome, MaxFlowError> {
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     assert!(clique.n() >= g.n(), "clique too small");
     clique.phase("maxflow", |clique| {
         let (mut fractional, mut stats) = if g.m() == 0 {
             (Vec::new(), IpmStats::default())
         } else {
-            ipm_core(clique, g, s, t, options)
+            ipm_core(clique, g, s, t, options)?
         };
         if g.m() > 0 {
-            let cleanup = fractional_cleanup(clique, g, &mut fractional, s, t, options);
+            let cleanup = fractional_cleanup(clique, g, &mut fractional, s, t, options)?;
             stats.engine.merge(&cleanup);
         }
 
@@ -576,7 +597,7 @@ pub fn max_flow_ipm<C: Communicator>(
                         t,
                         delta,
                         &cc_euler::FlowRoundingOptions::default(),
-                    );
+                    )?;
                     let value = g.flow_value(&rounded.flow, s);
                     if g.is_feasible_flow(&rounded.flow, &g.st_demand(s, t, value)) {
                         flow = rounded.flow;
@@ -591,10 +612,10 @@ pub fn max_flow_ipm<C: Communicator>(
             }
         }
 
-        let repair = augment_to_optimality(clique, g, &mut flow, s, t, options.round_model);
+        let repair = augment_to_optimality(clique, g, &mut flow, s, t, options.round_model)?;
         stats.repair_paths = repair.paths;
         let value = g.flow_value(&flow, s);
-        MaxFlowOutcome { flow, value, stats }
+        Ok(MaxFlowOutcome { flow, value, stats })
     })
 }
 
@@ -608,7 +629,7 @@ mod tests {
     fn check_exact(g: &DiGraph, s: usize, t: usize) -> (MaxFlowOutcome, u64) {
         let (_, want) = dinic(g, s, t);
         let mut clique = Clique::new(g.n().max(2));
-        let out = max_flow_ipm(&mut clique, g, s, t, &IpmOptions::default());
+        let out = max_flow_ipm(&mut clique, g, s, t, &IpmOptions::default()).unwrap();
         assert_eq!(out.value, want, "IPM pipeline must be exact");
         let sigma = g.st_demand(s, t, out.value);
         assert!(g.is_feasible_flow(&out.flow, &sigma));
@@ -667,7 +688,7 @@ mod tests {
         let g = generators::random_flow_network(12, 30, 6, 11);
         let (_, want) = dinic(&g, 0, 11);
         let mut clique = Clique::new(12);
-        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default()).unwrap();
         assert_eq!(out.value, want);
         assert!(
             out.stats.fell_back_to_zero || out.stats.rounded_value > 0 || want == 0,
@@ -681,7 +702,7 @@ mod tests {
         let g = generators::random_flow_network(8, 14, 3, 5);
         let run = || {
             let mut clique = Clique::new(8);
-            let out = max_flow_ipm(&mut clique, &g, 0, 7, &IpmOptions::default());
+            let out = max_flow_ipm(&mut clique, &g, 0, 7, &IpmOptions::default()).unwrap();
             (out.flow, out.value, clique.ledger().total_rounds())
         };
         assert_eq!(run(), run());
@@ -702,7 +723,8 @@ mod tests {
                     reuse_sparsifier: reuse,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             (out.value, clique.ledger().charged_rounds())
         };
         let (v_reuse, charged_reuse) = run(true);
@@ -730,7 +752,8 @@ mod tests {
                 max_progress_steps: Some(0),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(out.value, want);
         assert_eq!(out.stats.progress_steps, 0);
     }
@@ -739,7 +762,7 @@ mod tests {
     fn pipeline_flow_certified_by_min_cut() {
         let g = generators::random_flow_network(12, 26, 5, 8);
         let mut clique = Clique::new(12);
-        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default()).unwrap();
         let cut = crate::min_cut_from_max_flow(&g, &out.flow, 0, 11);
         assert_eq!(cut.capacity, out.value);
     }
@@ -757,7 +780,7 @@ mod tests {
     fn phase_ledger_has_all_stages() {
         let g = generators::random_flow_network(8, 16, 4, 9);
         let mut clique = Clique::new(8);
-        let _ = max_flow_ipm(&mut clique, &g, 0, 7, &IpmOptions::default());
+        let _ = max_flow_ipm(&mut clique, &g, 0, 7, &IpmOptions::default()).unwrap();
         let phases = clique.ledger().phases();
         assert!(phases.keys().any(|k| k.contains("maxflow_ipm")));
         assert!(phases.keys().any(|k| k.contains("repair_augmenting_paths")));
@@ -767,7 +790,7 @@ mod tests {
     fn engine_stats_cover_every_ipm_stage() {
         let g = generators::random_flow_network(10, 18, 4, 0);
         let mut clique = Clique::new(10);
-        let out = max_flow_ipm(&mut clique, &g, 0, 9, &IpmOptions::default());
+        let out = max_flow_ipm(&mut clique, &g, 0, 9, &IpmOptions::default()).unwrap();
         let aug = out.stats.engine.stage("augmentation");
         assert_eq!(aug.solves, out.stats.progress_steps);
         assert!(aug.builds >= 1, "first build captures the template");

@@ -40,6 +40,7 @@
 mod baselines;
 mod cut;
 mod dinic;
+mod error;
 mod ipm;
 mod residual;
 mod rounding_bridge;
@@ -47,6 +48,7 @@ mod rounding_bridge;
 pub use baselines::{max_flow_ford_fulkerson, max_flow_trivial};
 pub use cut::{min_cut_from_max_flow, MinCut};
 pub use dinic::dinic;
+pub use error::MaxFlowError;
 pub use ipm::{max_flow_ipm, IpmOptions, IpmStats, MaxFlowOutcome};
 pub use residual::{augment_to_optimality, RepairStats};
 pub use rounding_bridge::{snap_to_delta_multiples, SnapOutcome};

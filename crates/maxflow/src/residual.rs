@@ -5,6 +5,8 @@ use cc_apsp::{apsp_from_arcs, RoundModel};
 use cc_graph::DiGraph;
 use cc_model::Communicator;
 
+use crate::MaxFlowError;
+
 /// Statistics of a repair run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairStats {
@@ -23,6 +25,12 @@ pub struct RepairStats {
 /// `O(n^{0.158})` substitute) and one broadcast round to apply the
 /// augmentation.
 ///
+/// # Errors
+///
+/// [`MaxFlowError::Comm`] if the communication substrate rejects an
+/// augmentation broadcast (injected faults surface here, never as
+/// panics).
+///
 /// # Panics
 ///
 /// Panics if `flow` is not a feasible flow of some value (capacity or
@@ -34,7 +42,7 @@ pub fn augment_to_optimality<C: Communicator>(
     s: usize,
     t: usize,
     model: RoundModel,
-) -> RepairStats {
+) -> Result<RepairStats, MaxFlowError> {
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     assert_eq!(flow.len(), g.m(), "flow length mismatch");
     let value = g.flow_value(flow, s);
@@ -101,11 +109,11 @@ pub fn augment_to_optimality<C: Communicator>(
                 }
             }
             // One broadcast round: the path vertices announce the update.
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
             stats.paths += 1;
             stats.added_value += bottleneck;
         }
-        stats
+        Ok(stats)
     })
 }
 
@@ -124,7 +132,8 @@ mod tests {
             let mut flow = vec![0i64; g.m()];
             let mut clique = Clique::new(10);
             let stats =
-                augment_to_optimality(&mut clique, &g, &mut flow, 0, 9, RoundModel::Semiring);
+                augment_to_optimality(&mut clique, &g, &mut flow, 0, 9, RoundModel::Semiring)
+                    .unwrap();
             assert_eq!(g.flow_value(&flow, 0), want, "seed {seed}");
             assert_eq!(stats.added_value, want);
             assert!(g.is_feasible_flow(&flow, &g.st_demand(0, 9, want)));
@@ -136,7 +145,8 @@ mod tests {
         let g = generators::random_flow_network(8, 15, 3, 1);
         let (mut flow, want) = dinic(&g, 0, 7);
         let mut clique = Clique::new(8);
-        let stats = augment_to_optimality(&mut clique, &g, &mut flow, 0, 7, RoundModel::Semiring);
+        let stats =
+            augment_to_optimality(&mut clique, &g, &mut flow, 0, 7, RoundModel::Semiring).unwrap();
         assert_eq!(stats.paths, 0);
         assert_eq!(g.flow_value(&flow, 0), want);
     }
@@ -152,7 +162,8 @@ mod tests {
         let mut flow = vec![1, 0, 1, 0, 0];
         flow[4] = 1; // 2→3 carries it
         let mut clique = Clique::new(4);
-        let stats = augment_to_optimality(&mut clique, &g, &mut flow, 0, 3, RoundModel::Semiring);
+        let stats =
+            augment_to_optimality(&mut clique, &g, &mut flow, 0, 3, RoundModel::Semiring).unwrap();
         assert_eq!(g.flow_value(&flow, 0), 2);
         assert!(stats.paths >= 1);
     }
@@ -171,7 +182,8 @@ mod tests {
         let g = DiGraph::from_capacities(3, &[(0, 1, 1), (1, 2, 1)]);
         let mut flow = vec![0i64, 0];
         let mut clique = Clique::new(3);
-        let stats = augment_to_optimality(&mut clique, &g, &mut flow, 0, 2, RoundModel::Semiring);
+        let stats =
+            augment_to_optimality(&mut clique, &g, &mut flow, 0, 2, RoundModel::Semiring).unwrap();
         assert_eq!(stats.paths, 1);
         assert!(clique.ledger().total_rounds() > 0);
         assert!(clique

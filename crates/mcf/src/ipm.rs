@@ -14,7 +14,7 @@ use cc_graph::DiGraph;
 use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
 
-use crate::repair::{cancel_negative_cycles, route_deficits, McfError};
+use crate::repair::{cancel_negative_cycles, comm_rooted, route_deficits, McfError};
 use crate::snap::snap_to_sigma_multiples;
 
 /// Options of [`min_cost_flow_ipm`].
@@ -128,7 +128,7 @@ fn ipm_core<C: Communicator>(
     g: &DiGraph,
     sigma: &[i64],
     options: &McfOptions,
-) -> (Vec<f64>, McfStats) {
+) -> Result<(Vec<f64>, McfStats), McfError> {
     let n = g.n();
     let m = g.m();
     let mut f = vec![0.5f64; m];
@@ -139,7 +139,7 @@ fn ipm_core<C: Communicator>(
     let sigma_f: Vec<f64> = sigma.iter().map(|&s| s as f64).collect();
     let sigma_l1: f64 = sigma.iter().map(|&s| s.abs() as f64).sum();
     if m == 0 {
-        return (f, stats);
+        return Ok((f, stats));
     }
 
     // Per-iteration buffers, sized once: the steady-state loop body's
@@ -167,7 +167,7 @@ fn ipm_core<C: Communicator>(
         }
     };
 
-    clique.phase("mcf_ipm", |clique| {
+    clique.phase("mcf_ipm", |clique| -> Result<(), McfError> {
         for _step in 0..budget {
             // Remaining demand the electrical step must route
             // (Algorithm 9 line 2 solves L φ = σ̂ for the current target).
@@ -193,9 +193,13 @@ fn ipm_core<C: Communicator>(
             }
             let net = match engine.build_network(clique, "progress") {
                 Ok(net) => net,
+                // Comm-rooted failures (injected faults, congestion
+                // rejections) must surface; numerical degradation hands
+                // over to repair as before.
+                Err(e) if comm_rooted(&e) => return Err(e.into()),
                 Err(_) => break,
             };
-            engine.flow_into(clique, "progress", &net, &remaining, &mut electrical);
+            engine.flow_into(clique, "progress", &net, &remaining, &mut electrical)?;
             let f_tilde = &electrical.flows;
 
             // Congestion ρ_e = f̃_e / min(f, 1−f) with ν weights
@@ -212,7 +216,7 @@ fn ipm_core<C: Communicator>(
             }
             let rho4 = rho4.powf(0.25);
             let rho3 = rho3.cbrt();
-            engine.norm_roundtrip(clique);
+            engine.norm_roundtrip(clique)?;
 
             if rho3 > rho_threshold {
                 // Perturbation (Algorithm 8): double ν on the congested
@@ -230,7 +234,7 @@ fn ipm_core<C: Communicator>(
                     nu[i] *= 2.0;
                 }
                 stats.perturbation_steps += 1;
-                engine.norm_roundtrip(clique);
+                engine.norm_roundtrip(clique)?;
             }
 
             // Step (Algorithm 9 line 4): δ = min(1/(8‖ρ‖_{ν,4}), 1/8),
@@ -270,8 +274,13 @@ fn ipm_core<C: Communicator>(
                     |base, out| fill_barrier(g, &f, &nu, base, out),
                     |_| f64::INFINITY, // gap unused on the correction build
                 );
-                if let Ok(net2) = engine.build_network(clique, "correction") {
-                    engine.flow_into(clique, "correction", &net2, &residue, &mut correction);
+                let net2 = match engine.build_network(clique, "correction") {
+                    Ok(net2) => Some(net2),
+                    Err(e) if comm_rooted(&e) => return Err(e.into()),
+                    Err(_) => None,
+                };
+                if let Some(net2) = net2 {
+                    engine.flow_into(clique, "correction", &net2, &residue, &mut correction)?;
                     let mut scale = 1.0;
                     for _ in 0..40 {
                         let ok = f.iter().zip(&correction.flows).all(|(&fe, &ce)| {
@@ -303,9 +312,10 @@ fn ipm_core<C: Communicator>(
         } else {
             1.0
         };
-    });
+        Ok(())
+    })?;
     stats.engine = engine.into_stats();
-    (f, stats)
+    Ok((f, stats))
 }
 
 /// Exact deterministic unit-capacity minimum cost flow in the congested
@@ -314,7 +324,11 @@ fn ipm_core<C: Communicator>(
 /// # Errors
 ///
 /// [`McfError::Infeasible`] if the demands cannot be routed;
-/// [`McfError::BadDemands`] if `sigma` is malformed.
+/// [`McfError::BadDemands`] if `sigma` is malformed; [`McfError::Comm`] /
+/// [`McfError::Solver`] / [`McfError::Rounding`] if the communication
+/// substrate rejects a primitive call in the respective stage — injected
+/// faults surface as typed errors, never as panics or silently wrong
+/// flows.
 ///
 /// # Panics
 ///
@@ -342,7 +356,7 @@ pub fn min_cost_flow_ipm<C: Communicator>(
         g.n() + 2
     );
     clique.phase("mincostflow", |clique| {
-        let (fractional, mut stats) = ipm_core(clique, g, sigma, options);
+        let (fractional, mut stats) = ipm_core(clique, g, sigma, options)?;
 
         let k = ((2 * g.m().max(1)) as f64).log2().ceil() as u32;
         let delta = 1.0 / (1u64 << k.min(40)) as f64;
@@ -378,7 +392,7 @@ pub fn min_cost_flow_ipm<C: Communicator>(
                     t_super,
                     delta,
                     &cc_euler::FlowRoundingOptions { use_costs: true },
-                );
+                )?;
                 let candidate: Vec<i64> = rounded.flow[..g.m()].to_vec();
                 if g.is_feasible_flow(&candidate, sigma) {
                     flow = candidate;

@@ -5,11 +5,13 @@ use std::error::Error;
 use std::fmt;
 
 use cc_apsp::{apsp_from_arcs, RoundModel};
+use cc_euler::EulerError;
 use cc_graph::DiGraph;
-use cc_model::{Communicator, CostKind};
+use cc_ipm::IpmError;
+use cc_model::{Communicator, CostKind, ModelError};
 
 /// Errors of the min cost flow pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum McfError {
     /// The demands cannot be routed in the network at all.
@@ -19,6 +21,12 @@ pub enum McfError {
         /// Description of the violation.
         reason: &'static str,
     },
+    /// The communication substrate rejected a primitive call.
+    Comm(ModelError),
+    /// An electrical solve inside the interior point method failed.
+    Solver(IpmError),
+    /// The flow-rounding stage (Lemma 4.2, `cc-euler`) failed.
+    Rounding(EulerError),
 }
 
 impl fmt::Display for McfError {
@@ -26,18 +34,67 @@ impl fmt::Display for McfError {
         match self {
             McfError::Infeasible => write!(f, "demands cannot be routed in the network"),
             McfError::BadDemands { reason } => write!(f, "bad demand vector: {reason}"),
+            McfError::Comm(e) => write!(f, "communication failure during min cost flow: {e}"),
+            McfError::Solver(e) => {
+                write!(f, "electrical solve failed during min cost flow: {e}")
+            }
+            McfError::Rounding(e) => write!(f, "flow rounding failed during min cost flow: {e}"),
         }
     }
 }
 
-impl Error for McfError {}
+impl Error for McfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            McfError::Comm(e) => Some(e),
+            McfError::Solver(e) => Some(e),
+            McfError::Rounding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for McfError {
+    fn from(e: ModelError) -> Self {
+        McfError::Comm(e)
+    }
+}
+
+impl From<IpmError> for McfError {
+    fn from(e: IpmError) -> Self {
+        McfError::Solver(e)
+    }
+}
+
+impl From<EulerError> for McfError {
+    fn from(e: EulerError) -> Self {
+        McfError::Rounding(e)
+    }
+}
+
+/// True if `e`'s source chain bottoms out in a [`ModelError`] — a
+/// communication fault rather than numerical degradation. The IPM
+/// propagates comm-rooted build failures but degrades gracefully (hands
+/// over to repair) on numerical ones.
+pub(crate) fn comm_rooted(e: &(dyn Error + 'static)) -> bool {
+    let mut cur: Option<&(dyn Error + 'static)> = Some(e);
+    while let Some(s) = cur {
+        if s.is::<ModelError>() {
+            return true;
+        }
+        cur = s.source();
+    }
+    false
+}
 
 /// Routes the remaining deficits of `flow` with respect to `sigma` along
 /// shortest (fewest-hop) residual paths until every demand is satisfied.
 /// Each iteration is one algebraic APSP (`model` accounting) plus one
 /// broadcast round.
 ///
-/// Returns the number of augmenting paths, or [`McfError::Infeasible`].
+/// Returns the number of augmenting paths, [`McfError::Infeasible`] if a
+/// deficit cannot reach any sink, or [`McfError::Comm`] if the
+/// communication substrate rejects an augmentation broadcast.
 ///
 /// # Panics
 ///
@@ -144,7 +201,7 @@ pub fn route_deficits<C: Communicator>(
             }
             deficit[s] -= bottleneck;
             deficit[t] += bottleneck;
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
             paths += 1;
         }
     })

@@ -198,6 +198,61 @@ pub trait Communicator {
     /// Panics if `per_node.len() != n`.
     fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words>;
 
+    /// Fallible twin of [`Communicator::broadcast_all`]. The default
+    /// delegates to the infallible primitive, so for honest substrates the
+    /// two are indistinguishable (identical rounds, identical results);
+    /// fault-injecting transports ([`crate::FaultComm`]) override the
+    /// `try_*` family to surface injected faults as typed errors instead of
+    /// silently succeeding. Algorithm code on the error-propagating path
+    /// should call the `try_*` variants.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in honest substrates; fault-injecting transports return
+    /// [`ModelError::CongestionExceeded`] for injected faults.
+    fn try_broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+        Ok(self.broadcast_all(values))
+    }
+
+    /// Fallible twin of [`Communicator::broadcast_all_into`]; see
+    /// [`Communicator::try_broadcast_all`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in honest substrates; fault-injecting transports return
+    /// [`ModelError::CongestionExceeded`] for injected faults (leaving
+    /// `out` untouched).
+    fn try_broadcast_all_into(
+        &mut self,
+        values: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), ModelError> {
+        self.broadcast_all_into(values, out);
+        Ok(())
+    }
+
+    /// Fallible twin of [`Communicator::broadcast_all_words`]; see
+    /// [`Communicator::try_broadcast_all`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in honest substrates; fault-injecting transports return
+    /// [`ModelError::CongestionExceeded`] for injected faults.
+    fn try_broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        Ok(self.broadcast_all_words(per_node))
+    }
+
+    /// Fallible twin of [`Communicator::allgather`]; see
+    /// [`Communicator::try_broadcast_all`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in honest substrates; fault-injecting transports return
+    /// [`ModelError::CongestionExceeded`] for injected faults.
+    fn try_allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
+        Ok(self.allgather(per_node))
+    }
+
     /// One node broadcasts its word vector to everyone.
     ///
     /// # Errors

@@ -18,7 +18,10 @@
 //! * **forced faults at chosen phases** — every fallible primitive under
 //!   a phase path matching [`FaultPlan::fail_phases`] fails with a
 //!   synthesized `CongestionExceeded` (capacity 0 marks it as injected),
-//!   exercising the caller's error path deterministically;
+//!   exercising the caller's error path deterministically; this includes
+//!   the `try_*` broadcast twins
+//!   ([`Communicator::try_broadcast_all`] and friends), which honest
+//!   substrates never fail but this transport does;
 //! * **seeded random faults** — [`FaultPlan::failure_rate`] injects the
 //!   same failures on every run with the same seed (SplitMix64 stream);
 //! * **payload-size assertions** — [`FaultPlan::max_message_words`] turns
@@ -285,6 +288,44 @@ impl<C: Communicator> Communicator for FaultComm<C> {
 
     fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
         self.inner.broadcast_all(values)
+    }
+
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
+        self.inner.broadcast_all_into(values, out);
+    }
+
+    fn try_broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+        self.preflight()?;
+        self.inner.try_broadcast_all(values)
+    }
+
+    fn try_broadcast_all_into(
+        &mut self,
+        values: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), ModelError> {
+        self.preflight()?;
+        self.inner.try_broadcast_all_into(values, out)
+    }
+
+    fn try_broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.preflight()?;
+        if self.plan.max_message_words.is_some() {
+            for words in per_node {
+                self.assert_payload(words.len());
+            }
+        }
+        self.inner.try_broadcast_all_words(per_node)
+    }
+
+    fn try_allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
+        self.preflight()?;
+        if self.plan.max_message_words.is_some() {
+            for words in per_node {
+                self.assert_payload(words.len());
+            }
+        }
+        self.inner.try_allgather(per_node)
     }
 
     fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {

@@ -1,0 +1,180 @@
+//! Per-knob `FaultPlan` pins: each knob of the plan, exercised in
+//! isolation against a plain `Clique`, behaves exactly as documented and
+//! is deterministic per seed.
+
+use cc_model::{Clique, Communicator, FaultComm, FaultPlan, ModelError};
+
+fn one_word_outboxes(n: usize) -> Vec<Vec<(usize, Vec<u64>)>> {
+    // Node 0 sends one word to node 1; everyone else is silent.
+    let mut out = vec![Vec::new(); n];
+    out[0].push((1, vec![7]));
+    out
+}
+
+#[test]
+fn default_plan_injects_nothing_and_preserves_rounds() {
+    let mut plain = Clique::new(4);
+    let echo_plain = plain.broadcast_all(&[1, 2, 3, 4]);
+    let plain_rounds = plain.ledger().total_rounds();
+
+    let mut faulty = FaultComm::new(Clique::new(4), FaultPlan::default());
+    let echo_faulty = faulty.broadcast_all(&[1, 2, 3, 4]);
+    assert_eq!(echo_plain, echo_faulty);
+    assert_eq!(faulty.ledger().total_rounds(), plain_rounds);
+    assert!(faulty.try_broadcast_all(&[0, 0, 0, 0]).is_ok());
+    assert!(faulty.route(one_word_outboxes(4)).is_ok());
+    assert_eq!(faulty.injected_faults(), 0);
+}
+
+#[test]
+fn fail_phases_matches_path_fragments_only() {
+    let plan = FaultPlan {
+        fail_phases: vec!["doomed".into()],
+        ..FaultPlan::default()
+    };
+    let mut comm = FaultComm::new(Clique::new(4), plan);
+
+    // Outside any matching phase: calls succeed.
+    let ok = comm.phase("healthy", |c| c.try_broadcast_all(&[0, 0, 0, 0]));
+    assert!(ok.is_ok());
+    assert_eq!(comm.injected_faults(), 0);
+
+    // Inside a phase whose path contains the fragment: injected fault,
+    // recognizable by its zero capacity.
+    let err = comm
+        .phase("doomed_phase", |c| c.try_broadcast_all(&[0, 0, 0, 0]))
+        .expect_err("fragment must match");
+    assert!(matches!(
+        err,
+        ModelError::CongestionExceeded { capacity: 0, .. }
+    ));
+    assert_eq!(comm.injected_faults(), 1);
+
+    // Nested sub-phases inherit the match through the phase path.
+    let err = comm
+        .phase("doomed_phase", |c| {
+            c.phase("inner", |c| c.route(one_word_outboxes(4)))
+        })
+        .expect_err("nested phase path still contains the fragment");
+    assert!(matches!(
+        err,
+        ModelError::CongestionExceeded { capacity: 0, .. }
+    ));
+    assert_eq!(comm.injected_faults(), 2);
+}
+
+#[test]
+fn failure_rate_stream_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let plan = FaultPlan {
+            seed,
+            failure_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut comm = FaultComm::new(Clique::new(4), plan);
+        let outcomes: Vec<bool> = (0..32)
+            .map(|_| comm.try_broadcast_all(&[0, 0, 0, 0]).is_ok())
+            .collect();
+        (outcomes, comm.injected_faults())
+    };
+    let (a1, i1) = run(42);
+    let (a2, i2) = run(42);
+    assert_eq!(a1, a2, "same seed, same fault pattern");
+    assert_eq!(i1, i2);
+    assert!(i1 > 0, "rate 0.5 over 32 draws injects something");
+    assert!(a1.iter().any(|ok| *ok), "rate 0.5 is not rate 1.0");
+
+    let (b, _) = run(43);
+    assert_ne!(a1, b, "different seeds give different streams");
+}
+
+#[test]
+fn failure_rate_extremes_are_never_and_always() {
+    let mut never = FaultComm::new(
+        Clique::new(4),
+        FaultPlan {
+            failure_rate: 0.0,
+            ..FaultPlan::default()
+        },
+    );
+    for _ in 0..16 {
+        assert!(never.try_broadcast_all(&[0, 0, 0, 0]).is_ok());
+    }
+    assert_eq!(never.injected_faults(), 0);
+
+    let mut always = FaultComm::new(
+        Clique::new(4),
+        FaultPlan {
+            failure_rate: 1.0,
+            ..FaultPlan::default()
+        },
+    );
+    for _ in 0..16 {
+        assert!(always.try_broadcast_all(&[0, 0, 0, 0]).is_err());
+    }
+    assert_eq!(always.injected_faults(), 16);
+}
+
+#[test]
+fn routing_capacity_factor_tightens_the_per_call_budget() {
+    let plan = FaultPlan {
+        routing_capacity_factor: Some(1),
+        ..FaultPlan::default()
+    };
+    let mut comm = FaultComm::new(Clique::new(4), plan);
+
+    // Within the tightened 1·n = 4-word budget: fine.
+    assert!(comm.route(one_word_outboxes(4)).is_ok());
+
+    // A 9-word burst into one node exceeds it — a *genuine* congestion
+    // error (non-zero words/capacity), not an injected one.
+    let mut heavy = vec![Vec::new(); 4];
+    heavy[0].push((1usize, (0..9u64).collect::<Vec<u64>>()));
+    let err = comm
+        .route(heavy)
+        .expect_err("burst exceeds tightened budget");
+    match err {
+        ModelError::CongestionExceeded {
+            words, capacity, ..
+        } => {
+            assert_eq!(words, 9);
+            assert_eq!(capacity, 4);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+    assert_eq!(comm.injected_faults(), 0, "budget errors are not injected");
+
+    // The plain substrate batches the same burst without complaint.
+    let mut plain = Clique::new(4);
+    let mut heavy = vec![Vec::new(); 4];
+    heavy[0].push((1usize, (0..9u64).collect::<Vec<u64>>()));
+    assert!(plain.route(heavy).is_ok());
+}
+
+#[test]
+fn max_message_words_allows_payloads_within_budget() {
+    let plan = FaultPlan {
+        max_message_words: Some(2),
+        ..FaultPlan::default()
+    };
+    let mut comm = FaultComm::new(Clique::new(4), plan);
+    let mut out = vec![Vec::new(); 4];
+    out[0].push((1usize, vec![1, 2]));
+    assert!(
+        comm.route(out).is_ok(),
+        "2-word message within 2-word budget"
+    );
+}
+
+#[test]
+#[should_panic(expected = "fault plan violated")]
+fn max_message_words_panics_on_oversized_payloads() {
+    let plan = FaultPlan {
+        max_message_words: Some(2),
+        ..FaultPlan::default()
+    };
+    let mut comm = FaultComm::new(Clique::new(4), plan);
+    let mut out = vec![Vec::new(); 4];
+    out[0].push((1usize, vec![1, 2, 3]));
+    let _ = comm.route(out);
+}

@@ -9,6 +9,24 @@
 //! premise is bit-reproducible deterministic algorithms. There is no
 //! shrinking; on failure the panic message reports the case index so the
 //! offending inputs can be regenerated exactly.
+//!
+//! # Regression corpora
+//!
+//! Mirroring upstream `proptest`'s persistence files, a crate may check
+//! in pinned case indices under `<crate root>/proptest-regressions/`:
+//! one `<test binary>.txt` per test binary (the first segment of the
+//! property's module path), with lines
+//!
+//! ```text
+//! # comment
+//! cc <property-fn-name> <case-index>
+//! ```
+//!
+//! Before the usual `0..cases` sweep, each property replays its pinned
+//! indices first — so a once-interesting case stays in the suite
+//! forever, even if the configured case count later shrinks below it.
+//! Indices at or beyond the configured case count are valid (and
+//! useful: they pin cases the default sweep no longer reaches).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -251,6 +269,51 @@ pub mod prelude {
     pub use crate::{ProptestConfig, Strategy, TestRng};
 }
 
+/// Pinned regression case indices for the named property, from the
+/// owning crate's `proptest-regressions/<test binary>.txt` (see the
+/// crate docs for the format). Empty when no corpus file exists, the
+/// property has no pinned lines, or the test runs outside cargo.
+pub fn regression_cases(full_name: &str) -> Vec<u32> {
+    let Some(binary) = full_name.split("::").next() else {
+        return Vec::new();
+    };
+    let prop = full_name.rsplit("::").next().unwrap_or(full_name);
+    let Ok(root) = std::env::var("CARGO_MANIFEST_DIR") else {
+        return Vec::new();
+    };
+    let path = std::path::Path::new(&root)
+        .join("proptest-regressions")
+        .join(format!("{binary}.txt"));
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_regressions(&text, prop),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Parses a regression corpus, keeping the case indices pinned to `prop`.
+fn parse_regressions(text: &str, prop: &str) -> Vec<u32> {
+    let mut cases = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(idx)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if name == prop {
+            if let Ok(k) = idx.parse() {
+                cases.push(k);
+            }
+        }
+    }
+    cases
+}
+
 /// Defines deterministic property tests.
 ///
 /// Supports the `proptest` 1.x surface this workspace uses: an optional
@@ -277,7 +340,20 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::for_property(concat!(module_path!(), "::", stringify!($name)));
+            let __full = concat!(module_path!(), "::", stringify!($name));
+            // Pinned regression cases replay first, each from a fresh
+            // generator with the preceding draws discarded.
+            for __case in $crate::regression_cases(__full) {
+                let mut rng = $crate::TestRng::for_property(__full);
+                for _ in 0..__case {
+                    let _ = ($($crate::Strategy::sample(&($strat), &mut rng),)*);
+                }
+                let ($($pat,)*) = ($($crate::Strategy::sample(&($strat), &mut rng),)*);
+                let __guard = $crate::CaseReporter::pinned(stringify!($name), __case);
+                $body
+                __guard.disarm();
+            }
+            let mut rng = $crate::TestRng::for_property(__full);
             for __case in 0..config.cases {
                 let ($($pat,)*) = ($($crate::Strategy::sample(&($strat), &mut rng),)*);
                 let __guard = $crate::CaseReporter::new(stringify!($name), __case);
@@ -295,6 +371,7 @@ macro_rules! __proptest_impl {
 pub struct CaseReporter {
     name: &'static str,
     case: u32,
+    pinned: bool,
     armed: bool,
 }
 
@@ -304,6 +381,17 @@ impl CaseReporter {
         CaseReporter {
             name,
             case,
+            pinned: false,
+            armed: true,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn pinned(name: &'static str, case: u32) -> Self {
+        CaseReporter {
+            name,
+            case,
+            pinned: true,
             armed: true,
         }
     }
@@ -317,8 +405,13 @@ impl CaseReporter {
 impl Drop for CaseReporter {
     fn drop(&mut self) {
         if self.armed {
+            let kind = if self.pinned {
+                "pinned regression case"
+            } else {
+                "deterministic case"
+            };
             eprintln!(
-                "proptest-shim: property `{}` failed on deterministic case #{}",
+                "proptest-shim: property `{}` failed on {kind} #{}",
                 self.name, self.case
             );
         }
@@ -374,5 +467,22 @@ mod tests {
         let mut r1 = TestRng::for_property("p");
         let mut r2 = TestRng::for_property("p");
         assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    #[test]
+    fn regression_corpus_parsing() {
+        let text = "# pinned by hand\ncc alpha 3\ncc beta 7\n\ncc alpha 19\nbogus line\ncc alpha notanumber\n";
+        assert_eq!(crate::parse_regressions(text, "alpha"), vec![3, 19]);
+        assert_eq!(crate::parse_regressions(text, "beta"), vec![7]);
+        assert!(crate::parse_regressions(text, "gamma").is_empty());
+    }
+
+    #[test]
+    fn regression_lookup_reads_this_crates_corpus() {
+        // crates/proptest/proptest-regressions/proptest.txt pins case 5
+        // of `ranges_respected`; the lookup keys on the module path's
+        // first segment (the test binary) and the bare property name.
+        let cases = crate::regression_cases(concat!(module_path!(), "::ranges_respected"));
+        assert_eq!(cases, vec![5]);
     }
 }

@@ -8,7 +8,7 @@
 //! `[1/α, α]`.
 
 use cc_graph::Graph;
-use cc_linalg::{laplacian_from_edges, symmetric_eigen, DenseMatrix};
+use cc_linalg::{laplacian_from_edges, symmetric_eigen, DenseMatrix, LinalgError};
 
 use crate::SpectralSparsifier;
 
@@ -84,6 +84,11 @@ pub fn sparsifier_schur_dense(h: &SpectralSparsifier) -> DenseMatrix {
 /// `C = Λ^{-1/2} Vᵀ L_A V Λ^{-1/2}` on the eigenvectors with `Λ > tol`,
 /// and reading off `λ_min(C), λ_max(C)`.
 ///
+/// # Errors
+///
+/// [`LinalgError`] if an eigendecomposition fails to converge on
+/// degenerate input.
+///
 /// # Panics
 ///
 /// Panics if shapes mismatch or `B` has no positive eigenvalues.
@@ -91,10 +96,10 @@ pub fn generalized_eigen_bounds(
     n: usize,
     a_edges: &[(usize, usize, f64)],
     b: &DenseMatrix,
-) -> CertifiedBounds {
+) -> Result<CertifiedBounds, LinalgError> {
     assert_eq!(b.rows(), n, "B shape mismatch");
     let la = laplacian_from_edges(n, a_edges).to_dense();
-    let eb = symmetric_eigen(b).expect("B eigendecomposition");
+    let eb = symmetric_eigen(b)?;
     let lam_max = eb.largest().unwrap_or(0.0);
     let tol = 1e-10 * lam_max.max(1e-300);
     let range_idx: Vec<usize> = (0..n).filter(|&j| eb.eigenvalues()[j] > tol).collect();
@@ -112,18 +117,25 @@ pub fn generalized_eigen_bounds(
         .transpose()
         .matmul(&la.matmul(&w).expect("shape"))
         .expect("shape");
-    let ec = symmetric_eigen(&c).expect("C eigendecomposition");
-    CertifiedBounds {
+    let ec = symmetric_eigen(&c)?;
+    Ok(CertifiedBounds {
         min: ec.eigenvalues()[0],
-        max: *ec.eigenvalues().last().unwrap(),
-    }
+        max: *ec.eigenvalues().last().expect("nonempty range"),
+    })
 }
 
 /// Independent verification that a sparsifier's certified `α` is honest:
 /// computes the exact pencil bounds of `(L_G, S_H)` and returns them;
 /// asserts nothing. The E2 experiment reports
 /// `bounds.alpha() ≤ h.alpha() + tolerance`.
-pub fn verify_sparsifier(g: &Graph, h: &SpectralSparsifier) -> CertifiedBounds {
+///
+/// # Errors
+///
+/// [`LinalgError`] if the pencil eigendecomposition fails to converge.
+pub fn verify_sparsifier(
+    g: &Graph,
+    h: &SpectralSparsifier,
+) -> Result<CertifiedBounds, LinalgError> {
     let schur = sparsifier_schur_dense(h);
     generalized_eigen_bounds(g.n(), &g.edge_triples(), &schur)
 }
@@ -137,8 +149,8 @@ mod tests {
 
     fn check(g: &Graph) {
         let mut clique = Clique::new(g.n().max(2));
-        let h = build_sparsifier(&mut clique, g, &SparsifyParams::default());
-        let bounds = verify_sparsifier(g, &h);
+        let h = build_sparsifier(&mut clique, g, &SparsifyParams::default()).unwrap();
+        let bounds = verify_sparsifier(g, &h).unwrap();
         assert!(
             bounds.alpha() <= h.alpha() * (1.0 + 1e-6),
             "claimed alpha {} but exact pencil alpha {} (bounds {:?})",
@@ -179,7 +191,7 @@ mod tests {
     fn identity_pencil_bounds_are_one() {
         let g = generators::cycle(8);
         let lg = cc_linalg::laplacian_from_edges(8, &g.edge_triples()).to_dense();
-        let bounds = generalized_eigen_bounds(8, &g.edge_triples(), &lg);
+        let bounds = generalized_eigen_bounds(8, &g.edge_triples(), &lg).unwrap();
         assert!((bounds.min - 1.0).abs() < 1e-8);
         assert!((bounds.max - 1.0).abs() < 1e-8);
         assert!((bounds.alpha() - 1.0).abs() < 1e-8);

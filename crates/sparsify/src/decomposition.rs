@@ -11,7 +11,7 @@
 //! conductance guarantee the paper consumes downstream).
 
 use cc_graph::{EdgeId, Graph, VertexId};
-use cc_linalg::{normalized_laplacian_dense, symmetric_eigen};
+use cc_linalg::{normalized_laplacian_dense, symmetric_eigen, LinalgError};
 
 /// A final cluster of the decomposition with its exact spectral certificate.
 #[derive(Debug, Clone)]
@@ -118,10 +118,15 @@ pub fn default_phi(g: &Graph) -> f64 {
 /// by the caller ([`crate::build_sparsifier`]) as an oracle phase per
 /// Theorem 3.2's formula.
 ///
+/// # Errors
+///
+/// Propagates a dense eigendecomposition failure (cannot happen for
+/// finite positive weights).
+///
 /// # Panics
 ///
 /// Panics if `phi` is not in `(0, 1)`.
-pub fn expander_decompose(g: &Graph, phi: f64) -> ExpanderDecomposition {
+pub fn expander_decompose(g: &Graph, phi: f64) -> Result<ExpanderDecomposition, LinalgError> {
     assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
     let mut clusters = Vec::new();
     // Process the worklist in waves: pieces of one wave are vertex-disjoint
@@ -134,7 +139,7 @@ pub fn expander_decompose(g: &Graph, phi: f64) -> ExpanderDecomposition {
     while !pending.is_empty() {
         let wave = std::mem::take(&mut pending);
         for outcome in cc_linalg::par::par_map(&wave, |piece| process_piece(g, piece, phi)) {
-            match outcome {
+            match outcome? {
                 PieceOutcome::Clusters(cs) => clusters.extend(cs),
                 PieceOutcome::Split(pieces) => pending.extend(pieces),
             }
@@ -154,11 +159,11 @@ pub fn expander_decompose(g: &Graph, phi: f64) -> ExpanderDecomposition {
             crossing.push(id);
         }
     }
-    ExpanderDecomposition {
+    Ok(ExpanderDecomposition {
         clusters,
         crossing_edges: crossing,
         phi,
-    }
+    })
 }
 
 /// What became of one worklist piece.
@@ -172,23 +177,26 @@ enum PieceOutcome {
 
 /// One step of the decomposition recursion, free of shared mutable state
 /// so waves of pieces can run concurrently.
-fn process_piece(g: &Graph, vertices: &[VertexId], phi: f64) -> PieceOutcome {
+fn process_piece(g: &Graph, vertices: &[VertexId], phi: f64) -> Result<PieceOutcome, LinalgError> {
     if vertices.len() <= 2 {
-        return PieceOutcome::Clusters(vec![finish_cluster(g, vertices.to_vec())]);
+        return Ok(PieceOutcome::Clusters(vec![finish_cluster(
+            g,
+            vertices.to_vec(),
+        )]));
     }
     let (sub, map) = g.induced(vertices);
     if sub.m() == 0 {
         // Disconnected singletons (shouldn't happen after split) —
         // emit one cluster per vertex.
-        return PieceOutcome::Clusters(
+        return Ok(PieceOutcome::Clusters(
             vertices
                 .iter()
                 .map(|&v| finish_cluster(g, vec![v]))
                 .collect(),
-        );
+        ));
     }
     let nl = normalized_laplacian_dense(sub.n(), &sub.edge_triples());
-    let eig = symmetric_eigen(&nl).expect("normalized Laplacian eigendecomposition");
+    let eig = symmetric_eigen(&nl)?;
     let mu2 = eig.eigenvalues()[1];
     let mu_max = *eig
         .eigenvalues()
@@ -203,11 +211,11 @@ fn process_piece(g: &Graph, vertices: &[VertexId], phi: f64) -> PieceOutcome {
         for (local, &c) in comp.iter().enumerate() {
             pieces[c].push(map[local]);
         }
-        return PieceOutcome::Split(pieces);
+        return Ok(PieceOutcome::Split(pieces));
     }
     // Sweep the exact Fiedler vector in the degree-weighted embedding.
     let fiedler = eig.eigenvector(1);
-    match best_sweep_cut(&sub, &fiedler) {
+    Ok(match best_sweep_cut(&sub, &fiedler) {
         Some((cut_conductance, side)) if cut_conductance < phi => {
             let (mut left, mut right) = (Vec::new(), Vec::new());
             for (local, &global) in map.iter().enumerate() {
@@ -226,7 +234,7 @@ fn process_piece(g: &Graph, vertices: &[VertexId], phi: f64) -> PieceOutcome {
             cl.mu_max = mu_max;
             PieceOutcome::Clusters(vec![cl])
         }
-    }
+    })
 }
 
 /// Connected components of the subgraph induced on `vertices` (global ids),
@@ -343,7 +351,7 @@ mod tests {
     #[test]
     fn barbell_splits_into_two_cliques() {
         let g = generators::barbell(6);
-        let dec = expander_decompose(&g, 0.2);
+        let dec = expander_decompose(&g, 0.2).unwrap();
         assert_eq!(dec.clusters.len(), 2);
         assert_eq!(dec.crossing_edges.len(), 1);
         let mut sizes: Vec<usize> = dec.clusters.iter().map(|c| c.len()).collect();
@@ -362,7 +370,7 @@ mod tests {
     fn expander_stays_whole() {
         let g = generators::expander(32);
         let phi = default_phi(&g);
-        let dec = expander_decompose(&g, phi);
+        let dec = expander_decompose(&g, phi).unwrap();
         assert_eq!(dec.clusters.len(), 1);
         assert!(dec.crossing_edges.is_empty());
         assert!(dec.clusters[0].mu2 > 0.0);
@@ -375,7 +383,7 @@ mod tests {
         g.add_edge(0, 1, 1.0);
         g.add_edge(1, 2, 1.0);
         g.add_edge(3, 4, 1.0);
-        let dec = expander_decompose(&g, 0.1);
+        let dec = expander_decompose(&g, 0.1).unwrap();
         // {0,1,2}, {3,4}, {5}
         assert_eq!(dec.clusters.len(), 3);
         assert!(dec.crossing_edges.is_empty());
@@ -387,7 +395,7 @@ mod tests {
     #[test]
     fn every_vertex_in_exactly_one_cluster() {
         let g = generators::random_connected(40, 60, 4, 3);
-        let dec = expander_decompose(&g, default_phi(&g));
+        let dec = expander_decompose(&g, default_phi(&g)).unwrap();
         let mut count = vec![0usize; 40];
         for cl in &dec.clusters {
             for &v in &cl.vertices {
@@ -400,7 +408,7 @@ mod tests {
     #[test]
     fn crossing_edges_cross_and_cluster_edges_do_not() {
         let g = generators::random_connected(30, 80, 2, 9);
-        let dec = expander_decompose(&g, 0.3);
+        let dec = expander_decompose(&g, 0.3).unwrap();
         let assignment = dec.assignment(30);
         for &e in &dec.crossing_edges {
             let edge = g.edge(e);
@@ -422,7 +430,7 @@ mod tests {
         // On a small graph, certified µ2 must satisfy µ2 ≤ 2·Φ(G)
         // (Cheeger upper) for single-cluster outcomes.
         let g = generators::cycle(10);
-        let dec = expander_decompose(&g, 0.01);
+        let dec = expander_decompose(&g, 0.01).unwrap();
         if dec.clusters.len() == 1 {
             let phi_exact = g.conductance_exact();
             assert!(dec.clusters[0].mu2 <= 2.0 * phi_exact + 1e-9);
@@ -432,7 +440,7 @@ mod tests {
     #[test]
     fn grid_decomposition_with_large_phi_cuts_something() {
         let g = generators::grid(6, 6);
-        let dec = expander_decompose(&g, 0.45);
+        let dec = expander_decompose(&g, 0.45).unwrap();
         assert!(dec.clusters.len() > 1, "grid should not be a 0.45-expander");
     }
 

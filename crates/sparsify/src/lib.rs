@@ -30,7 +30,7 @@
 //!
 //! let g = generators::random_connected(24, 40, 4, 7);
 //! let mut clique = Clique::new(24);
-//! let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+//! let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default()).unwrap();
 //! assert!(h.alpha() >= 1.0);
 //! assert!(h.edge_count() > 0);
 //! ```
@@ -40,6 +40,7 @@
 
 mod certify;
 mod decomposition;
+mod error;
 mod gadget;
 mod randomized;
 mod sparsifier;
@@ -47,6 +48,7 @@ mod template;
 
 pub use certify::{generalized_eigen_bounds, verify_sparsifier, CertifiedBounds};
 pub use decomposition::{expander_decompose, Cluster, ExpanderDecomposition};
+pub use error::SparsifyError;
 pub use gadget::ClusterGadget;
 pub use randomized::build_randomized_sparsifier;
 pub use sparsifier::{

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::certify::{generalized_eigen_bounds, sparsifier_schur_dense};
+use crate::error::SparsifyError;
 use crate::SpectralSparsifier;
 
 /// Builds a randomized spectral sparsifier of `g` with roughly
@@ -27,6 +28,12 @@ use crate::SpectralSparsifier;
 ///
 /// Rounds charged: `⌈(log₂ n)³⌉` oracle rounds (the \[FV22\] polylog
 /// claim) plus 1 implemented broadcast (publishing the sample).
+///
+/// # Errors
+///
+/// [`SparsifyError::Comm`] on substrate failure;
+/// [`SparsifyError::Factorization`] if the exact-resistance factorization
+/// fails.
 ///
 /// # Panics
 ///
@@ -37,7 +44,7 @@ pub fn build_randomized_sparsifier<C: Communicator>(
     g: &Graph,
     seed: u64,
     target_edges: Option<usize>,
-) -> SpectralSparsifier {
+) -> Result<SpectralSparsifier, SparsifyError> {
     assert!(clique.n() >= g.n(), "clique too small");
     let n = g.n();
     let q = target_edges
@@ -49,13 +56,13 @@ pub fn build_randomized_sparsifier<C: Communicator>(
         clique.charge_oracle(polylog);
 
         if g.m() == 0 {
-            return SpectralSparsifier::from_parts(n, 0, Vec::new(), 1.0, 1);
+            return Ok(SpectralSparsifier::from_parts(n, 0, Vec::new(), 1.0, 1));
         }
 
         // Exact effective resistances via one grounded factorization.
         let triples = g.edge_triples();
         let lap = laplacian_from_edges(n, &triples);
-        let chol = GroundedCholesky::new(&lap).expect("positive weights factor");
+        let chol = GroundedCholesky::new(&lap)?;
         let mut leverage = Vec::with_capacity(g.m());
         for e in g.edges() {
             let mut b = vec![0.0; n];
@@ -96,7 +103,7 @@ pub fn build_randomized_sparsifier<C: Communicator>(
         let words: u64 = 3 * edges.len() as u64;
         let per_node = words.div_ceil(clique.n() as u64);
         for _ in 0..per_node.max(1) {
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
         }
 
         // A-posteriori exact certification (dense pencil; the sampled
@@ -104,13 +111,19 @@ pub fn build_randomized_sparsifier<C: Communicator>(
         // as a very large finite cap for downstream κ computations).
         let candidate = SpectralSparsifier::from_parts(n, 0, edges, 1.0, 1);
         let schur = sparsifier_schur_dense(&candidate);
-        let bounds = generalized_eigen_bounds(n, &triples, &schur);
+        let bounds = generalized_eigen_bounds(n, &triples, &schur).map_err(SparsifyError::from)?;
         let alpha = if bounds.alpha().is_finite() {
             bounds.alpha().max(1.0)
         } else {
             1e9
         };
-        SpectralSparsifier::from_parts(n, 0, candidate.edges().to_vec(), alpha * (1.0 + 1e-9), 1)
+        Ok(SpectralSparsifier::from_parts(
+            n,
+            0,
+            candidate.edges().to_vec(),
+            alpha * (1.0 + 1e-9),
+            1,
+        ))
     })
 }
 
@@ -125,8 +138,8 @@ mod tests {
     fn randomized_sparsifier_is_certified_honestly() {
         let g = generators::random_connected(32, 200, 4, 5);
         let mut clique = Clique::new(32);
-        let h = build_randomized_sparsifier(&mut clique, &g, 42, None);
-        let bounds = verify_sparsifier(&g, &h);
+        let h = build_randomized_sparsifier(&mut clique, &g, 42, None).unwrap();
+        let bounds = verify_sparsifier(&g, &h).unwrap();
         assert!(bounds.alpha() <= h.alpha() * (1.0 + 1e-6));
         assert!(
             h.alpha() < 100.0,
@@ -138,7 +151,7 @@ mod tests {
     fn randomized_sparsifier_is_smaller_than_dense_input() {
         let g = generators::complete(40);
         let mut clique = Clique::new(40);
-        let h = build_randomized_sparsifier(&mut clique, &g, 7, Some(300));
+        let h = build_randomized_sparsifier(&mut clique, &g, 7, Some(300)).unwrap();
         assert!(h.edge_count() <= 300);
         assert!(h.edge_count() < g.m());
         assert!(h.solver().is_ok());
@@ -148,7 +161,7 @@ mod tests {
     fn rounds_are_polylog_charged() {
         let g = generators::expander(64);
         let mut clique = Clique::new(64);
-        let _ = build_randomized_sparsifier(&mut clique, &g, 1, None);
+        let _ = build_randomized_sparsifier(&mut clique, &g, 1, None).unwrap();
         let charged = clique.ledger().charged_rounds();
         assert_eq!(charged, (64f64.log2().powi(3)).ceil() as u64);
         assert!(clique.ledger().implemented_rounds() >= 1);
@@ -160,6 +173,7 @@ mod tests {
         let run = |seed| {
             let mut clique = Clique::new(24);
             build_randomized_sparsifier(&mut clique, &g, seed, None)
+                .unwrap()
                 .edges()
                 .to_vec()
         };
@@ -173,7 +187,7 @@ mod tests {
         // preconditioner and verify the accuracy guarantee.
         let g = generators::random_connected(24, 120, 4, 8);
         let mut clique = Clique::new(24);
-        let h = build_randomized_sparsifier(&mut clique, &g, 21, None);
+        let h = build_randomized_sparsifier(&mut clique, &g, 21, None).unwrap();
         let solver = h.solver().unwrap();
         let triples = g.edge_triples();
         let lap = laplacian_from_edges(24, &triples);

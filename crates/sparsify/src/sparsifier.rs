@@ -5,6 +5,7 @@ use cc_linalg::{laplacian_from_edges, GroundedCholesky, LinalgError, SolveScratc
 use cc_model::Communicator;
 
 use crate::decomposition::{default_phi, expander_decompose};
+use crate::error::SparsifyError;
 use crate::gadget::{intra_cluster_degrees, ClusterGadget};
 
 /// Tuning knobs of [`build_sparsifier`].
@@ -205,6 +206,13 @@ pub struct SparsifierSolveScratch {
 ///   internally;
 /// * the resulting sparsifier is known to every node.
 ///
+/// # Errors
+///
+/// [`SparsifyError::Comm`] if the communication substrate rejects a
+/// broadcast (injected faults under a fault-injecting transport surface
+/// here); [`SparsifyError::Factorization`] if a cluster
+/// eigendecomposition fails.
+///
 /// # Panics
 ///
 /// Panics if `clique.n() < g.n()` (every vertex needs a host processor) or
@@ -213,7 +221,7 @@ pub fn build_sparsifier<C: Communicator>(
     clique: &mut C,
     g: &Graph,
     params: &SparsifyParams,
-) -> SpectralSparsifier {
+) -> Result<SpectralSparsifier, SparsifyError> {
     assert!(
         clique.n() >= g.n(),
         "clique has {} nodes but the graph needs {}",
@@ -246,12 +254,12 @@ pub fn build_sparsifier<C: Communicator>(
             levels += 1;
             // [CS20] substitute — charged oracle cost per Theorem 3.2.
             clique.charge_oracle(oracle_rounds);
-            let dec = expander_decompose(&remaining, phi);
+            let dec = expander_decompose(&remaining, phi)?;
             // Every node broadcasts (cluster id, intra-cluster weighted
             // degree): 2 one-word broadcast rounds; afterwards the gadget
             // construction below is internal at every node.
             let assignment = dec.assignment(n);
-            clique.broadcast_all(
+            clique.try_broadcast_all(
                 &(0..clique.n())
                     .map(|v| {
                         if v < n {
@@ -261,8 +269,8 @@ pub fn build_sparsifier<C: Communicator>(
                         }
                     })
                     .collect::<Vec<_>>(),
-            );
-            clique.broadcast_all(&vec![0u64; clique.n()]);
+            )?;
+            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
             // Per-cluster work (degree sums, gadget spectra) is mutually
             // independent, so fan it out; emission below stays sequential
             // in cluster order, which keeps edge order, center ids, and
@@ -315,13 +323,13 @@ pub fn build_sparsifier<C: Communicator>(
                 dec.crossing_edges.iter().copied().collect();
             remaining = remaining.edge_subgraph(|e| crossing.contains(&e));
         }
-        SpectralSparsifier {
+        Ok(SpectralSparsifier {
             n,
             aux_count,
             edges,
             alpha,
             levels,
-        }
+        })
     })
 }
 
@@ -333,7 +341,8 @@ mod tests {
 
     fn build(g: &Graph) -> (SpectralSparsifier, Clique) {
         let mut clique = Clique::new(g.n().max(2));
-        let h = build_sparsifier(&mut clique, g, &SparsifyParams::default());
+        let h =
+            build_sparsifier(&mut clique, g, &SparsifyParams::default()).expect("honest clique");
         (h, clique)
     }
 
@@ -423,7 +432,7 @@ mod tests {
             max_levels: Some(0),
             ..Default::default()
         };
-        let h = build_sparsifier(&mut clique, &g, &params);
+        let h = build_sparsifier(&mut clique, &g, &params).unwrap();
         // With zero levels allowed, the sparsifier is the graph itself.
         assert_eq!(h.edge_count(), g.m());
         assert_eq!(h.aux_count(), 0);

@@ -21,6 +21,7 @@ use cc_graph::{EdgeId, Graph, VertexId};
 use cc_linalg::{normalized_laplacian_dense, symmetric_eigen};
 use cc_model::Communicator;
 
+use crate::error::SparsifyError;
 use crate::gadget::ClusterGadget;
 use crate::sparsifier::{build_sparsifier, SparsifyParams, SpectralSparsifier};
 
@@ -72,11 +73,21 @@ impl SparsifierTemplate {
     /// weighted degrees) — the decomposition itself is reused, so no
     /// \[CS20\] oracle charge recurs.
     ///
+    /// # Errors
+    ///
+    /// [`SparsifyError::Comm`] on substrate failure;
+    /// [`SparsifyError::Factorization`] if a cluster recertification
+    /// eigendecomposition fails.
+    ///
     /// # Panics
     ///
     /// Panics if `g`'s vertex or edge count differs from the template's,
     /// or `clique.n() < g.n()`.
-    pub fn instantiate<C: Communicator>(&self, clique: &mut C, g: &Graph) -> SpectralSparsifier {
+    pub fn instantiate<C: Communicator>(
+        &self,
+        clique: &mut C,
+        g: &Graph,
+    ) -> Result<SpectralSparsifier, SparsifyError> {
         assert_eq!(g.n(), self.n, "template built for a different vertex count");
         assert_eq!(g.m(), self.m, "template built for a different edge support");
         assert!(clique.n() >= g.n(), "clique too small");
@@ -85,8 +96,8 @@ impl SparsifierTemplate {
             let mut aux_count = 0usize;
             let mut alpha: f64 = 1.0;
             for level in &self.levels {
-                clique.broadcast_all(&vec![0u64; clique.n()]);
-                clique.broadcast_all(&vec![0u64; clique.n()]);
+                clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+                clique.try_broadcast_all(&vec![0u64; clique.n()])?;
                 for e in &level.direct_edges {
                     let edge = g.edge(*e);
                     edges.push((edge.u, edge.v, edge.weight));
@@ -111,7 +122,7 @@ impl SparsifierTemplate {
                     }
                     // Exact spectral recertification for the new weights.
                     let nl = normalized_laplacian_dense(k, &triples);
-                    let eig = symmetric_eigen(&nl).expect("cluster eigendecomposition");
+                    let eig = symmetric_eigen(&nl)?;
                     let mu2 = eig.eigenvalues()[1].max(1e-12);
                     let mu_max = eig.eigenvalues().last().copied().unwrap_or(mu2).max(mu2);
                     let gadget =
@@ -122,7 +133,13 @@ impl SparsifierTemplate {
                     gadget.emit_edges(center, &mut edges);
                 }
             }
-            SpectralSparsifier::from_parts(self.n, aux_count, edges, alpha, self.levels.len())
+            Ok(SpectralSparsifier::from_parts(
+                self.n,
+                aux_count,
+                edges,
+                alpha,
+                self.levels.len(),
+            ))
         })
     }
 }
@@ -134,6 +151,10 @@ impl SparsifierTemplate {
 /// The sparsifier equals `build_sparsifier`'s (same rounds charged); the
 /// template adds no communication.
 ///
+/// # Errors
+///
+/// Same conditions as [`build_sparsifier`].
+///
 /// # Panics
 ///
 /// Same conditions as [`build_sparsifier`].
@@ -141,13 +162,13 @@ pub fn build_sparsifier_with_template<C: Communicator>(
     clique: &mut C,
     g: &Graph,
     params: &SparsifyParams,
-) -> (SpectralSparsifier, SparsifierTemplate) {
+) -> Result<(SpectralSparsifier, SparsifierTemplate), SparsifyError> {
     // Re-run the level loop with structure capture. To avoid duplicating
     // the construction logic, the capture reruns the decomposition exactly
     // as `build_sparsifier` does (both are deterministic), recording the
     // per-level assignments; the sparsifier itself comes from the
     // canonical builder so the two can never drift apart.
-    let sparsifier = build_sparsifier(clique, g, params);
+    let sparsifier = build_sparsifier(clique, g, params)?;
 
     let phi = params
         .phi
@@ -171,7 +192,7 @@ pub fn build_sparsifier_with_template<C: Communicator>(
             break;
         }
         level_count += 1;
-        let dec = crate::decomposition::expander_decompose(&remaining, phi);
+        let dec = crate::decomposition::expander_decompose(&remaining, phi)?;
         let mut level = LevelTemplate {
             gadget_clusters: Vec::new(),
             direct_edges: Vec::new(),
@@ -207,7 +228,7 @@ pub fn build_sparsifier_with_template<C: Communicator>(
         m: g.m(),
         levels,
     };
-    (sparsifier, template)
+    Ok((sparsifier, template))
 }
 
 #[cfg(test)]
@@ -230,11 +251,11 @@ mod tests {
         let g = generators::random_connected(32, 120, 4, 5);
         let mut clique = Clique::new(32);
         let (h, template) =
-            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default());
-        let h2 = template.instantiate(&mut clique, &g);
+            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default()).unwrap();
+        let h2 = template.instantiate(&mut clique, &g).unwrap();
         assert_eq!(h.edge_count(), h2.edge_count());
         assert!((h.alpha() - h2.alpha()).abs() < 1e-9);
-        let bounds = verify_sparsifier(&g, &h2);
+        let bounds = verify_sparsifier(&g, &h2).unwrap();
         assert!(bounds.alpha() <= h2.alpha() * (1.0 + 1e-6));
     }
 
@@ -243,12 +264,12 @@ mod tests {
         let g = generators::random_connected(28, 100, 2, 7);
         let mut clique = Clique::new(28);
         let (_, template) =
-            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default());
+            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default()).unwrap();
         // Weights drifting by up to 16x, as IPM resistances do.
         for seed in 1..4u64 {
             let g2 = reweight(&g, |i| 1.0 + ((i as u64 * seed) % 16) as f64);
-            let h = template.instantiate(&mut clique, &g2);
-            let bounds = verify_sparsifier(&g2, &h);
+            let h = template.instantiate(&mut clique, &g2).unwrap();
+            let bounds = verify_sparsifier(&g2, &h).unwrap();
             assert!(
                 bounds.alpha() <= h.alpha() * (1.0 + 1e-6),
                 "claimed {} exact {}",
@@ -264,10 +285,11 @@ mod tests {
     fn template_instantiation_charges_fewer_rounds_than_rebuild() {
         let g = generators::random_connected(32, 150, 4, 9);
         let mut c1 = Clique::new(32);
-        let (_, template) = build_sparsifier_with_template(&mut c1, &g, &SparsifyParams::default());
+        let (_, template) =
+            build_sparsifier_with_template(&mut c1, &g, &SparsifyParams::default()).unwrap();
         let build_rounds = c1.ledger().total_rounds();
         let before = c1.ledger().total_rounds();
-        let _ = template.instantiate(&mut c1, &g);
+        let _ = template.instantiate(&mut c1, &g).unwrap();
         let inst_rounds = c1.ledger().total_rounds() - before;
         assert!(
             inst_rounds < build_rounds,
@@ -286,7 +308,7 @@ mod tests {
         let g = generators::cycle(8);
         let mut clique = Clique::new(8);
         let (_, template) =
-            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default());
+            build_sparsifier_with_template(&mut clique, &g, &SparsifyParams::default()).unwrap();
         let g2 = generators::path(8);
         let _ = template.instantiate(&mut clique, &g2);
     }

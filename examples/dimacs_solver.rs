@@ -66,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let n = graph.n();
     let mut c1 = Clique::new(n.max(2));
-    let ipm = max_flow_ipm(&mut c1, &graph, source, sink, &IpmOptions::default());
+    let ipm =
+        max_flow_ipm(&mut c1, &graph, source, sink, &IpmOptions::default()).expect("honest clique");
     assert_eq!(ipm.value, want);
     println!(
         "IPM pipeline   : value {:>4} | {:>8} rounds | {} repair paths",
@@ -76,7 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut c2 = Clique::new(n.max(2));
-    let ff = max_flow_ford_fulkerson(&mut c2, &graph, source, sink, RoundModel::FastMatMul);
+    let ff = max_flow_ford_fulkerson(&mut c2, &graph, source, sink, RoundModel::FastMatMul)
+        .expect("honest clique");
     assert_eq!(ff.value, want);
     println!(
         "Ford-Fulkerson : value {:>4} | {:>8} rounds | {} augmentations",
@@ -86,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut c3 = Clique::new(n.max(2));
-    let tr = max_flow_trivial(&mut c3, &graph, source, sink);
+    let tr = max_flow_trivial(&mut c3, &graph, source, sink).expect("honest clique");
     assert_eq!(tr.value, want);
     println!(
         "trivial gather : value {:>4} | {:>8} rounds |",

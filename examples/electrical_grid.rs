@@ -38,14 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let plant = 0;
     let city = n - 1;
-    let r_eff = net.effective_resistance(&mut clique, plant, city, 1e-9);
+    let r_eff = net.effective_resistance(&mut clique, plant, city, 1e-9)?;
     println!("effective resistance plant -> city: {r_eff:.6}");
 
     // Unit current injection: where does the current actually go?
     let mut chi = vec![0.0; n];
     chi[plant] = 1.0;
     chi[city] = -1.0;
-    let flow = net.flow(&mut clique, &chi, 1e-9);
+    let flow = net.flow(&mut clique, &chi, 1e-9)?;
     println!(
         "dissipated energy: {:.6} (equals R_eff for unit current)",
         flow.energy
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify the parallel/series physics on a corner of the mesh:
     // R_eff between adjacent junctions must be < 1 (parallel paths).
-    let r_adjacent = net.effective_resistance(&mut clique, 0, 1, 1e-9);
+    let r_adjacent = net.effective_resistance(&mut clique, 0, 1, 1e-9)?;
     println!("\nR_eff between adjacent junctions: {r_adjacent:.4} (< 1 thanks to mesh paths)");
     assert!(r_adjacent < 1.0);
 

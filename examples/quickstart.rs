@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for eps in [1e-2, 1e-4, 1e-6, 1e-8, 1e-10] {
         let before = clique.ledger().total_rounds();
-        let out = solver.solve(&mut clique, &b, eps);
+        let out = solver.solve(&mut clique, &b, eps).expect("honest clique");
         let rounds = clique.ledger().total_rounds() - before;
         let err = out
             .relative_error()

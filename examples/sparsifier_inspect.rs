@@ -20,13 +20,13 @@ fn main() {
 
     // Level-0 expander decomposition at a few conductance thresholds.
     for phi in [0.05, 0.2, 0.4] {
-        let dec = expander_decompose(&g, phi);
+        let dec = expander_decompose(&g, phi).expect("well-conditioned weights");
         println!("decomposition at φ = {phi}: {}", dec.summary());
     }
 
     // The full sparsifier and its independently verified quality.
     let mut clique = Clique::new(g.n());
-    let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
+    let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default()).expect("honest clique");
     println!(
         "\nsparsifier: {} edges (+{} star centers) over {} levels, certified alpha = {:.4}",
         h.edge_count(),
@@ -34,7 +34,7 @@ fn main() {
         h.levels(),
         h.alpha()
     );
-    let bounds = verify_sparsifier(&g, &h);
+    let bounds = verify_sparsifier(&g, &h).expect("pencil converges");
     println!(
         "independent dense verification: exact pencil alpha = {:.4} (claimed {:.4}) — honest: {}",
         bounds.alpha(),

@@ -30,7 +30,7 @@ fn main() {
 
     // 1. The paper's IPM pipeline (Theorem 1.2).
     let mut c1 = Clique::new(n);
-    let ipm = max_flow_ipm(&mut c1, &g, s, t, &IpmOptions::default());
+    let ipm = max_flow_ipm(&mut c1, &g, s, t, &IpmOptions::default()).expect("honest clique");
     assert_eq!(ipm.value, optimal);
     println!(
         "IPM pipeline:    value {} | rounds {:>8} | {} progress steps, {} boosts, \
@@ -50,7 +50,8 @@ fn main() {
 
     // 2. Ford-Fulkerson over algebraic reachability (O(|f*| n^0.158)).
     let mut c2 = Clique::new(n);
-    let ff = max_flow_ford_fulkerson(&mut c2, &g, s, t, RoundModel::FastMatMul);
+    let ff =
+        max_flow_ford_fulkerson(&mut c2, &g, s, t, RoundModel::FastMatMul).expect("honest clique");
     assert_eq!(ff.value, optimal);
     println!(
         "Ford-Fulkerson:  value {} | rounds {:>8} | {} augmenting paths",
@@ -61,7 +62,7 @@ fn main() {
 
     // 3. Trivial gather-everything (O(n log U)).
     let mut c3 = Clique::new(n);
-    let tr = max_flow_trivial(&mut c3, &g, s, t);
+    let tr = max_flow_trivial(&mut c3, &g, s, t).expect("honest clique");
     assert_eq!(tr.value, optimal);
     println!(
         "trivial gather:  value {} | rounds {:>8}",

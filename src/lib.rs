@@ -30,7 +30,7 @@
 //! let mut b = vec![0.0; 32];
 //! b[0] = 1.0;
 //! b[31] = -1.0;
-//! let solution = solver.solve(&mut clique, &b, 1e-8);
+//! let solution = solver.solve(&mut clique, &b, 1e-8)?;
 //! assert!(solution.relative_error().expect("reference kept") <= 1e-8);
 //! println!("{}", clique.ledger().report());
 //! # Ok::<(), laplacian_clique::core::CoreError>(())
@@ -54,19 +54,20 @@ pub use cc_sparsify as sparsify;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cc_apsp::{apsp_from_arcs, Apsp, RoundModel};
+    pub use cc_apsp::{apsp_from_arcs, Apsp, ApspError, RoundModel};
     pub use cc_core::{
-        solve_laplacian, ElectricalNetwork, LaplacianSolver, SolveOutcome, SolverOptions,
+        solve_laplacian, CoreError, ElectricalNetwork, LaplacianSolver, SolveOutcome, SolverOptions,
     };
     pub use cc_euler::{
-        eulerian_orientation, is_eulerian_orientation, round_flow, FlowRoundingOptions,
+        eulerian_orientation, is_eulerian_orientation, round_flow, EulerError, FlowRoundingOptions,
         OrientationCriterion,
     };
     pub use cc_graph::{generators, DiGraph, Graph};
     pub use cc_maxflow::{
-        dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions, MaxFlowOutcome,
+        dinic, max_flow_ford_fulkerson, max_flow_ipm, max_flow_trivial, IpmOptions, MaxFlowError,
+        MaxFlowOutcome,
     };
-    pub use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfOptions, McfOutcome};
-    pub use cc_model::{Clique, CliqueConfig, RoundLedger};
-    pub use cc_sparsify::{build_sparsifier, verify_sparsifier, SparsifyParams};
+    pub use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfError, McfOptions, McfOutcome};
+    pub use cc_model::{Clique, CliqueConfig, FaultComm, FaultPlan, ModelError, RoundLedger};
+    pub use cc_sparsify::{build_sparsifier, verify_sparsifier, SparsifyError, SparsifyParams};
 }

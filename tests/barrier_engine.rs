@@ -75,7 +75,7 @@ fn run_golden(instance: &str) -> (i64, u64, u64, u64) {
             };
             let g = generators::random_flow_network(n, extra, cap, seed);
             let mut clique = Clique::new(n);
-            let out = max_flow_ipm(&mut clique, &g, s, t, &IpmOptions::default());
+            let out = max_flow_ipm(&mut clique, &g, s, t, &IpmOptions::default()).unwrap();
             (
                 out.value,
                 clique.ledger().total_rounds(),
@@ -187,7 +187,7 @@ proptest! {
         let g = generators::random_flow_network(n, extra, cap, seed);
         let run = || {
             let mut clique = Clique::new(n);
-            let out = max_flow_ipm(&mut clique, &g, 0, n - 1, &IpmOptions::default());
+            let out = max_flow_ipm(&mut clique, &g, 0, n - 1, &IpmOptions::default()).unwrap();
             (out.flow.clone(), out.value, clique.ledger().total_rounds(), out.stats.clone())
         };
         let (flow_a, value_a, rounds_a, stats_a) = run();

@@ -25,7 +25,7 @@ fn laplacian_solver_meets_epsilon_across_families() {
         b[n / 2] = -1.5;
         b[n - 1] = -0.5;
         for eps in [1e-3, 1e-7, 1e-10] {
-            let out = solver.solve(&mut clique, &b, eps);
+            let out = solver.solve(&mut clique, &b, eps).unwrap();
             let err = out.relative_error().expect("reference kept");
             assert!(err <= eps * 1.05, "{name} eps={eps}: err={err}");
         }
@@ -38,8 +38,8 @@ fn laplacian_solver_meets_epsilon_across_families() {
 fn sparsifier_alpha_honest_and_rounds_equal_iterations() {
     let g = generators::random_connected(40, 160, 8, 4);
     let mut clique = Clique::new(40);
-    let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default());
-    let bounds = verify_sparsifier(&g, &h);
+    let h = build_sparsifier(&mut clique, &g, &SparsifyParams::default()).unwrap();
+    let bounds = verify_sparsifier(&g, &h).unwrap();
     assert!(bounds.alpha() <= h.alpha() * (1.0 + 1e-6));
 
     let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
@@ -47,7 +47,7 @@ fn sparsifier_alpha_honest_and_rounds_equal_iterations() {
     b[3] = 1.0;
     b[29] = -1.0;
     let before = clique.ledger().total_rounds();
-    let out = solver.solve(&mut clique, &b, 1e-9);
+    let out = solver.solve(&mut clique, &b, 1e-9).unwrap();
     assert_eq!(
         clique.ledger().total_rounds() - before,
         out.iterations as u64
@@ -72,7 +72,8 @@ fn rounding_plus_repair_reaches_exact_max_flow() {
             13,
             1.0 / 8.0,
             &FlowRoundingOptions::default(),
-        );
+        )
+        .unwrap();
         let mut flow = rounded.flow.clone();
         let value = g.flow_value(&flow, 0);
         assert!(g.is_feasible_flow(&flow, &g.st_demand(0, 13, value)));
@@ -84,7 +85,8 @@ fn rounding_plus_repair_reaches_exact_max_flow() {
             0,
             13,
             RoundModel::FastMatMul,
-        );
+        )
+        .unwrap();
         assert_eq!(g.flow_value(&flow, 0), want, "seed {seed}");
         assert_eq!(stats.added_value, want - value);
     }
@@ -103,11 +105,11 @@ fn all_max_flow_algorithms_agree() {
         let n = g.n();
         let (_, want) = dinic(&g, 0, n - 1);
         let mut c1 = Clique::new(n);
-        let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default());
+        let ipm = max_flow_ipm(&mut c1, &g, 0, n - 1, &IpmOptions::default()).unwrap();
         let mut c2 = Clique::new(n);
-        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::Semiring);
+        let ff = max_flow_ford_fulkerson(&mut c2, &g, 0, n - 1, RoundModel::Semiring).unwrap();
         let mut c3 = Clique::new(n);
-        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1);
+        let tr = max_flow_trivial(&mut c3, &g, 0, n - 1).unwrap();
         assert_eq!(ipm.value, want, "case {i} ipm");
         assert_eq!(ff.value, want, "case {i} ff");
         assert_eq!(tr.value, want, "case {i} trivial");
@@ -145,7 +147,7 @@ fn whole_stack_determinism() {
     let g = generators::random_flow_network(12, 30, 4, 3);
     let run = || {
         let mut clique = Clique::new(12);
-        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+        let out = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default()).unwrap();
         (
             out.flow,
             out.value,
@@ -163,7 +165,7 @@ fn whole_stack_determinism() {
     let ug = generators::random_eulerian(20, 4, 8);
     let orient = || {
         let mut clique = Clique::new(20);
-        eulerian_orientation(&mut clique, &ug)
+        eulerian_orientation(&mut clique, &ug).unwrap()
     };
     assert_eq!(orient(), orient());
 }
@@ -174,7 +176,7 @@ fn whole_stack_determinism() {
 fn ledger_attributes_phases_of_theorem_1_2() {
     let g = generators::random_flow_network(12, 28, 4, 6);
     let mut clique = Clique::new(12);
-    let _ = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default());
+    let _ = max_flow_ipm(&mut clique, &g, 0, 11, &IpmOptions::default()).unwrap();
     let ledger = clique.ledger();
     // Progress steps with Laplacian solves inside.
     assert!(ledger.phase_prefix_total("maxflow/maxflow_ipm") > 0);

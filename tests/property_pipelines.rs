@@ -17,7 +17,7 @@ proptest! {
     ) {
         let g = generators::random_eulerian(n, cycles, seed);
         let mut clique = Clique::new(n);
-        let o = eulerian_orientation(&mut clique, &g);
+        let o = eulerian_orientation(&mut clique, &g).unwrap();
         prop_assert!(is_eulerian_orientation(&g, &o));
 
         let mut clique2 = Clique::new(n);
@@ -26,7 +26,8 @@ proptest! {
             &g,
             &OrientationCriterion::default(),
             laplacian_clique::euler::MarkingStrategy::Randomized { seed },
-        );
+        )
+        .unwrap();
         prop_assert!(is_eulerian_orientation(&g, &o2));
     }
 
@@ -47,7 +48,7 @@ proptest! {
         b[src % n] += 1.0;
         b[n - 1 - (src % n).min(n - 2)] -= 1.0;
         if b.iter().map(|x: &f64| x.abs()).sum::<f64>() > 0.0 {
-            let out = solver.solve(&mut clique, &b, 1e-6);
+            let out = solver.solve(&mut clique, &b, 1e-6).unwrap();
             prop_assert!(out.relative_error().expect("reference kept") <= 1e-6 * 1.05);
         }
     }
@@ -74,7 +75,7 @@ proptest! {
             .map(|(e, &f)| if e.from == 0 { f } else if e.to == 0 { -f } else { 0.0 })
             .sum();
         let mut clique = Clique::new(n);
-        let out = round_flow(&mut clique, &g, &frac, 0, n - 1, delta, &FlowRoundingOptions::default());
+        let out = round_flow(&mut clique, &g, &frac, 0, n - 1, delta, &FlowRoundingOptions::default()).unwrap();
         let value = g.flow_value(&out.flow, 0);
         prop_assert!(g.is_feasible_flow(&out.flow, &g.st_demand(0, n - 1, value)));
         prop_assert!(value as f64 >= frac_value - 1e-9);
@@ -101,7 +102,8 @@ proptest! {
             // budget-independent by construction.
             max_progress_steps: Some(6),
             ..Default::default()
-        });
+        })
+        .unwrap();
         prop_assert_eq!(out.value, want);
         prop_assert!(g.is_feasible_flow(&out.flow, &g.st_demand(0, n - 1, want)));
     }
