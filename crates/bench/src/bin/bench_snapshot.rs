@@ -25,19 +25,30 @@
 //!   (value/cost, round totals, an FNV-1a hash of the integral flow
 //!   bits, and the barrier engine's per-stage solver stats).
 //!
+//! A third tier scales the solver itself: `"large"` times batched
+//! multi-RHS kernels (`matvec_multi_into`, `solve_multi_into`, the full
+//! batched Chebyshev solve) against `k` repeated single-RHS runs on wide
+//! banded Laplacians up to `n = 2048` (millions of edges), verifying the
+//! batch is bitwise identical column-for-column, and
+//! `"large_determinism"` pins an FNV-1a hash of the batched solution
+//! bits per size.
+//!
 //! `bench_snapshot -- --check [path]` recomputes only the deterministic
 //! sections and exits nonzero if any drift-sensitive field (round
 //! totals, flow hashes, solve counts) differs from the committed
 //! baseline — CI runs this to catch silent round-complexity or
-//! determinism regressions.
+//! determinism regressions. `--check --large [path]` instead recomputes
+//! the time-boxed subset (`n ∈ {512, 1024}`) of the large-tier solution
+//! hashes and compares them against `"large_determinism"`.
 
 use std::time::Instant;
 
 use cc_core::{solve_laplacian, SolverOptions};
 use cc_graph::generators;
 use cc_linalg::{
-    chebyshev_solve_fixed_into, laplacian_from_edges, par, vec_ops::remove_mean,
-    ChebyshevWorkspace, CsrMatrix, DenseMatrix,
+    chebyshev_solve_fixed_into, chebyshev_solve_multi_into, laplacian_from_edges, par,
+    vec_ops::remove_mean, BatchWorkspace, ChebyshevWorkspace, CsrMatrix, DenseMatrix,
+    GroundedCholesky, SolveScratch,
 };
 use cc_maxflow::{max_flow_ipm, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, McfOptions};
@@ -186,6 +197,277 @@ fn snapshot_chebyshev(n: usize, iterations: usize, reps: usize) -> Record {
         parallel_ns,
         bitwise_equal,
     }
+}
+
+/// Wide banded Laplacian for the large tier: bands `(i, i+d)` for
+/// `d = 1..=bw` with `bw = n/2`, so `m ≈ 3n²/8` — millions of edges at
+/// `n = 2048` — and the grounded factor is effectively dense. Returns the
+/// Laplacian and the edge count.
+fn wide_banded_laplacian(n: usize) -> (CsrMatrix, usize) {
+    let bw = n / 2;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for d in 1..=bw {
+        for i in 0..n - d {
+            edges.push((i, i + d, 1.0 + ((i + 3 * d) % 5) as f64 * 0.25));
+        }
+    }
+    let m = edges.len();
+    (laplacian_from_edges(n, &edges), m)
+}
+
+/// Width of the large tier's right-hand-side batches.
+const LARGE_BATCH_K: usize = 16;
+/// Fixed Chebyshev iteration count of the large tier (deterministic,
+/// data-independent — see `chebyshev_solve_multi_into`).
+const LARGE_CHEB_ITERS: usize = 12;
+/// Spectrum bound handed to Chebyshev in the large tier (`B = κ·L`, so
+/// `B†A` has spectrum `{1/κ} ⊂ [1/κ, 1]`).
+const LARGE_KAPPA: f64 = 16.0;
+
+/// Interleaved batch of `k` deterministic zero-mean right-hand sides.
+fn large_batch_rhs(n: usize, k: usize) -> Vec<f64> {
+    let mut bs = vec![0.0f64; n * k];
+    for j in 0..k {
+        for v in 0..n {
+            bs[v * k + j] = ((v * 2_654_435_761 + j * 40_503) % 1_000) as f64 - 500.0;
+        }
+        let mean: f64 = (0..n).map(|v| bs[v * k + j]).sum::<f64>() / n as f64;
+        for v in 0..n {
+            bs[v * k + j] -= mean;
+        }
+    }
+    bs
+}
+
+/// FNV-1a over the IEEE-754 bits of a float slice.
+fn hash_f64(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &x in xs {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One large-tier timing row: batched kernel vs `k` repeated single-RHS
+/// runs of the same work, with a column-for-column bitwise check.
+struct LargeRecord {
+    bench: &'static str,
+    n: usize,
+    edges: usize,
+    work: usize,
+    single_ns: u64,
+    batched_ns: u64,
+    bitwise_equal: bool,
+}
+
+impl LargeRecord {
+    fn json(&self) -> String {
+        let speedup = self.single_ns as f64 / self.batched_ns.max(1) as f64;
+        format!(
+            "    {{\"bench\": \"{}\", \"n\": {}, \"edges\": {}, \"work\": {}, \"batch_k\": {}, \"single_ns\": {}, \"batched_ns\": {}, \"batch_speedup\": {:.3}, \"bitwise_equal\": {}}}",
+            self.bench, self.n, self.edges, self.work, LARGE_BATCH_K, self.single_ns, self.batched_ns, speedup, self.bitwise_equal
+        )
+    }
+}
+
+/// Batched vs repeated-single runs of the full preconditioned Chebyshev
+/// solve plus its two component kernels on one wide banded instance.
+/// Returns the timing rows and the FNV hash of the batched solution bits
+/// (the determinism pin). All results are checked bitwise: column `j` of
+/// every batched kernel must equal the corresponding single-RHS run.
+fn large_tier_instance(n: usize, reps: usize) -> (Vec<LargeRecord>, u64) {
+    let k = LARGE_BATCH_K;
+    let (lap, m) = wide_banded_laplacian(n);
+    let chol = GroundedCholesky::new(&lap).expect("connected instance");
+    let bs = large_batch_rhs(n, k);
+    // Contiguous per-column copies for the single-RHS path (what a caller
+    // without the batched API would hold).
+    let cols: Vec<Vec<f64>> = (0..k)
+        .map(|j| (0..n).map(|v| bs[v * k + j]).collect())
+        .collect();
+
+    let mut records = Vec::new();
+
+    // Kernel 1: CSR matvec, k singles vs one interleaved batch.
+    let mut y_single = vec![vec![0.0f64; n]; k];
+    let mut ys = vec![0.0f64; n * k];
+    let single_ns = time_ns(reps, || {
+        for j in 0..k {
+            lap.matvec_into(&cols[j], &mut y_single[j]);
+        }
+    });
+    let batched_ns = time_ns(reps, || lap.matvec_multi_into(&bs, k, &mut ys));
+    let bitwise_equal =
+        (0..k).all(|j| (0..n).all(|v| ys[v * k + j].to_bits() == y_single[j][v].to_bits()));
+    records.push(LargeRecord {
+        bench: "large_csr_matvec_multi",
+        n,
+        edges: m,
+        work: lap.nnz() * k,
+        single_ns,
+        batched_ns,
+        bitwise_equal,
+    });
+
+    // Kernel 2: grounded-factor solve, k singles vs one batched sweep
+    // (the factor streams through the cache once for the whole batch).
+    let mut x_single = vec![vec![0.0f64; n]; k];
+    let mut xs = vec![0.0f64; n * k];
+    let mut scratch = SolveScratch::default();
+    let single_ns = time_ns(reps, || {
+        for j in 0..k {
+            chol.solve_into(&cols[j], &mut x_single[j], &mut scratch);
+        }
+    });
+    let batched_ns = time_ns(reps, || {
+        chol.solve_multi_into(&bs, k, &mut xs, &mut scratch)
+    });
+    let bitwise_equal =
+        (0..k).all(|j| (0..n).all(|v| xs[v * k + j].to_bits() == x_single[j][v].to_bits()));
+    records.push(LargeRecord {
+        bench: "large_cholesky_solve_multi",
+        n,
+        edges: m,
+        work: n * n * k,
+        single_ns,
+        batched_ns,
+        bitwise_equal,
+    });
+
+    // Kernel 3: the full preconditioned Chebyshev solve, k singles vs the
+    // batched multi-RHS path — the ISSUE's headline amortization.
+    let mut ws_single = ChebyshevWorkspace::new(n);
+    let single_ns = time_ns(reps, || {
+        for j in 0..k {
+            chebyshev_solve_fixed_into(
+                |p, out| lap.matvec_into(p, out),
+                |r, out| {
+                    chol.solve_into(r, out, &mut scratch);
+                    for zi in out.iter_mut() {
+                        *zi /= LARGE_KAPPA;
+                    }
+                },
+                &cols[j],
+                LARGE_KAPPA,
+                LARGE_CHEB_ITERS,
+                &mut x_single[j],
+                &mut ws_single,
+            );
+        }
+    });
+    let mut ws_batch = BatchWorkspace::new(n, k);
+    let batched_ns = time_ns(reps, || {
+        chebyshev_solve_multi_into(
+            |p, out| lap.matvec_multi_into(p, k, out),
+            |r, out| {
+                chol.solve_multi_into(r, k, out, &mut scratch);
+                for zi in out.iter_mut() {
+                    *zi /= LARGE_KAPPA;
+                }
+            },
+            &bs,
+            k,
+            LARGE_KAPPA,
+            LARGE_CHEB_ITERS,
+            &mut xs,
+            &mut ws_batch,
+        );
+    });
+    let bitwise_equal =
+        (0..k).all(|j| (0..n).all(|v| xs[v * k + j].to_bits() == x_single[j][v].to_bits()));
+    records.push(LargeRecord {
+        bench: "large_chebyshev_multi",
+        n,
+        edges: m,
+        work: LARGE_CHEB_ITERS * (lap.nnz() + n * n) * k,
+        single_ns,
+        batched_ns,
+        bitwise_equal,
+    });
+
+    (records, hash_f64(&xs))
+}
+
+/// One `"large_determinism"` row: the hash is a pure function of `n`
+/// (fixed `k`, κ and iteration count), bitwise identical on every host
+/// and at every thread count.
+fn large_det_row(n: usize, hash: u64) -> String {
+    format!(
+        "    {{\"det\": \"batched_cheby\", \"n\": {}, \"batch_k\": {}, \"cheb_iters\": {}, \"solution_hash\": \"{:#018x}\"}}",
+        n, LARGE_BATCH_K, LARGE_CHEB_ITERS, hash
+    )
+}
+
+/// Sizes whose solution hashes `--check --large` recomputes (time-boxed:
+/// the `n = 2048` factorization is minutes of work, the point of the
+/// check — bitwise batching determinism — is size-independent).
+const LARGE_CHECK_SIZES: [usize; 2] = [512, 1024];
+
+/// Extracts `(n, solution_hash)` pairs from `"large_determinism"` rows.
+fn parse_large_hashes(doc: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let marker = "\"det\": \"batched_cheby\", \"n\": ";
+    for (pos, _) in doc.match_indices(marker) {
+        let rest = &doc[pos + marker.len()..];
+        let n: usize = rest
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("malformed large_determinism row");
+        let hpat = "\"solution_hash\": \"";
+        let hstart = rest.find(hpat).expect("row has a solution_hash") + hpat.len();
+        let hash: String = rest[hstart..].chars().take_while(|&c| c != '"').collect();
+        out.push((n, hash));
+    }
+    out
+}
+
+/// Recomputes the time-boxed subset of large-tier solution hashes and
+/// compares them against the committed `"large_determinism"` section.
+/// Exits nonzero on any mismatch.
+fn check_large(path: &str) {
+    let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check --large: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(section) = baseline.find("\"large_determinism\":") else {
+        eprintln!(
+            "bench_snapshot --check --large: {path} has no \"large_determinism\" section (regenerate the baseline)"
+        );
+        std::process::exit(1);
+    };
+    let want = parse_large_hashes(&baseline[section..]);
+    let mut failed = false;
+    for n in LARGE_CHECK_SIZES {
+        let Some((_, want_hash)) = want.iter().find(|(wn, _)| *wn == n) else {
+            eprintln!("bench_snapshot --check --large: baseline has no row for n={n}");
+            failed = true;
+            continue;
+        };
+        eprintln!("bench_snapshot --check --large: recomputing n={n}…");
+        let (records, hash) = large_tier_instance(n, 1);
+        let got_hash = format!("{hash:#018x}");
+        if !records.iter().all(|r| r.bitwise_equal) {
+            eprintln!(
+                "bench_snapshot --check --large: n={n}: batched kernels are not bitwise equal to single-RHS runs"
+            );
+            failed = true;
+        }
+        if got_hash != *want_hash {
+            eprintln!(
+                "bench_snapshot --check --large: n={n}: solution hash drifted: baseline {want_hash} != current {got_hash}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_snapshot --check --large: OK — solution hashes match {path} for n ∈ {LARGE_CHECK_SIZES:?}"
+    );
 }
 
 /// Per-phase congestion of representative solver runs, captured through
@@ -388,11 +670,16 @@ fn check_baseline(path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
+        let large = args.get(1).map(String::as_str) == Some("--large");
         let path = args
-            .get(1)
+            .get(if large { 2 } else { 1 })
             .map(String::as_str)
             .unwrap_or("BENCH_baseline.json");
-        check_baseline(path);
+        if large {
+            check_large(path);
+        } else {
+            check_baseline(path);
+        }
         return;
     }
     let out_path = args
@@ -415,22 +702,38 @@ fn main() {
     eprintln!("  chebyshev n=16384…");
     records.push(snapshot_chebyshev(16384, 40, 7));
 
+    let mut large_records = Vec::new();
+    let mut large_det_rows = Vec::new();
+    for &n in &[256usize, 512, 1024, 2048] {
+        let reps = if n >= 2048 { 3 } else { 5 };
+        eprintln!("  large tier n={n} (k={LARGE_BATCH_K})…");
+        let (rows, hash) = large_tier_instance(n, reps);
+        large_det_rows.push(large_det_row(n, hash));
+        large_records.extend(rows);
+    }
+
     eprintln!("  ipm goldens…");
     let ipm = ipm_section();
 
     eprintln!("  congestion traces…");
     let congestion = congestion_section();
 
-    let all_equal = records.iter().all(|r| r.bitwise_equal);
+    let all_equal =
+        records.iter().all(|r| r.bitwise_equal) && large_records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
+    let large_body: Vec<String> = large_records.iter().map(LargeRecord::json).collect();
+    // `"large_determinism"` stays the LAST section: `--check --large`
+    // locates it by marker and reads to the end of the document.
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v2\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {}\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v3\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
         body.join(",\n"),
+        large_body.join(",\n"),
         ipm,
         congestion,
+        large_det_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     eprintln!("wrote {out_path}");
@@ -441,8 +744,15 @@ fn main() {
             r.bench, r.n, r.serial_ns, r.parallel_ns, speedup, r.bitwise_equal
         );
     }
+    for r in &large_records {
+        let speedup = r.single_ns as f64 / r.batched_ns.max(1) as f64;
+        eprintln!(
+            "  {:>26} n={:<5} single {:>12}ns batched {:>12}ns speedup {:.2}x bitwise_equal={}",
+            r.bench, r.n, r.single_ns, r.batched_ns, speedup, r.bitwise_equal
+        );
+    }
     assert!(
         all_equal,
-        "parallel results must be bitwise identical to serial"
+        "parallel/batched results must be bitwise identical to their serial/single twins"
     );
 }

@@ -190,26 +190,33 @@ pub fn e3_chebyshev() -> Table {
     let mut b = st_rhs(24);
     cc_linalg::vec_ops::remove_mean(&mut b);
     let x_star = chol.solve(&b);
+    // One set of buffers serves every (κ, ε) row: the `_into` kernels are
+    // bitwise-identical to the allocating wrappers and keep the sweep's
+    // steady state allocation-free.
+    let mut x = vec![0.0f64; 24];
+    let mut ws = cc_linalg::ChebyshevWorkspace::new(24);
+    let mut scratch = cc_linalg::SolveScratch::default();
     for &kappa in &[2.0f64, 8.0, 32.0, 128.0, 512.0] {
         for &eps in &[1e-3, 1e-6, 1e-9] {
             let iters = chebyshev_iteration_bound(kappa, eps);
             // Worst-case-ish concrete run: B = κ·L (so B-solve = L†/κ).
-            let out = cc_linalg::chebyshev_solve(
-                |v| lap.matvec(v),
-                |r| {
-                    let mut z = chol.solve(r);
-                    for zi in z.iter_mut() {
+            cc_linalg::chebyshev_solve_fixed_into(
+                |v, out| lap.matvec_into(v, out),
+                |r, out| {
+                    chol.solve_into(r, out, &mut scratch);
+                    for zi in out.iter_mut() {
                         *zi /= kappa;
                     }
-                    z
                 },
                 &b,
                 kappa,
-                eps,
+                iters,
+                &mut x,
+                &mut ws,
             );
             let err = cc_linalg::relative_a_error(
                 |v| cc_linalg::laplacian_quadratic_form(&edges, v),
-                &out.x,
+                &x,
                 &x_star,
             );
             let scale = kappa.sqrt() * (1.0 / eps).ln();

@@ -4,7 +4,7 @@ use std::marker::PhantomData;
 
 use cc_core::{CoreError, ElectricalFlow, ElectricalNetwork, SolveWorkspace, SolverOptions};
 use cc_model::Communicator;
-use cc_sparsify::SparsifierTemplate;
+use cc_sparsify::{SparsifierTemplate, TemplateCache, TemplateKey};
 
 use crate::{EngineStats, IpmError};
 
@@ -58,6 +58,7 @@ pub struct BarrierEngine<C: Communicator> {
     n: usize,
     options: EngineOptions,
     template: Option<SparsifierTemplate>,
+    cache: Option<TemplateCache>,
     ws: SolveWorkspace,
     resist: Vec<(usize, usize, f64)>,
     zeros: Vec<u64>,
@@ -73,6 +74,7 @@ impl<C: Communicator> BarrierEngine<C> {
             n,
             options,
             template: None,
+            cache: None,
             ws: SolveWorkspace::new(),
             resist: Vec::new(),
             zeros: Vec::new(),
@@ -105,6 +107,23 @@ impl<C: Communicator> BarrierEngine<C> {
     /// True once a sparsifier template has been captured.
     pub fn has_template(&self) -> bool {
         self.template.is_some()
+    }
+
+    /// Attaches a shared [`TemplateCache`] for **cross-instance**
+    /// template reuse: before its first build the engine consults the
+    /// cache (keyed by the resistance buffer's edge support), and any
+    /// template it captures itself is published back. Within-run reuse
+    /// ([`EngineOptions::reuse_sparsifier`]) is unchanged; the cache
+    /// only replaces the *first* build of a run when another run on the
+    /// same support already paid for the decomposition. Hits are counted
+    /// per stage in [`crate::StageStats::template_cache_hits`].
+    pub fn set_template_cache(&mut self, cache: TemplateCache) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached cross-instance cache, if any.
+    pub fn template_cache(&self) -> Option<&TemplateCache> {
+        self.cache.as_ref()
     }
 
     /// Recomputes the engine's resistance buffer from the adapter's
@@ -173,9 +192,9 @@ impl<C: Communicator> BarrierEngine<C> {
             }
         }
         let before = clique.ledger().total_rounds();
-        let (net, reused) = if !self.options.reuse_sparsifier {
+        let (net, reused, cache_hit) = if !self.options.reuse_sparsifier {
             let net = ElectricalNetwork::build(clique, self.n, &self.resist, &self.options.solver)?;
-            (net, false)
+            (net, false, false)
         } else if let Some(template) = &self.template {
             let net = ElectricalNetwork::build_from_template(
                 clique,
@@ -184,7 +203,25 @@ impl<C: Communicator> BarrierEngine<C> {
                 template,
                 &self.options.solver,
             )?;
-            (net, true)
+            (net, true, false)
+        } else if let Some(template) = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.get(&TemplateKey::for_support(self.n, &self.resist)))
+        {
+            // Cross-instance hit: another run on the same support already
+            // paid for the decomposition. Instantiation recertifies the
+            // per-cluster bounds for the current weights, so correctness
+            // never depends on what the cache holds.
+            let net = ElectricalNetwork::build_from_template(
+                clique,
+                self.n,
+                &self.resist,
+                &template,
+                &self.options.solver,
+            )?;
+            self.template = Some(template);
+            (net, true, true)
         } else {
             let (net, template) = ElectricalNetwork::build_capturing(
                 clique,
@@ -192,14 +229,23 @@ impl<C: Communicator> BarrierEngine<C> {
                 &self.resist,
                 &self.options.solver,
             )?;
+            if let Some(cache) = &self.cache {
+                cache.insert(
+                    TemplateKey::for_support(self.n, &self.resist),
+                    template.clone(),
+                );
+            }
             self.template = Some(template);
-            (net, false)
+            (net, false, false)
         };
         let stage = self.stats.stage_mut(stage);
         if reused {
             stage.template_reuses += 1;
         } else {
             stage.builds += 1;
+        }
+        if cache_hit {
+            stage.template_cache_hits += 1;
         }
         stage.rounds += clique.ledger().total_rounds() - before;
         Ok(net)
@@ -291,6 +337,54 @@ mod tests {
         assert_eq!(stage.builds, 1);
         assert_eq!(stage.template_reuses, 1);
         assert!(stage.rounds > 0);
+    }
+
+    #[test]
+    fn shared_cache_skips_second_engines_build() {
+        let cache = TemplateCache::new();
+        // First engine: misses the cache, builds, publishes.
+        let mut clique = Clique::new(6);
+        let mut first: BarrierEngine<Clique> = BarrierEngine::new(6, EngineOptions::default());
+        first.set_template_cache(cache.clone());
+        first.resistances_into(6, ring_fill, |_| f64::INFINITY);
+        let net_a = first.build_network(&mut clique, "test").unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        let s = first.stats().stage("test");
+        assert_eq!(
+            (s.builds, s.template_reuses, s.template_cache_hits),
+            (1, 0, 0)
+        );
+
+        // Second engine, same support (reweighted): instantiates from the
+        // cache instead of re-decomposing.
+        let mut second: BarrierEngine<Clique> = BarrierEngine::new(6, EngineOptions::default());
+        second.set_template_cache(cache.clone());
+        second.resistances_into(
+            6,
+            |base, slots| {
+                ring_fill(base, slots);
+                for slot in slots.iter_mut() {
+                    slot.2 *= 3.0;
+                }
+            },
+            |_| f64::INFINITY,
+        );
+        let net_b = second.build_network(&mut clique, "test").unwrap();
+        assert!(second.has_template());
+        assert_eq!(cache.hits(), 1);
+        let s = second.stats().stage("test");
+        assert_eq!(
+            (s.builds, s.template_reuses, s.template_cache_hits),
+            (0, 1, 1)
+        );
+        assert_eq!(net_a.n(), net_b.n());
+
+        // Subsequent builds reuse the now-local template: no more lookups.
+        second.build_network(&mut clique, "test").unwrap();
+        assert_eq!(cache.hits() + cache.misses(), 2);
+        let s = second.stats().stage("test");
+        assert_eq!((s.template_reuses, s.template_cache_hits), (2, 1));
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct StageStats {
     /// Builds that instantiated a captured template instead of
     /// re-decomposing.
     pub template_reuses: usize,
+    /// Template reuses whose template came from a shared cross-instance
+    /// [`cc_sparsify::TemplateCache`] rather than this engine's own
+    /// first build (a subset of [`StageStats::template_reuses`]).
+    pub template_cache_hits: usize,
     /// Ledger rounds the stage's builds and solves cost.
     pub rounds: u64,
     /// Most recent residual norm the adapter reported for this stage
@@ -64,6 +68,11 @@ impl EngineStats {
         self.stages.values().map(|s| s.template_reuses).sum()
     }
 
+    /// Cross-instance template-cache hits across all stages.
+    pub fn total_template_cache_hits(&self) -> usize {
+        self.stages.values().map(|s| s.template_cache_hits).sum()
+    }
+
     /// Folds another run's counters into this record (used to combine the
     /// IPM core's engine with the cleanup phase's).
     pub fn merge(&mut self, other: &EngineStats) {
@@ -79,6 +88,7 @@ impl EngineStats {
             ours.chebyshev_iterations += theirs.chebyshev_iterations;
             ours.builds += theirs.builds;
             ours.template_reuses += theirs.template_reuses;
+            ours.template_cache_hits += theirs.template_cache_hits;
             ours.rounds += theirs.rounds;
             if theirs.solves > 0 || theirs.last_residual_norm != 0.0 {
                 ours.last_residual_norm = theirs.last_residual_norm;
@@ -97,11 +107,13 @@ impl EngineStats {
             let _ = write!(
                 out,
                 "\"{name}\":{{\"solves\":{},\"chebyshev_iterations\":{},\"builds\":{},\
-                 \"template_reuses\":{},\"rounds\":{},\"last_residual_norm\":{:?}}}",
+                 \"template_reuses\":{},\"template_cache_hits\":{},\"rounds\":{},\
+                 \"last_residual_norm\":{:?}}}",
                 s.solves,
                 s.chebyshev_iterations,
                 s.builds,
                 s.template_reuses,
+                s.template_cache_hits,
                 s.rounds,
                 s.last_residual_norm,
             );

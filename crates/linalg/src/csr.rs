@@ -8,6 +8,14 @@ pub const MATVEC_ROW_CHUNK: usize = 512;
 /// Minimum stored entries before [`CsrMatrix::matvec_into`] fans out.
 pub const PAR_MIN_NNZ: usize = 16_384;
 
+/// Right-hand sides per register tile of the multi-RHS kernels
+/// ([`CsrMatrix::matvec_multi_into`] and friends). Fixed so the lane
+/// decomposition never depends on the batch width at runtime: each tile
+/// accumulates into a `[f64; RHS_LANES]` that the compiler keeps in
+/// vector registers, and every `(row, rhs)` pair still sums its entries
+/// in index order — bitwise identical to the single-RHS kernel.
+pub const RHS_LANES: usize = 4;
+
 /// A sparse matrix in compressed sparse row format.
 ///
 /// Construction goes through [`CsrMatrix::from_triplets`], which sums
@@ -57,13 +65,18 @@ impl CsrMatrix {
                 cursor[r] += 1;
             }
         }
-        let mut indptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::with_capacity(total);
-        let mut values = Vec::with_capacity(total);
-        indptr.push(0);
+        // Merge duplicates in place inside the staging buffer first, so
+        // the final index/value arrays can be reserved at their *exact*
+        // merged size — on duplicate-heavy inputs (Laplacian assembly
+        // emits two diagonal triplets per edge) pushing into
+        // `with_capacity(total)` arrays would permanently retain up to 2×
+        // slack capacity in the returned matrix.
+        let mut merged_len = cursor; // reuse the cursor allocation
+        let mut merged_total = 0usize;
         for r in 0..rows {
             let row = &mut staged[starts[r]..starts[r + 1]];
             row.sort_by_key(|&(c, _)| c);
+            let mut w = 0usize;
             let mut i = 0;
             while i < row.len() {
                 let c = row[i].0;
@@ -72,6 +85,18 @@ impl CsrMatrix {
                     v += row[i].1;
                     i += 1;
                 }
+                row[w] = (c, v);
+                w += 1;
+            }
+            merged_len[r] = w;
+            merged_total += w;
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(merged_total);
+        let mut values = Vec::with_capacity(merged_total);
+        indptr.push(0);
+        for r in 0..rows {
+            for &(c, v) in &staged[starts[r]..starts[r] + merged_len[r]] {
                 indices.push(c);
                 values.push(v);
             }
@@ -177,6 +202,69 @@ impl CsrMatrix {
         });
     }
 
+    /// Batched matrix-vector product over `k` interleaved right-hand
+    /// sides: `xs` holds `cols` rows of `k` lanes (`xs[c*k + j]` is entry
+    /// `c` of vector `j`), `out` likewise. One pass over the stored
+    /// entries serves the whole batch — the matrix streams through the
+    /// cache once instead of `k` times — and lanes are processed in
+    /// register tiles of [`RHS_LANES`].
+    ///
+    /// For every `(row, rhs)` pair the entries accumulate in index order
+    /// from `0.0`, exactly as [`CsrMatrix::matvec_into`] does, so column
+    /// `j` of the result is bitwise identical to a single matvec of
+    /// column `j` — at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `xs.len() != cols*k`, or `out.len() != rows*k`.
+    pub fn matvec_multi_into(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(xs.len(), self.cols * k, "matvec_multi dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows * k,
+            "matvec_multi output length mismatch"
+        );
+        let row_multi = |r: usize, orow: &mut [f64]| {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let cols_r = &self.indices[lo..hi];
+            let vals_r = &self.values[lo..hi];
+            let mut j = 0;
+            while j + RHS_LANES <= k {
+                let mut acc = [0.0f64; RHS_LANES];
+                for (&c, &v) in cols_r.iter().zip(vals_r) {
+                    let xrow = &xs[c * k + j..c * k + j + RHS_LANES];
+                    for (a, &xv) in acc.iter_mut().zip(xrow) {
+                        *a += v * xv;
+                    }
+                }
+                orow[j..j + RHS_LANES].copy_from_slice(&acc);
+                j += RHS_LANES;
+            }
+            while j < k {
+                let mut a = 0.0;
+                for (&c, &v) in cols_r.iter().zip(vals_r) {
+                    a += v * xs[c * k + j];
+                }
+                orow[j] = a;
+                j += 1;
+            }
+        };
+        if self.nnz() * k < PAR_MIN_NNZ {
+            for (r, orow) in out.chunks_mut(k).enumerate() {
+                row_multi(r, orow);
+            }
+            return;
+        }
+        crate::par::par_chunks_mut(out, MATVEC_ROW_CHUNK * k, |chunk_idx, sl| {
+            let base = chunk_idx * MATVEC_ROW_CHUNK;
+            for (i, orow) in sl.chunks_mut(k).enumerate() {
+                row_multi(base + i, orow);
+            }
+        });
+    }
+
     /// Quadratic form `xᵀ A x` (requires a square matrix).
     ///
     /// # Panics
@@ -184,7 +272,19 @@ impl CsrMatrix {
     /// Panics if the matrix is not square or `x` has the wrong length.
     pub fn quadratic_form(&self, x: &[f64]) -> f64 {
         assert_eq!(self.rows, self.cols, "quadratic form needs a square matrix");
-        crate::vec_ops::dot(x, &self.matvec(x))
+        // Σ_r x_r · (A·x)_r without materializing A·x: each row's dot
+        // product accumulates in index order and the outer sum runs in
+        // row order — the exact operation sequence of
+        // `dot(x, &self.matvec(x))`, minus the allocation.
+        let mut total = 0.0;
+        for (r, &xr) in x.iter().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            total += xr * acc;
+        }
+        total
     }
 
     /// Dense copy (for certification / testing on small instances).

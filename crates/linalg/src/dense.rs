@@ -11,6 +11,19 @@ pub const MATMUL_ROW_BLOCK: usize = 32;
 /// Minimum scalar multiply-adds before dense kernels fan out.
 pub const PAR_MIN_WORK: usize = 262_144;
 
+/// Columns of `B` per cache block in [`DenseMatrix::matmul`]: the output
+/// row segment and the matching `B` panel stay resident while a row
+/// block's contributions accumulate. Fixed — never derived from the
+/// thread count or matrix shape — so blocking is a pure loop reorder of
+/// identical per-element operations.
+pub const MATMUL_J_BLOCK: usize = 64;
+
+/// Rows of `B` (columns of `A`) per cache panel in
+/// [`DenseMatrix::matmul`]. A `MATMUL_K_PANEL × MATMUL_J_BLOCK` panel of
+/// `B` is 32 KiB — it stays in L1/L2 while all rows of an output block
+/// consume it.
+pub const MATMUL_K_PANEL: usize = 64;
+
 /// A dense row-major matrix of `f64`.
 ///
 /// Small and deliberately simple: this backs the *internal* (per-node, free)
@@ -157,10 +170,72 @@ impl DenseMatrix {
         });
     }
 
-    /// Matrix product `A·B`, blocked by rows of the output: threads own
-    /// disjoint row blocks of fixed size (`MATMUL_ROW_BLOCK`), and each
-    /// output row is accumulated in the same `i,k,j` order as the serial
-    /// triple loop — bitwise identical for any thread count.
+    /// Batched matrix-vector product over `k` interleaved right-hand
+    /// sides (`xs[c*k + j]` is entry `c` of vector `j`): one pass over
+    /// the matrix serves the whole batch, with lanes processed in
+    /// register tiles of [`crate::RHS_LANES`]. Every `(row, rhs)` pair
+    /// accumulates its terms in ascending column order from `0.0` —
+    /// column `j` of the result is bitwise identical to
+    /// [`DenseMatrix::matvec_into`] on column `j`, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `xs.len() != cols*k`, or `out.len() != rows*k`.
+    pub fn matvec_multi_into(&self, xs: &[f64], k: usize, out: &mut [f64]) {
+        const LANES: usize = crate::csr::RHS_LANES;
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(xs.len(), self.cols * k, "matvec_multi dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.rows * k,
+            "matvec_multi output length mismatch"
+        );
+        let row_multi = |r: usize, orow: &mut [f64]| {
+            let arow = self.row(r);
+            let mut j = 0;
+            while j + LANES <= k {
+                let mut acc = [0.0f64; LANES];
+                for (c, &v) in arow.iter().enumerate() {
+                    let xrow = &xs[c * k + j..c * k + j + LANES];
+                    for (a, &xv) in acc.iter_mut().zip(xrow) {
+                        *a += v * xv;
+                    }
+                }
+                orow[j..j + LANES].copy_from_slice(&acc);
+                j += LANES;
+            }
+            while j < k {
+                let mut a = 0.0;
+                for (c, &v) in arow.iter().enumerate() {
+                    a += v * xs[c * k + j];
+                }
+                orow[j] = a;
+                j += 1;
+            }
+        };
+        if self.rows * self.cols * k < PAR_MIN_WORK {
+            for (r, orow) in out.chunks_mut(k).enumerate() {
+                row_multi(r, orow);
+            }
+            return;
+        }
+        crate::par::par_chunks_mut(out, MATMUL_ROW_BLOCK * k, |chunk_idx, sl| {
+            let base = chunk_idx * MATMUL_ROW_BLOCK;
+            for (i, orow) in sl.chunks_mut(k).enumerate() {
+                row_multi(base + i, orow);
+            }
+        });
+    }
+
+    /// Matrix product `A·B`, blocked two ways: threads own disjoint
+    /// output row blocks of fixed size ([`MATMUL_ROW_BLOCK`]), and within
+    /// a row block the `k`/`j` loops are tiled into
+    /// [`MATMUL_K_PANEL`]`×`[`MATMUL_J_BLOCK`] cache panels of `B` that
+    /// are reused across all rows of the block. Blocking only reorders
+    /// *independent* output elements; each element still accumulates its
+    /// `k` terms in ascending order (panels ascend, `k` ascends within a
+    /// panel), so the result is bitwise identical to the serial `i,k,j`
+    /// triple loop — for any thread count and any block size.
     ///
     /// # Errors
     ///
@@ -179,15 +254,23 @@ impl DenseMatrix {
         }
         let bc = b.cols;
         let row_block = |row0: usize, rows: &mut [f64]| {
-            for (local, orow) in rows.chunks_mut(bc).enumerate() {
-                let i = row0 + local;
-                for k in 0..self.cols {
-                    let aik = self.data[i * self.cols + k];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    for (oj, bj) in orow.iter_mut().zip(&b.data[k * bc..(k + 1) * bc]) {
-                        *oj += aik * bj;
+            for jb in (0..bc).step_by(MATMUL_J_BLOCK) {
+                let jhi = (jb + MATMUL_J_BLOCK).min(bc);
+                for kb in (0..self.cols).step_by(MATMUL_K_PANEL) {
+                    let khi = (kb + MATMUL_K_PANEL).min(self.cols);
+                    for (local, orow) in rows.chunks_mut(bc).enumerate() {
+                        let i = row0 + local;
+                        let oseg = &mut orow[jb..jhi];
+                        for k in kb..khi {
+                            let aik = self.data[i * self.cols + k];
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            for (oj, bj) in oseg.iter_mut().zip(&b.data[k * bc + jb..k * bc + jhi])
+                            {
+                                *oj += aik * bj;
+                            }
+                        }
                     }
                 }
             }

@@ -153,18 +153,37 @@ fn tred2(z: &mut [Vec<f64>], d: &mut [f64], e: &mut [f64]) {
                 let zi: &[f64] = &tail[0];
                 let rows: &[Vec<f64>] = head;
                 let e_chunks = crate::par::par_map_chunks(l + 1, TRED2_ROW_CHUNK, |range| {
-                    range
+                    let j0 = range.start;
+                    // Row part: Σ_{k≤j} rows[j][k]·zi[k], a contiguous
+                    // row read per j.
+                    let mut acc: Vec<f64> = range
+                        .clone()
                         .map(|j| {
                             let mut g_acc = 0.0;
                             for k in 0..=j {
                                 g_acc += rows[j][k] * zi[k];
                             }
-                            for k in (j + 1)..=l {
-                                g_acc += rows[k][j] * zi[k];
-                            }
-                            g_acc / h
+                            g_acc
                         })
-                        .collect::<Vec<f64>>()
+                        .collect();
+                    // Column part, transposed: the naive per-j walk down
+                    // column j (`rows[k][j]`, stride-n reads) becomes a
+                    // k-outer loop over the chunk-wide row segments
+                    // `rows[k][j0..j1]`. Per j the contributions still
+                    // arrive in ascending k, appended after the row part
+                    // — the accumulation order is exactly the naive
+                    // loop's, so the result is bitwise identical.
+                    for k in (j0 + 1)..=l {
+                        let rk = &rows[k][j0..range.end.min(k)];
+                        let zk = zi[k];
+                        for (a, &rv) in acc[..rk.len()].iter_mut().zip(rk) {
+                            *a += rv * zk;
+                        }
+                    }
+                    for a in &mut acc {
+                        *a /= h;
+                    }
+                    acc
                 });
                 // Phase B (serial, O(l)): store e, write column i, reduce f_acc
                 // in ascending j order — the exact summation order of the

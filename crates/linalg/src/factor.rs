@@ -25,6 +25,10 @@ pub struct GroundedCholesky {
     reduced_vertices: Vec<usize>,
     /// Lower-triangular Cholesky factor of the reduced matrix.
     lower: DenseMatrix,
+    /// `lowerᵀ`, stored so the backward substitution sweep reads rows
+    /// instead of walking columns of `lower` at stride `k` — same values,
+    /// same operation order, cache-friendly access.
+    upper: DenseMatrix,
 }
 
 impl GroundedCholesky {
@@ -79,12 +83,14 @@ impl GroundedCholesky {
             }
         }
         let lower = cholesky_lower(&reduced)?;
+        let upper = lower.transpose();
         Ok(Self {
             n,
             component,
             comp_size,
             reduced_vertices,
             lower,
+            upper,
         })
     }
 
@@ -145,7 +151,7 @@ impl GroundedCholesky {
         for (ri, &v) in self.reduced_vertices.iter().enumerate() {
             scratch.rhs[ri] = b[v] - scratch.comp[self.component[v]];
         }
-        cholesky_solve_in_place(&self.lower, &mut scratch.rhs);
+        cholesky_solve_in_place(&self.lower, &self.upper, &mut scratch.rhs);
         x.fill(0.0);
         for (ri, &v) in self.reduced_vertices.iter().enumerate() {
             x[v] = scratch.rhs[ri];
@@ -158,6 +164,78 @@ impl GroundedCholesky {
         for (v, xv) in x.iter_mut().enumerate() {
             let c = self.component[v];
             *xv -= scratch.comp[c] / self.comp_size[c] as f64;
+        }
+    }
+
+    /// Batched pseudo-inverse application over `k` interleaved
+    /// right-hand sides: `bs` and `xs` hold `n` rows of `k` lanes
+    /// (`bs[v*k + j]` is entry `v` of vector `j`). The dense triangular
+    /// factor — the memory-bandwidth bottleneck of the single-RHS path —
+    /// streams through the cache **once per substitution sweep for the
+    /// whole batch** instead of once per right-hand side, with lanes
+    /// processed in register tiles of [`crate::RHS_LANES`].
+    ///
+    /// Every lane performs exactly the floating-point operations of
+    /// [`GroundedCholesky::solve_into`] on that column (projection,
+    /// substitution, mean shift — all in the same order), so column `j`
+    /// of the result is bitwise identical to a single solve of column
+    /// `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `bs.len() != n*k`, or `xs.len() != n*k`.
+    pub fn solve_multi_into(
+        &self,
+        bs: &[f64],
+        k: usize,
+        xs: &mut [f64],
+        scratch: &mut SolveScratch,
+    ) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(bs.len(), self.n * k, "rhs batch length mismatch");
+        assert_eq!(xs.len(), self.n * k, "solution batch length mismatch");
+        let num_comps = self.comp_size.len();
+        let kred = self.reduced_vertices.len();
+        scratch.comp.resize(num_comps * k, 0.0);
+        scratch.rhs.resize(kred * k, 0.0);
+        scratch.comp.fill(0.0);
+        // Project every column onto range(L): remove per-component means.
+        for (v, brow) in bs.chunks(k).enumerate() {
+            let base = self.component[v] * k;
+            for (j, &bv) in brow.iter().enumerate() {
+                scratch.comp[base + j] += bv;
+            }
+        }
+        for (ci, &c) in self.comp_size.iter().enumerate() {
+            for s in &mut scratch.comp[ci * k..(ci + 1) * k] {
+                *s /= c as f64;
+            }
+        }
+        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
+            let base = self.component[v] * k;
+            for j in 0..k {
+                scratch.rhs[ri * k + j] = bs[v * k + j] - scratch.comp[base + j];
+            }
+        }
+        cholesky_solve_multi_in_place(&self.lower, &self.upper, &mut scratch.rhs, k);
+        xs.fill(0.0);
+        for (ri, &v) in self.reduced_vertices.iter().enumerate() {
+            xs[v * k..(v + 1) * k].copy_from_slice(&scratch.rhs[ri * k..(ri + 1) * k]);
+        }
+        // Shift each column to its zero-mean representative per component.
+        scratch.comp.fill(0.0);
+        for (v, xrow) in xs.chunks(k).enumerate() {
+            let base = self.component[v] * k;
+            for (j, &xv) in xrow.iter().enumerate() {
+                scratch.comp[base + j] += xv;
+            }
+        }
+        for (v, xrow) in xs.chunks_mut(k).enumerate() {
+            let c = self.component[v];
+            let size = self.comp_size[c] as f64;
+            for (j, xv) in xrow.iter_mut().enumerate() {
+                *xv -= scratch.comp[c * k + j] / size;
+            }
         }
     }
 }
@@ -228,22 +306,72 @@ fn cholesky_lower(a: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
 /// Solves `L Lᵀ x = b` by forward/back substitution, overwriting `v`
 /// (`b` on entry, `x` on exit). Both sweeps read only entries already in
 /// their target state, so the in-place form performs exactly the
-/// operations of the two-buffer formulation.
-fn cholesky_solve_in_place(l: &DenseMatrix, v: &mut [f64]) {
+/// operations of the two-buffer formulation. `u` must be `lᵀ`: the back
+/// sweep reads `u.get(i, k) == l.get(k, i)` so both sweeps walk rows of
+/// a row-major matrix instead of columns at stride `n`.
+fn cholesky_solve_in_place(l: &DenseMatrix, u: &DenseMatrix, v: &mut [f64]) {
     let n = l.rows();
     for i in 0..n {
+        let li = l.row(i);
         let mut s = v[i];
         for k in 0..i {
-            s -= l.get(i, k) * v[k];
+            s -= li[k] * v[k];
         }
-        v[i] = s / l.get(i, i);
+        v[i] = s / li[i];
     }
     for i in (0..n).rev() {
+        let ui = u.row(i);
         let mut s = v[i];
         for k in (i + 1)..n {
-            s -= l.get(k, i) * v[k];
+            s -= ui[k] * v[k];
         }
-        v[i] = s / l.get(i, i);
+        v[i] = s / ui[i];
+    }
+}
+
+/// Batched `L Lᵀ X = B` over `k` interleaved columns (`v[r*k + j]` is
+/// entry `r` of column `j`), lanes register-tiled in blocks of
+/// [`crate::RHS_LANES`]. Each factor row is loaded once per sweep for
+/// the whole batch — the `O(kred²)` factor traffic that dominates the
+/// single-RHS solve is amortized over all `k` columns. Per column, the
+/// substitutions perform exactly the operations of
+/// [`cholesky_solve_in_place`], in the same order.
+fn cholesky_solve_multi_in_place(l: &DenseMatrix, u: &DenseMatrix, v: &mut [f64], k: usize) {
+    const LANES: usize = crate::csr::RHS_LANES;
+    let n = l.rows();
+    debug_assert_eq!(v.len(), n * k);
+    let sweep = |rows: &DenseMatrix, v: &mut [f64], i: usize, lo: usize, hi: usize| {
+        let ri = rows.row(i);
+        let mut j = 0;
+        while j + LANES <= k {
+            let mut acc = [0.0f64; LANES];
+            acc.copy_from_slice(&v[i * k + j..i * k + j + LANES]);
+            for kk in lo..hi {
+                let lik = ri[kk];
+                let vk = &v[kk * k + j..kk * k + j + LANES];
+                for (a, &vv) in acc.iter_mut().zip(vk) {
+                    *a -= lik * vv;
+                }
+            }
+            for (slot, a) in v[i * k + j..i * k + j + LANES].iter_mut().zip(acc) {
+                *slot = a / ri[i];
+            }
+            j += LANES;
+        }
+        while j < k {
+            let mut s = v[i * k + j];
+            for kk in lo..hi {
+                s -= ri[kk] * v[kk * k + j];
+            }
+            v[i * k + j] = s / ri[i];
+            j += 1;
+        }
+    };
+    for i in 0..n {
+        sweep(l, v, i, 0, i);
+    }
+    for i in (0..n).rev() {
+        sweep(u, v, i, i + 1, n);
     }
 }
 

@@ -52,10 +52,11 @@ pub mod vec_ops;
 pub use cg::{conjugate_gradient, conjugate_gradient_into, CgOutcome, CgStats, CgWorkspace};
 pub use cheby::{
     chebyshev_iteration_bound, chebyshev_solve, chebyshev_solve_fixed, chebyshev_solve_fixed_into,
-    relative_a_error, ChebyshevOutcome, ChebyshevWorkspace,
+    chebyshev_solve_multi_into, relative_a_error, BatchWorkspace, ChebyshevOutcome,
+    ChebyshevWorkspace,
 };
-pub use csr::{CsrMatrix, MATVEC_ROW_CHUNK, PAR_MIN_NNZ};
-pub use dense::DenseMatrix;
+pub use csr::{CsrMatrix, MATVEC_ROW_CHUNK, PAR_MIN_NNZ, RHS_LANES};
+pub use dense::{DenseMatrix, MATMUL_J_BLOCK, MATMUL_K_PANEL, MATMUL_ROW_BLOCK, PAR_MIN_WORK};
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use error::LinalgError;
 pub use factor::{GroundedCholesky, SolveScratch};

@@ -24,6 +24,7 @@ use cc_core::{ElectricalFlow, SolverOptions};
 use cc_graph::DiGraph;
 use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
+use cc_sparsify::TemplateCache;
 
 use crate::error::comm_rooted;
 use crate::residual::augment_to_optimality;
@@ -218,6 +219,7 @@ fn ipm_core<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
+    cache: Option<&TemplateCache>,
 ) -> Result<(Vec<f64>, IpmStats), MaxFlowError> {
     let t_edges = transform(g, s, t);
     let mt = t_edges.len();
@@ -227,6 +229,9 @@ fn ipm_core<C: Communicator>(
     let mut damp = vec![1.0f64; mt]; // boosting-lite damping
     let mut stats = IpmStats::default();
     let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
+    if let Some(cache) = cache {
+        engine.set_template_cache(cache.clone());
+    }
 
     // Per-iteration buffers, sized once: the steady-state loop body's
     // solve path allocates nothing (see `crates/ipm/tests/alloc_free.rs`).
@@ -472,10 +477,14 @@ fn fractional_cleanup<C: Communicator>(
     s: usize,
     t: usize,
     options: &IpmOptions,
+    cache: Option<&TemplateCache>,
 ) -> Result<EngineStats, MaxFlowError> {
     let n = g.n();
     let edges = g.edges();
     let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
+    if let Some(cache) = cache {
+        engine.set_template_cache(cache.clone());
+    }
     let mut violation = vec![0.0f64; n];
     let mut minus: Vec<f64> = Vec::with_capacity(n);
     let mut corr = ElectricalFlow::default();
@@ -568,16 +577,56 @@ pub fn max_flow_ipm<C: Communicator>(
     t: usize,
     options: &IpmOptions,
 ) -> Result<MaxFlowOutcome, MaxFlowError> {
+    max_flow_ipm_inner(clique, g, s, t, options, None)
+}
+
+/// [`max_flow_ipm`] with a shared cross-instance [`TemplateCache`]:
+/// both engines (IPM core on the transformed support, cleanup on the
+/// original support) consult the cache before their first sparsifier
+/// build and publish what they capture. Repeated queries on one network
+/// — different terminals, drifted capacities, parameter sweeps — skip
+/// the `n^{o(1)}`-round expander decompositions entirely after the first
+/// run. Per-cluster certificates are recomputed exactly on every
+/// instantiation, so the flow value is identical with or without the
+/// cache (iteration counts, and hence bit-level flows, may differ when
+/// the certified `α` of a cached template differs from a fresh build's).
+///
+/// # Errors
+///
+/// Same contract as [`max_flow_ipm`].
+///
+/// # Panics
+///
+/// Same contract as [`max_flow_ipm`].
+pub fn max_flow_ipm_with_cache<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    s: usize,
+    t: usize,
+    options: &IpmOptions,
+    cache: &TemplateCache,
+) -> Result<MaxFlowOutcome, MaxFlowError> {
+    max_flow_ipm_inner(clique, g, s, t, options, Some(cache))
+}
+
+fn max_flow_ipm_inner<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    s: usize,
+    t: usize,
+    options: &IpmOptions,
+    cache: Option<&TemplateCache>,
+) -> Result<MaxFlowOutcome, MaxFlowError> {
     assert!(s != t && s < g.n() && t < g.n(), "bad terminals");
     assert!(clique.n() >= g.n(), "clique too small");
     clique.phase("maxflow", |clique| {
         let (mut fractional, mut stats) = if g.m() == 0 {
             (Vec::new(), IpmStats::default())
         } else {
-            ipm_core(clique, g, s, t, options)?
+            ipm_core(clique, g, s, t, options, cache)?
         };
         if g.m() > 0 {
-            let cleanup = fractional_cleanup(clique, g, &mut fractional, s, t, options)?;
+            let cleanup = fractional_cleanup(clique, g, &mut fractional, s, t, options, cache)?;
             stats.engine.merge(&cleanup);
         }
 
@@ -679,6 +728,40 @@ mod tests {
         let g = DiGraph::from_capacities(4, &[(1, 0, 3), (2, 3, 1)]);
         let (out, _) = check_exact(&g, 0, 3);
         assert_eq!(out.value, 0);
+    }
+
+    #[test]
+    fn shared_cache_preserves_value_and_skips_decompositions() {
+        let g = generators::random_flow_network(10, 18, 4, 2);
+        let (_, want) = dinic(&g, 0, 9);
+        let cache = TemplateCache::new();
+        let mut clique = Clique::new(10);
+        let first =
+            max_flow_ipm_with_cache(&mut clique, &g, 0, 9, &IpmOptions::default(), &cache).unwrap();
+        assert_eq!(first.value, want);
+        // Both engines (core + cleanup) published their supports.
+        assert!(!cache.is_empty());
+        assert_eq!(first.stats.engine.total_template_cache_hits(), 0);
+        let published = cache.len();
+
+        let second =
+            max_flow_ipm_with_cache(&mut clique, &g, 0, 9, &IpmOptions::default(), &cache).unwrap();
+        assert_eq!(second.value, want, "cache must not change the flow value");
+        assert_eq!(cache.len(), published, "same supports, no new templates");
+        assert!(
+            second.stats.engine.total_template_cache_hits() >= 1,
+            "second run must reuse at least one cached template: {}",
+            second.stats.engine.to_json()
+        );
+        assert_eq!(
+            second.stats.engine.stage("augmentation").builds,
+            0,
+            "cached template must replace the core's first build"
+        );
+        // The uncached entry point matches too.
+        let third = max_flow_ipm(&mut clique, &g, 0, 9, &IpmOptions::default()).unwrap();
+        assert_eq!(third.value, want);
+        assert_eq!(third.stats.engine.total_template_cache_hits(), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use cc_core::{ElectricalFlow, SolverOptions};
 use cc_graph::DiGraph;
 use cc_ipm::{BarrierEngine, EngineOptions, EngineStats, EDGE_CHUNK};
 use cc_model::Communicator;
+use cc_sparsify::TemplateCache;
 
 use crate::repair::{cancel_negative_cycles, comm_rooted, route_deficits, McfError};
 use crate::snap::snap_to_sigma_multiples;
@@ -128,6 +129,7 @@ fn ipm_core<C: Communicator>(
     g: &DiGraph,
     sigma: &[i64],
     options: &McfOptions,
+    cache: Option<&TemplateCache>,
 ) -> Result<(Vec<f64>, McfStats), McfError> {
     let n = g.n();
     let m = g.m();
@@ -136,6 +138,9 @@ fn ipm_core<C: Communicator>(
     let mut y = vec![0.0f64; n]; // duals
     let mut stats = McfStats::default();
     let mut engine: BarrierEngine<C> = BarrierEngine::new(n, engine_options(options));
+    if let Some(cache) = cache {
+        engine.set_template_cache(cache.clone());
+    }
     let sigma_f: Vec<f64> = sigma.iter().map(|&s| s as f64).collect();
     let sigma_l1: f64 = sigma.iter().map(|&s| s.abs() as f64).sum();
     if m == 0 {
@@ -340,6 +345,41 @@ pub fn min_cost_flow_ipm<C: Communicator>(
     sigma: &[i64],
     options: &McfOptions,
 ) -> Result<McfOutcome, McfError> {
+    min_cost_flow_ipm_inner(clique, g, sigma, options, None)
+}
+
+/// [`min_cost_flow_ipm`] with a shared cross-instance [`TemplateCache`]:
+/// the IPM engine consults the cache before its first sparsifier build
+/// and publishes what it captures, so repeated solves on one edge
+/// support — demand sweeps, conformance soaks — skip the expander
+/// decomposition after the first run. Per-cluster certificates are
+/// recertified exactly per instantiation; the optimal cost is identical
+/// with or without the cache.
+///
+/// # Errors
+///
+/// Same contract as [`min_cost_flow_ipm`].
+///
+/// # Panics
+///
+/// Same contract as [`min_cost_flow_ipm`].
+pub fn min_cost_flow_ipm_with_cache<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    sigma: &[i64],
+    options: &McfOptions,
+    cache: &TemplateCache,
+) -> Result<McfOutcome, McfError> {
+    min_cost_flow_ipm_inner(clique, g, sigma, options, Some(cache))
+}
+
+fn min_cost_flow_ipm_inner<C: Communicator>(
+    clique: &mut C,
+    g: &DiGraph,
+    sigma: &[i64],
+    options: &McfOptions,
+    cache: Option<&TemplateCache>,
+) -> Result<McfOutcome, McfError> {
     if sigma.len() != g.n() {
         return Err(McfError::BadDemands {
             reason: "length mismatch",
@@ -356,7 +396,7 @@ pub fn min_cost_flow_ipm<C: Communicator>(
         g.n() + 2
     );
     clique.phase("mincostflow", |clique| {
-        let (fractional, mut stats) = ipm_core(clique, g, sigma, options)?;
+        let (fractional, mut stats) = ipm_core(clique, g, sigma, options, cache)?;
 
         let k = ((2 * g.m().max(1)) as f64).log2().ceil() as u32;
         let delta = 1.0 / (1u64 << k.min(40)) as f64;
@@ -460,6 +500,34 @@ mod tests {
             sigma[7] = -1;
             check_exact(&g, &sigma);
         }
+    }
+
+    #[test]
+    fn shared_cache_preserves_cost_and_skips_decompositions() {
+        let (g, sigma) = generators::bipartite_assignment(5, 2, 9, 1);
+        let (_, want) = ssp_min_cost_flow(&g, &sigma).expect("feasible instance");
+        let cache = TemplateCache::new();
+        let mut clique = Clique::new(g.n() + 2);
+        let opts = McfOptions::default();
+        let first = min_cost_flow_ipm_with_cache(&mut clique, &g, &sigma, &opts, &cache).unwrap();
+        assert_eq!(first.cost, want);
+        assert_eq!(cache.len(), 1, "core engine publishes its support");
+        assert_eq!(first.stats.engine.total_template_cache_hits(), 0);
+
+        // Reversed demands, same support: the cached template carries over.
+        let neg: Vec<i64> = sigma.iter().map(|&s| -s).collect();
+        if ssp_min_cost_flow(&g, &neg).is_some() {
+            let out = min_cost_flow_ipm_with_cache(&mut clique, &g, &neg, &opts, &cache).unwrap();
+            assert!(g.is_feasible_flow(&out.flow, &neg));
+        }
+        let second = min_cost_flow_ipm_with_cache(&mut clique, &g, &sigma, &opts, &cache).unwrap();
+        assert_eq!(second.cost, want, "cache must not change the optimum");
+        assert!(
+            second.stats.engine.total_template_cache_hits() >= 1,
+            "second run must reuse the cached template: {}",
+            second.stats.engine.to_json()
+        );
+        assert_eq!(second.stats.engine.stage("progress").builds, 0);
     }
 
     #[test]

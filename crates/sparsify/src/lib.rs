@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod certify;
 mod decomposition;
 mod error;
@@ -46,6 +47,7 @@ mod randomized;
 mod sparsifier;
 mod template;
 
+pub use cache::{TemplateCache, TemplateKey};
 pub use certify::{generalized_eigen_bounds, verify_sparsifier, CertifiedBounds};
 pub use decomposition::{expander_decompose, Cluster, ExpanderDecomposition};
 pub use error::SparsifyError;

@@ -196,23 +196,30 @@ mod tests {
         b[0] = 1.0;
         b[23] = -1.0;
         let alpha = h.alpha();
-        let out = cc_linalg::chebyshev_solve(
-            |v| lap.matvec(v),
-            |r| {
-                let mut z = solver.solve(r);
-                for zi in z.iter_mut() {
+        // Allocation-free iteration path: same FP sequence as the
+        // allocating wrapper, reused buffers across iterations.
+        let iters = cc_linalg::chebyshev_iteration_bound(h.kappa(), 1e-8);
+        let mut x = vec![0.0f64; 24];
+        let mut ws = cc_linalg::ChebyshevWorkspace::new(24);
+        let mut scratch = crate::SparsifierSolveScratch::default();
+        cc_linalg::chebyshev_solve_fixed_into(
+            |v, out| lap.matvec_into(v, out),
+            |r, out| {
+                solver.solve_into(r, out, &mut scratch);
+                for zi in out.iter_mut() {
                     *zi /= alpha;
                 }
-                z
             },
             &b,
             h.kappa(),
-            1e-8,
+            iters,
+            &mut x,
+            &mut ws,
         );
         let x_star = exact.solve(&b);
         let err = cc_linalg::relative_a_error(
             |v| cc_linalg::laplacian_quadratic_form(&triples, v),
-            &out.x,
+            &x,
             &x_star,
         );
         assert!(err <= 1e-8 * 1.05, "err={err}");

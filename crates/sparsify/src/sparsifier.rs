@@ -186,6 +186,50 @@ impl SparsifierSolver {
             .solve_into(&scratch.padded, &mut scratch.full, &mut scratch.factor);
         out.copy_from_slice(&scratch.full[..self.n]);
     }
+
+    /// Batched preconditioner solve over `k` interleaved right-hand
+    /// sides (`bs[v*k + j]` is entry `v` of vector `j`): pads every
+    /// column with zero demand at the auxiliary star centers, runs the
+    /// batched gadget solve
+    /// ([`cc_linalg::GroundedCholesky::solve_multi_into`] — the dense
+    /// factor streams through the cache once per sweep for the whole
+    /// batch), and restricts to the original vertices. This is the
+    /// amortization of one sparsifier build across a batch of solves:
+    /// column `j` of the result is bitwise identical to
+    /// [`SparsifierSolver::solve_into`] on column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `bs.len()`/`out.len()` differ from `n·k`.
+    pub fn solve_multi_into(
+        &self,
+        bs: &[f64],
+        k: usize,
+        out: &mut [f64],
+        scratch: &mut SparsifierSolveScratch,
+    ) {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(
+            bs.len(),
+            self.n * k,
+            "rhs batch must have k entries per original vertex"
+        );
+        assert_eq!(
+            out.len(),
+            self.n * k,
+            "output batch must have k entries per original vertex"
+        );
+        let total = self.chol.n();
+        scratch.padded.resize(total * k, 0.0);
+        scratch.full.resize(total * k, 0.0);
+        // Interleaved layout is vertex-major, and the auxiliary centers
+        // are the vertices n..total — the batch rhs is a prefix.
+        scratch.padded[..self.n * k].copy_from_slice(bs);
+        scratch.padded[self.n * k..].fill(0.0);
+        self.chol
+            .solve_multi_into(&scratch.padded, k, &mut scratch.full, &mut scratch.factor);
+        out.copy_from_slice(&scratch.full[..self.n * k]);
+    }
 }
 
 /// Reusable buffers for [`SparsifierSolver::solve_into`].
