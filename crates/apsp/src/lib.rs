@@ -33,9 +33,11 @@
 mod approx;
 mod error;
 mod minplus;
+mod session;
 mod sssp;
 
 pub use approx::{approx_apsp, ApproxApsp};
 pub use error::ApspError;
 pub use minplus::{apsp_from_arcs, Apsp, RoundModel, INFINITY};
+pub use session::ApspSession;
 pub use sssp::{sssp_bellman_ford, SsspOutcome};

@@ -15,7 +15,7 @@
 //! Wall-clock is the only nondeterministic output; the snapshot keeps the
 //! median of an odd number of repetitions to damp scheduler noise.
 //!
-//! The snapshot also embeds two fully deterministic sections that diff
+//! The snapshot also embeds three fully deterministic sections that diff
 //! cleanly across commits:
 //!
 //! - `"congestion"`: per-phase message, word, and link-congestion
@@ -24,6 +24,11 @@
 //! - `"ipm"`: golden end-to-end runs of both interior-point stacks
 //!   (value/cost, round totals, an FNV-1a hash of the integral flow
 //!   bits, and the barrier engine's per-stage solver stats).
+//! - `"service"` (schema v4): a seeded 1000-request soak through the
+//!   `cc-service` engine over the conformance corpus — round totals,
+//!   template-cache hits, oracle-mismatch count (must be 0), and an
+//!   FNV-1a fingerprint of every response, plus per-host wall-clock
+//!   throughput fields that are excluded from `--check`.
 //!
 //! A third tier scales the solver itself: `"large"` times batched
 //! multi-RHS kernels (`matvec_multi_into`, `solve_multi_into`, the full
@@ -35,8 +40,8 @@
 //!
 //! `bench_snapshot -- --check [path]` recomputes only the deterministic
 //! sections and exits nonzero if any drift-sensitive field (round
-//! totals, flow hashes, solve counts) differs from the committed
-//! baseline — CI runs this to catch silent round-complexity or
+//! totals, flow hashes, solve counts, cache hits, the service response
+//! fingerprint) differs from the committed baseline — CI runs this to catch silent round-complexity or
 //! determinism regressions. `--check --large [path]` instead recomputes
 //! the time-boxed subset (`n ∈ {512, 1024}`) of the large-tier solution
 //! hashes and compares them against `"large_determinism"`.
@@ -580,11 +585,57 @@ fn ipm_section() -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+/// Deterministic replay of the service-layer soak: the whole conformance
+/// corpus registered in one `FlowEngine`, a seeded randomized request
+/// stream with randomized batch widths, every 10th response differenced
+/// against the sequential oracles. Everything except the wall-clock
+/// fields (`wall_ms`, `requests_per_sec`) is bitwise reproducible across
+/// hosts and thread counts — `--check` recomputes the section and
+/// compares rounds, cache hits, and the response fingerprint.
+fn service_section() -> String {
+    let config = cc_conform::SoakConfig {
+        requests: 1000,
+        oracle_every: 10,
+        ..cc_conform::SoakConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = cc_conform::run_service_soak(&config);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.mismatches.is_empty(),
+        "service soak disagreed with the sequential oracles: {:?}",
+        report.mismatches
+    );
+    format!(
+        "{{\"seed\": {}, \"requests\": {}, \"batches\": {}, \"batched_requests\": {}, \"oracle_checks\": {}, \"mismatches\": {}, \"template_cache_hits\": {}, \"builds\": {}, \"total_rounds\": {}, \"charged_rounds\": {}, \"fingerprint\": \"{:#018x}\", \"counts_by_kind\": [{}], \"wall_ms\": {:.1}, \"requests_per_sec\": {:.0}}}",
+        config.seed,
+        report.requests,
+        report.batches,
+        report.batched_requests,
+        report.oracle_checks,
+        report.mismatches.len(),
+        report.template_cache_hits,
+        report.builds,
+        report.total_rounds,
+        report.charged_rounds,
+        report.fingerprint,
+        report
+            .counts_by_kind
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        wall_ms,
+        report.requests as f64 / (wall_ms / 1e3).max(1e-9),
+    )
+}
+
 /// Drift-sensitive fields of a snapshot document, in document order:
-/// every round total, flow hash, exact value and solver count. Wall-clock
+/// every round total, flow hash, exact value and solver count, plus the
+/// service soak's cache-hit totals and response fingerprint. Wall-clock
 /// fields are deliberately absent — they vary per host.
 fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
-    const KEYS: [&str; 10] = [
+    const KEYS: [&str; 13] = [
         "total_rounds",
         "charged_rounds",
         "implemented_rounds",
@@ -595,6 +646,9 @@ fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
         "solves",
         "chebyshev_iterations",
         "template_reuses",
+        "template_cache_hits",
+        "mismatches",
+        "fingerprint",
     ];
     let mut found = Vec::new();
     for key in KEYS {
@@ -628,11 +682,18 @@ fn check_baseline(path: &str) {
         );
         std::process::exit(1);
     }
+    if !baseline.contains("\"service\":") {
+        eprintln!(
+            "bench_snapshot --check: {path} has no \"service\" section (schema v4 — regenerate the baseline)"
+        );
+        std::process::exit(1);
+    }
     eprintln!("bench_snapshot --check: recomputing deterministic sections…");
     let fresh = format!(
-        "{{\n  \"ipm\": {},\n  \"congestion\": {}\n}}\n",
+        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {}\n}}\n",
         ipm_section(),
         congestion_section(),
+        service_section(),
     );
     let want: Vec<(String, String)> = drift_fields(&baseline)
         .into_iter()
@@ -718,6 +779,9 @@ fn main() {
     eprintln!("  congestion traces…");
     let congestion = congestion_section();
 
+    eprintln!("  service soak…");
+    let service = service_section();
+
     let all_equal =
         records.iter().all(|r| r.bitwise_equal) && large_records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
@@ -725,7 +789,7 @@ fn main() {
     // `"large_determinism"` stays the LAST section: `--check --large`
     // locates it by marker and reads to the end of the document.
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v3\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v4\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
@@ -733,6 +797,7 @@ fn main() {
         large_body.join(",\n"),
         ipm,
         congestion,
+        service,
         large_det_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -23,6 +23,12 @@
 //!   [`shapes`]. [`driver::fault_plans`] enumerates per-pipeline
 //!   [`FaultPlan`]s whose injected faults must surface as typed errors —
 //!   never panics, never silently wrong results.
+//! * [`service`] — a seeded soak driver for the `cc-service` engine:
+//!   [`run_service_soak`] replays a randomized typed request stream
+//!   against the whole corpus registered in one long-lived
+//!   `FlowEngine`, spot-checking sampled responses against the same
+//!   oracles and fingerprinting every response for cross-run and
+//!   cross-thread-count bitwise comparison.
 //!
 //! The harness is itself deterministic: same corpus, same probes, same
 //! fault streams on every run and every thread count.
@@ -33,6 +39,7 @@
 pub mod corpus;
 pub mod driver;
 pub mod oracle;
+pub mod service;
 pub mod shapes;
 
 pub use cc_model::{FaultComm, FaultPlan};
@@ -41,3 +48,4 @@ pub use corpus::{
     ArcCase, DemandCase, FlowCase, UndirectedCase,
 };
 pub use driver::{fault_plans, FaultTarget, Tolerances};
+pub use service::{run_service_soak, SoakConfig, SoakReport};

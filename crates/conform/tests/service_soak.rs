@@ -1,0 +1,69 @@
+//! Service-layer soak: a seeded randomized request stream through one
+//! long-lived engine, spot-checked against the sequential oracles.
+//!
+//! `SERVICE_SOAK_REQUESTS=N` scales the stream (CI runs ≥ 10 000); the
+//! default keeps the tier-1 run short. `SERVICE_SOAK_ORACLE_EVERY=K`
+//! tunes the sampled-oracle density.
+
+use cc_conform::{run_service_soak, SoakConfig};
+use cc_linalg::par::with_threads;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn soak_config() -> SoakConfig {
+    SoakConfig {
+        requests: env_or("SERVICE_SOAK_REQUESTS", 120),
+        oracle_every: env_or("SERVICE_SOAK_ORACLE_EVERY", 5),
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn seeded_soak_has_zero_oracle_mismatches() {
+    let report = run_service_soak(&soak_config());
+    println!(
+        "soak: {} requests in {} batches, {} oracle checks, \
+         {} template cache hits, {} builds, {} rounds ({} charged)",
+        report.requests,
+        report.batches,
+        report.oracle_checks,
+        report.template_cache_hits,
+        report.builds,
+        report.total_rounds,
+        report.charged_rounds,
+    );
+    assert!(report.oracle_checks > 0, "soak must sample the oracle");
+    assert!(
+        report.mismatches.is_empty(),
+        "oracle mismatches: {:#?}",
+        report.mismatches
+    );
+    assert!(
+        report.template_cache_hits > 0,
+        "the stream must observe cross-request cache reuse"
+    );
+}
+
+#[test]
+fn soak_stream_is_bitwise_identical_across_thread_counts() {
+    // Skip the oracle inside the threaded replays: conformance is the
+    // other test's job, identity of the response fingerprints is this
+    // one's.
+    let config = SoakConfig {
+        oracle_every: 0,
+        ..soak_config()
+    };
+    let base = with_threads(1, || run_service_soak(&config));
+    for threads in [2, 8] {
+        let got = with_threads(threads, || run_service_soak(&config));
+        assert_eq!(
+            base, got,
+            "soak report diverged at {threads} worker threads"
+        );
+    }
+}

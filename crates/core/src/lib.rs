@@ -44,8 +44,10 @@
 
 mod electrical;
 mod error;
+mod session;
 mod solver;
 
 pub use electrical::{ElectricalFlow, ElectricalNetwork};
 pub use error::CoreError;
+pub use session::SolverSession;
 pub use solver::{solve_laplacian, LaplacianSolver, SolveOutcome, SolveWorkspace, SolverOptions};

@@ -1,0 +1,189 @@
+//! Reentrant solver sessions: one solver, one workspace, many requests.
+//!
+//! [`crate::LaplacianSolver`] is already reusable across right-hand
+//! sides, but every hot caller has to thread its own
+//! [`crate::SolveWorkspace`] (and, for batches, output buffers) through
+//! each call. A [`SolverSession`] bundles the two into a single
+//! reentrant object: build once per graph, then call
+//! [`SolverSession::solve_into`] / [`SolverSession::solve_multi_into`]
+//! any number of times — steady state performs no heap allocation, and
+//! results are bitwise identical to the underlying solver methods. This
+//! is the bottom layer of the service architecture (`DESIGN.md` §11):
+//! `cc-service` keeps one session per registered graph and replays
+//! request streams against it.
+
+use cc_graph::Graph;
+use cc_model::Communicator;
+
+use crate::solver::{LaplacianSolver, SolveWorkspace, SolverOptions};
+use crate::CoreError;
+
+/// A reentrant Laplacian-solve session: a built [`LaplacianSolver`] plus
+/// the reusable [`SolveWorkspace`] its hot paths need. The one-shot entry
+/// points ([`crate::solve_laplacian`], [`LaplacianSolver::solve`]) are
+/// thin wrappers over the same reentrant methods this session exposes.
+#[derive(Debug, Clone)]
+pub struct SolverSession {
+    solver: LaplacianSolver,
+    ws: SolveWorkspace,
+}
+
+impl SolverSession {
+    /// Builds the solver in the clique (charging its rounds) and wraps it
+    /// with a fresh workspace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LaplacianSolver::build`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clique.n() < g.n()`.
+    pub fn build<C: Communicator>(
+        clique: &mut C,
+        g: &Graph,
+        options: &SolverOptions,
+    ) -> Result<Self, CoreError> {
+        Ok(Self::from_solver(LaplacianSolver::build(
+            clique, g, options,
+        )?))
+    }
+
+    /// Wraps an already-built solver (e.g. one constructed through
+    /// [`LaplacianSolver::with_sparsifier`] from a cached template).
+    pub fn from_solver(solver: LaplacianSolver) -> Self {
+        Self {
+            solver,
+            ws: SolveWorkspace::new(),
+        }
+    }
+
+    /// The wrapped solver.
+    pub fn solver(&self) -> &LaplacianSolver {
+        &self.solver
+    }
+
+    /// Number of vertices of the solved graph.
+    pub fn n(&self) -> usize {
+        self.solver.n()
+    }
+
+    /// The certified condition bound `κ = α²`.
+    pub fn kappa(&self) -> f64 {
+        self.solver.kappa()
+    }
+
+    /// Iterations (= broadcast rounds) a solve at accuracy `eps` will use.
+    pub fn iterations_for(&self, eps: f64) -> usize {
+        self.solver.iterations_for(eps)
+    }
+
+    /// [`LaplacianSolver::solve_into`] through the session's workspace:
+    /// bitwise-identical solution and identical round accounting, zero
+    /// steady-state allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects an
+    /// iteration's broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `eps ≤ 0`.
+    pub fn solve_into<C: Communicator>(
+        &mut self,
+        clique: &mut C,
+        b: &[f64],
+        eps: f64,
+        x: &mut Vec<f64>,
+    ) -> Result<usize, CoreError> {
+        self.solver.solve_into(clique, b, eps, x, &mut self.ws)
+    }
+
+    /// [`LaplacianSolver::solve_multi_into`] through the session's
+    /// workspace: `k` interleaved right-hand sides, each column bitwise
+    /// identical to its single solve, total rounds equal to `k` single
+    /// solves.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects any
+    /// column's broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `bs.len() != n·k`, or `eps ≤ 0`.
+    pub fn solve_multi_into<C: Communicator>(
+        &mut self,
+        clique: &mut C,
+        bs: &[f64],
+        k: usize,
+        eps: f64,
+        xs: &mut Vec<f64>,
+    ) -> Result<usize, CoreError> {
+        self.solver
+            .solve_multi_into(clique, bs, k, eps, xs, &mut self.ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use cc_model::Clique;
+
+    #[test]
+    fn session_matches_raw_solver_bitwise() {
+        let g = generators::random_connected(16, 40, 4, 2);
+        let mut clique = Clique::new(16);
+        let mut session = SolverSession::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let solver =
+            LaplacianSolver::build(&mut Clique::new(16), &g, &SolverOptions::default()).unwrap();
+        let mut b = vec![0.0; 16];
+        b[1] = 2.0;
+        b[14] = -2.0;
+        let mut x = Vec::new();
+        let mut ws = SolveWorkspace::new();
+        let mut want = Vec::new();
+        // Reentrancy: several solves through one session, each matching a
+        // raw-solver call bitwise.
+        for eps in [1e-4, 1e-8, 1e-8] {
+            session.solve_into(&mut clique, &b, eps, &mut x).unwrap();
+            solver
+                .solve_into(&mut Clique::new(16), &b, eps, &mut want, &mut ws)
+                .unwrap();
+            assert_eq!(x.len(), want.len());
+            for (a, w) in x.iter().zip(&want) {
+                assert_eq!(a.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn session_batch_matches_singles() {
+        let g = generators::expander(12);
+        let mut clique = Clique::new(12);
+        let mut session = SolverSession::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let k = 2;
+        let mut bs = vec![0.0; 12 * k];
+        bs[k] = 1.0; // b0: e_1 - e_7
+        bs[7 * k] = -1.0;
+        bs[3 * k + 1] = 1.0; // b1: e_3 - e_9
+        bs[9 * k + 1] = -1.0;
+        let mut xs = Vec::new();
+        session
+            .solve_multi_into(&mut clique, &bs, k, 1e-7, &mut xs)
+            .unwrap();
+        for j in 0..k {
+            let mut b = vec![0.0; 12];
+            for v in 0..12 {
+                b[v] = bs[v * k + j];
+            }
+            let mut x = Vec::new();
+            session.solve_into(&mut clique, &b, 1e-7, &mut x).unwrap();
+            for v in 0..12 {
+                assert_eq!(x[v].to_bits(), xs[v * k + j].to_bits());
+            }
+        }
+    }
+}

@@ -81,6 +81,8 @@ pub struct SolveWorkspace {
     shared: Vec<f64>,
     /// Chebyshev iteration vectors.
     cheby: cc_linalg::ChebyshevWorkspace,
+    /// Batched Chebyshev iteration vectors (multi-RHS solves).
+    batch: cc_linalg::BatchWorkspace,
     /// Preconditioner (sparsifier Cholesky) scratch.
     scratch: cc_sparsify::SparsifierSolveScratch,
 }
@@ -226,6 +228,39 @@ impl LaplacianSolver {
         }
         for (v, xv) in x.iter_mut().enumerate() {
             *xv -= sums[self.components[v]] / counts[self.components[v]] as f64;
+        }
+    }
+
+    /// Multi-column twin of [`LaplacianSolver::project_in_place`]:
+    /// removes the per-component mean of every interleaved column
+    /// (`xs[v*k + j]` is entry `v` of column `j`). Column `j` undergoes
+    /// exactly the floating-point operations of the single-column
+    /// projection — vertices accumulate in the same ascending order — so
+    /// the result is bitwise identical per column.
+    fn project_multi_in_place(
+        &self,
+        xs: &mut [f64],
+        k: usize,
+        sums: &mut Vec<f64>,
+        counts: &mut Vec<usize>,
+    ) {
+        sums.clear();
+        sums.resize(self.comp_count * k, 0.0);
+        counts.clear();
+        counts.resize(self.comp_count, 0);
+        for v in 0..self.n {
+            let c = self.components[v];
+            counts[c] += 1;
+            for j in 0..k {
+                sums[c * k + j] += xs[v * k + j];
+            }
+        }
+        for v in 0..self.n {
+            let c = self.components[v];
+            let cnt = counts[c] as f64;
+            for j in 0..k {
+                xs[v * k + j] -= sums[c * k + j] / cnt;
+            }
         }
     }
 
@@ -390,6 +425,133 @@ impl LaplacianSolver {
         }
         // Canonical representative: zero mean per component (free).
         self.project_in_place(x, &mut ws.comp_sums, &mut ws.comp_counts);
+        Ok(spent)
+    }
+
+    /// Batched [`LaplacianSolver::solve_into`] over `k` interleaved
+    /// right-hand sides (`bs[v*k + j]` is entry `v` of column `j`), all at
+    /// accuracy `eps`. Writes the interleaved solutions into `xs` (resized
+    /// to `n·k`) and returns the Chebyshev iterations spent.
+    ///
+    /// Rounds charged: `k` broadcast rounds per Chebyshev iteration (one
+    /// per column — every column's mat-vec ships the same payload a
+    /// single solve would), so the total round cost equals `k` separate
+    /// `solve_into` calls exactly. The amortization is wall-clock: the
+    /// Laplacian, the preconditioner factor and the Chebyshev vectors
+    /// stream through the cache once per iteration instead of `k` times
+    /// ([`cc_linalg::chebyshev_solve_multi_into`]).
+    ///
+    /// Column `j` of the result is **bitwise identical** to a single
+    /// `solve_into` of column `j`: the Chebyshev coefficients depend only
+    /// on `κ` and the iteration index, every vector update is
+    /// elementwise, and the mat-vec / preconditioner kernels are
+    /// bitwise-per-column by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Comm`] if the communication substrate rejects any
+    /// column's broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `bs.len() != n·k`, or `eps ≤ 0`.
+    pub fn solve_multi_into<C: Communicator>(
+        &self,
+        clique: &mut C,
+        bs: &[f64],
+        k: usize,
+        eps: f64,
+        xs: &mut Vec<f64>,
+        ws: &mut SolveWorkspace,
+    ) -> Result<usize, CoreError> {
+        assert!(k > 0, "batch width must be positive");
+        assert_eq!(bs.len(), self.n * k, "rhs batch length mismatch");
+        assert!(eps > 0.0, "eps must be positive");
+        let eps = eps.min(0.5);
+        let n = self.n;
+        ws.b_proj.clear();
+        ws.b_proj.extend_from_slice(bs);
+        {
+            let SolveWorkspace {
+                ref mut b_proj,
+                ref mut comp_sums,
+                ref mut comp_counts,
+                ..
+            } = *ws;
+            self.project_multi_in_place(b_proj, k, comp_sums, comp_counts);
+        }
+        let kappa = self.kappa;
+        let alpha = self.sparsifier.alpha();
+        let iterations = chebyshev_iteration_bound(kappa, eps);
+        xs.clear();
+        xs.resize(n * k, 0.0);
+
+        let mut comm_err: Option<ModelError> = None;
+        let spent = clique.phase("laplacian_solve", |clique| {
+            let frac_bits = self.message_frac_bits;
+            let encode = |x: f64| match frac_bits {
+                Some(b) => cc_model::encode_f64_fixed(x, b),
+                None => encode_f64(x),
+            };
+            let decode = |w: u64| match frac_bits {
+                Some(b) => cc_model::decode_f64_fixed(w, b),
+                None => decode_f64(w),
+            };
+            let SolveWorkspace {
+                ref b_proj,
+                ref mut words,
+                ref mut view,
+                ref mut shared,
+                ref mut batch,
+                ref mut scratch,
+                ..
+            } = *ws;
+            words.clear();
+            words.resize(clique.n(), 0);
+            shared.clear();
+            shared.resize(n * k, 0.0);
+            let comm_err = &mut comm_err;
+            let apply_a = |v: &[f64], out: &mut [f64]| {
+                // One broadcast round per column: column `j` ships exactly
+                // the words its single solve would, so the decoded view —
+                // and hence every downstream bit — matches the unbatched
+                // path. A substrate failure latches in `comm_err`; the
+                // remaining broadcasts are abandoned (zeroed views) and
+                // the caller returns the error after the loop unwinds.
+                for j in 0..k {
+                    for (i, w) in words[..n].iter_mut().enumerate() {
+                        *w = encode(v[i * k + j]);
+                    }
+                    if comm_err.is_none() {
+                        if let Err(e) = clique.try_broadcast_all_into(words, view) {
+                            *comm_err = Some(e);
+                        }
+                    }
+                    if comm_err.is_some() {
+                        view.clear();
+                        view.resize(words.len(), 0);
+                    }
+                    for (i, &w) in view[..n].iter().enumerate() {
+                        shared[i * k + j] = decode(w);
+                    }
+                }
+                self.laplacian.matvec_multi_into(shared, k, out);
+            };
+            // B = α·S_H  ⇒  B-solve = (1/α)·S_H†; internal, zero rounds.
+            let solve_b = |r: &[f64], z: &mut [f64]| {
+                self.inner.solve_multi_into(r, k, z, scratch);
+                for zi in z.iter_mut() {
+                    *zi /= alpha;
+                }
+            };
+            cc_linalg::chebyshev_solve_multi_into(
+                apply_a, solve_b, b_proj, k, kappa, iterations, xs, batch,
+            )
+        });
+        if let Some(e) = comm_err {
+            return Err(CoreError::Comm(e));
+        }
+        self.project_multi_in_place(xs, k, &mut ws.comp_sums, &mut ws.comp_counts);
         Ok(spent)
     }
 }
@@ -632,6 +794,54 @@ mod tests {
             assert_eq!(out.x.len(), x.len());
             for (a, b) in out.x.iter().zip(&x) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_into_matches_singles_bitwise_and_in_rounds() {
+        let g = generators::random_connected(18, 44, 5, 8);
+        let mut clique = Clique::new(18);
+        let solver = LaplacianSolver::build(&mut clique, &g, &SolverOptions::default()).unwrap();
+        let pairs = [(0usize, 17usize), (2, 9), (5, 13)];
+        let k = pairs.len();
+        let mut ws = SolveWorkspace::new();
+        let mut singles = Vec::new();
+        let before = clique.ledger().total_rounds();
+        for &(s, t) in &pairs {
+            let mut x = Vec::new();
+            let b = st_rhs(18, s, t);
+            solver
+                .solve_into(&mut clique, &b, 1e-8, &mut x, &mut ws)
+                .unwrap();
+            singles.push(x);
+        }
+        let single_rounds = clique.ledger().total_rounds() - before;
+
+        // Interleaved batch of the same right-hand sides.
+        let mut bs = vec![0.0; 18 * k];
+        for (j, &(s, t)) in pairs.iter().enumerate() {
+            bs[s * k + j] = 1.0;
+            bs[t * k + j] = -1.0;
+        }
+        let mut xs = Vec::new();
+        let before = clique.ledger().total_rounds();
+        let spent = solver
+            .solve_multi_into(&mut clique, &bs, k, 1e-8, &mut xs, &mut ws)
+            .unwrap();
+        let batch_rounds = clique.ledger().total_rounds() - before;
+        assert_eq!(spent, solver.iterations_for(1e-8));
+        assert_eq!(
+            batch_rounds, single_rounds,
+            "batch must charge exactly k single solves' rounds"
+        );
+        for (j, x) in singles.iter().enumerate() {
+            for v in 0..18 {
+                assert_eq!(
+                    x[v].to_bits(),
+                    xs[v * k + j].to_bits(),
+                    "column {j} entry {v} must match the single solve bitwise"
+                );
             }
         }
     }

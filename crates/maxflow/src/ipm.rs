@@ -580,36 +580,16 @@ pub fn max_flow_ipm<C: Communicator>(
     max_flow_ipm_inner(clique, g, s, t, options, None)
 }
 
-/// [`max_flow_ipm`] with a shared cross-instance [`TemplateCache`]:
-/// both engines (IPM core on the transformed support, cleanup on the
-/// original support) consult the cache before their first sparsifier
-/// build and publish what they capture. Repeated queries on one network
-/// — different terminals, drifted capacities, parameter sweeps — skip
-/// the `n^{o(1)}`-round expander decompositions entirely after the first
-/// run. Per-cluster certificates are recomputed exactly on every
-/// instantiation, so the flow value is identical with or without the
-/// cache (iteration counts, and hence bit-level flows, may differ when
-/// the certified `α` of a cached template differs from a fresh build's).
-///
-/// # Errors
-///
-/// Same contract as [`max_flow_ipm`].
-///
-/// # Panics
-///
-/// Same contract as [`max_flow_ipm`].
-pub fn max_flow_ipm_with_cache<C: Communicator>(
-    clique: &mut C,
-    g: &DiGraph,
-    s: usize,
-    t: usize,
-    options: &IpmOptions,
-    cache: &TemplateCache,
-) -> Result<MaxFlowOutcome, MaxFlowError> {
-    max_flow_ipm_inner(clique, g, s, t, options, Some(cache))
-}
-
-fn max_flow_ipm_inner<C: Communicator>(
+/// Shared implementation of [`max_flow_ipm`] (no cache) and
+/// [`crate::MaxFlowSession::max_flow`] (session-owned [`TemplateCache`]):
+/// with a cache, both engines (IPM core on the transformed support,
+/// cleanup on the original support) consult it before their first
+/// sparsifier build and publish what they capture. Per-cluster
+/// certificates are recomputed exactly on every instantiation, so the
+/// flow value is identical with or without the cache (iteration counts,
+/// and hence bit-level flows, may differ when the certified `α` of a
+/// cached template differs from a fresh build's).
+pub(crate) fn max_flow_ipm_inner<C: Communicator>(
     clique: &mut C,
     g: &DiGraph,
     s: usize,
@@ -734,18 +714,17 @@ mod tests {
     fn shared_cache_preserves_value_and_skips_decompositions() {
         let g = generators::random_flow_network(10, 18, 4, 2);
         let (_, want) = dinic(&g, 0, 9);
-        let cache = TemplateCache::new();
+        let session = crate::MaxFlowSession::new(IpmOptions::default());
+        let cache = session.cache().clone();
         let mut clique = Clique::new(10);
-        let first =
-            max_flow_ipm_with_cache(&mut clique, &g, 0, 9, &IpmOptions::default(), &cache).unwrap();
+        let first = session.max_flow(&mut clique, &g, 0, 9).unwrap();
         assert_eq!(first.value, want);
         // Both engines (core + cleanup) published their supports.
         assert!(!cache.is_empty());
         assert_eq!(first.stats.engine.total_template_cache_hits(), 0);
         let published = cache.len();
 
-        let second =
-            max_flow_ipm_with_cache(&mut clique, &g, 0, 9, &IpmOptions::default(), &cache).unwrap();
+        let second = session.max_flow(&mut clique, &g, 0, 9).unwrap();
         assert_eq!(second.value, want, "cache must not change the flow value");
         assert_eq!(cache.len(), published, "same supports, no new templates");
         assert!(

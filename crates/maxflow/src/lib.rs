@@ -44,11 +44,13 @@ mod error;
 mod ipm;
 mod residual;
 mod rounding_bridge;
+mod session;
 
 pub use baselines::{max_flow_ford_fulkerson, max_flow_trivial};
 pub use cut::{min_cut_from_max_flow, MinCut};
 pub use dinic::dinic;
 pub use error::MaxFlowError;
-pub use ipm::{max_flow_ipm, max_flow_ipm_with_cache, IpmOptions, IpmStats, MaxFlowOutcome};
+pub use ipm::{max_flow_ipm, IpmOptions, IpmStats, MaxFlowOutcome};
 pub use residual::{augment_to_optimality, RepairStats};
 pub use rounding_bridge::{snap_to_delta_multiples, SnapOutcome};
+pub use session::MaxFlowSession;

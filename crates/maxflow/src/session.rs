@@ -1,0 +1,79 @@
+//! Reentrant max-flow sessions over a shared sparsifier template cache.
+//!
+//! [`max_flow_ipm`](crate::max_flow_ipm) is one-shot: each call builds
+//! the transformed-support and original-support sparsifiers from
+//! scratch. A [`MaxFlowSession`] keeps a [`TemplateCache`] across calls,
+//! so repeated queries on one network — different terminals, drifted
+//! capacities, parameter sweeps — skip the `n^{o(1)}`-round expander
+//! decompositions after the first run. Per-cluster certificates are
+//! recertified exactly on every instantiation, so the flow value is
+//! identical with or without the cache. This is the session-based call
+//! path the service layer (`DESIGN.md` §11) uses; it replaces the old
+//! `max_flow_ipm_with_cache` entry point.
+
+use cc_graph::DiGraph;
+use cc_model::Communicator;
+use cc_sparsify::TemplateCache;
+
+use crate::ipm::{max_flow_ipm_inner, IpmOptions, MaxFlowOutcome};
+use crate::MaxFlowError;
+
+/// A reentrant max-flow session: fixed [`IpmOptions`] plus a
+/// [`TemplateCache`] every solve consults before its first sparsifier
+/// build and publishes into. `Clone` shares the cache (handle clone).
+#[derive(Debug, Clone, Default)]
+pub struct MaxFlowSession {
+    options: IpmOptions,
+    cache: TemplateCache,
+}
+
+impl MaxFlowSession {
+    /// A session with a fresh private cache.
+    pub fn new(options: IpmOptions) -> Self {
+        Self {
+            options,
+            cache: TemplateCache::new(),
+        }
+    }
+
+    /// A session over an existing (possibly shared) cache — e.g. one
+    /// engine-wide cache serving max-flow and min-cost-flow sessions on
+    /// the same network.
+    pub fn with_cache(options: IpmOptions, cache: TemplateCache) -> Self {
+        Self { options, cache }
+    }
+
+    /// The options every solve uses.
+    pub fn options(&self) -> &IpmOptions {
+        &self.options
+    }
+
+    /// The backing cache (shared handle; hit/miss counters live here).
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
+    }
+
+    /// [`max_flow_ipm`](crate::max_flow_ipm) through the session's cache:
+    /// both engines (IPM core on the transformed support, cleanup on the
+    /// original support) consult the cache before their first sparsifier
+    /// build and publish what they capture. Cache reuse is observable in
+    /// the outcome's [`EngineStats`](cc_ipm::EngineStats)
+    /// (`template_cache_hits`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`max_flow_ipm`](crate::max_flow_ipm).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`max_flow_ipm`](crate::max_flow_ipm).
+    pub fn max_flow<C: Communicator>(
+        &self,
+        clique: &mut C,
+        g: &DiGraph,
+        s: usize,
+        t: usize,
+    ) -> Result<MaxFlowOutcome, MaxFlowError> {
+        max_flow_ipm_inner(clique, g, s, t, &self.options, Some(&self.cache))
+    }
+}

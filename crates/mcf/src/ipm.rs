@@ -348,32 +348,15 @@ pub fn min_cost_flow_ipm<C: Communicator>(
     min_cost_flow_ipm_inner(clique, g, sigma, options, None)
 }
 
-/// [`min_cost_flow_ipm`] with a shared cross-instance [`TemplateCache`]:
-/// the IPM engine consults the cache before its first sparsifier build
-/// and publishes what it captures, so repeated solves on one edge
-/// support — demand sweeps, conformance soaks — skip the expander
-/// decomposition after the first run. Per-cluster certificates are
-/// recertified exactly per instantiation; the optimal cost is identical
-/// with or without the cache.
-///
-/// # Errors
-///
-/// Same contract as [`min_cost_flow_ipm`].
-///
-/// # Panics
-///
-/// Same contract as [`min_cost_flow_ipm`].
-pub fn min_cost_flow_ipm_with_cache<C: Communicator>(
-    clique: &mut C,
-    g: &DiGraph,
-    sigma: &[i64],
-    options: &McfOptions,
-    cache: &TemplateCache,
-) -> Result<McfOutcome, McfError> {
-    min_cost_flow_ipm_inner(clique, g, sigma, options, Some(cache))
-}
-
-fn min_cost_flow_ipm_inner<C: Communicator>(
+/// Shared implementation of [`min_cost_flow_ipm`] (no cache) and
+/// [`crate::McfSession::min_cost_flow`] (session-owned
+/// [`TemplateCache`]): with a cache, the IPM engine consults it before
+/// its first sparsifier build and publishes what it captures, so
+/// repeated solves on one edge support — demand sweeps, conformance
+/// soaks — skip the expander decomposition after the first run.
+/// Per-cluster certificates are recertified exactly per instantiation;
+/// the optimal cost is identical with or without the cache.
+pub(crate) fn min_cost_flow_ipm_inner<C: Communicator>(
     clique: &mut C,
     g: &DiGraph,
     sigma: &[i64],
@@ -506,10 +489,10 @@ mod tests {
     fn shared_cache_preserves_cost_and_skips_decompositions() {
         let (g, sigma) = generators::bipartite_assignment(5, 2, 9, 1);
         let (_, want) = ssp_min_cost_flow(&g, &sigma).expect("feasible instance");
-        let cache = TemplateCache::new();
+        let session = crate::McfSession::new(McfOptions::default());
+        let cache = session.cache().clone();
         let mut clique = Clique::new(g.n() + 2);
-        let opts = McfOptions::default();
-        let first = min_cost_flow_ipm_with_cache(&mut clique, &g, &sigma, &opts, &cache).unwrap();
+        let first = session.min_cost_flow(&mut clique, &g, &sigma).unwrap();
         assert_eq!(first.cost, want);
         assert_eq!(cache.len(), 1, "core engine publishes its support");
         assert_eq!(first.stats.engine.total_template_cache_hits(), 0);
@@ -517,10 +500,10 @@ mod tests {
         // Reversed demands, same support: the cached template carries over.
         let neg: Vec<i64> = sigma.iter().map(|&s| -s).collect();
         if ssp_min_cost_flow(&g, &neg).is_some() {
-            let out = min_cost_flow_ipm_with_cache(&mut clique, &g, &neg, &opts, &cache).unwrap();
+            let out = session.min_cost_flow(&mut clique, &g, &neg).unwrap();
             assert!(g.is_feasible_flow(&out.flow, &neg));
         }
-        let second = min_cost_flow_ipm_with_cache(&mut clique, &g, &sigma, &opts, &cache).unwrap();
+        let second = session.min_cost_flow(&mut clique, &g, &sigma).unwrap();
         assert_eq!(second.cost, want, "cache must not change the optimum");
         assert!(
             second.stats.engine.total_template_cache_hits() >= 1,

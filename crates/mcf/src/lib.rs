@@ -37,10 +37,12 @@
 
 mod ipm;
 mod repair;
+mod session;
 mod snap;
 mod ssp;
 
-pub use ipm::{min_cost_flow_ipm, min_cost_flow_ipm_with_cache, McfOptions, McfOutcome, McfStats};
+pub use ipm::{min_cost_flow_ipm, McfOptions, McfOutcome, McfStats};
 pub use repair::{cancel_negative_cycles, is_min_cost, route_deficits, McfError};
+pub use session::McfSession;
 pub use snap::snap_to_sigma_multiples;
 pub use ssp::ssp_min_cost_flow;

@@ -1,0 +1,75 @@
+//! Reentrant min-cost-flow sessions over a shared sparsifier template
+//! cache.
+//!
+//! [`min_cost_flow_ipm`](crate::min_cost_flow_ipm) is one-shot: each
+//! call pays the full expander decomposition of its edge support. A
+//! [`McfSession`] keeps a [`TemplateCache`] across calls, so repeated
+//! solves on one support — demand sweeps, conformance soaks — skip the
+//! decomposition after the first run. Per-cluster certificates are
+//! recertified exactly per instantiation; the optimal cost is identical
+//! with or without the cache. This is the session-based call path the
+//! service layer (`DESIGN.md` §11) uses; it replaces the old
+//! `min_cost_flow_ipm_with_cache` entry point.
+
+use cc_graph::DiGraph;
+use cc_model::Communicator;
+use cc_sparsify::TemplateCache;
+
+use crate::ipm::{min_cost_flow_ipm_inner, McfOptions, McfOutcome};
+use crate::McfError;
+
+/// A reentrant min-cost-flow session: fixed [`McfOptions`] plus a
+/// [`TemplateCache`] every solve consults before its first sparsifier
+/// build and publishes into. `Clone` shares the cache (handle clone).
+#[derive(Debug, Clone, Default)]
+pub struct McfSession {
+    options: McfOptions,
+    cache: TemplateCache,
+}
+
+impl McfSession {
+    /// A session with a fresh private cache.
+    pub fn new(options: McfOptions) -> Self {
+        Self {
+            options,
+            cache: TemplateCache::new(),
+        }
+    }
+
+    /// A session over an existing (possibly shared) cache.
+    pub fn with_cache(options: McfOptions, cache: TemplateCache) -> Self {
+        Self { options, cache }
+    }
+
+    /// The options every solve uses.
+    pub fn options(&self) -> &McfOptions {
+        &self.options
+    }
+
+    /// The backing cache (shared handle; hit/miss counters live here).
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
+    }
+
+    /// [`min_cost_flow_ipm`](crate::min_cost_flow_ipm) through the
+    /// session's cache: the IPM engine consults the cache before its
+    /// first sparsifier build and publishes what it captures. Cache reuse
+    /// is observable in the outcome's
+    /// [`EngineStats`](cc_ipm::EngineStats) (`template_cache_hits`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`min_cost_flow_ipm`](crate::min_cost_flow_ipm).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`min_cost_flow_ipm`](crate::min_cost_flow_ipm).
+    pub fn min_cost_flow<C: Communicator>(
+        &self,
+        clique: &mut C,
+        g: &DiGraph,
+        sigma: &[i64],
+    ) -> Result<McfOutcome, McfError> {
+        min_cost_flow_ipm_inner(clique, g, sigma, &self.options, Some(&self.cache))
+    }
+}

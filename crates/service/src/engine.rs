@@ -1,0 +1,590 @@
+//! The long-lived request/response engine.
+
+use std::collections::BTreeMap;
+
+use cc_apsp::{ApspSession, RoundModel, SsspOutcome};
+use cc_core::{SolverOptions, SolverSession};
+use cc_maxflow::{IpmOptions, MaxFlowSession};
+use cc_mcf::{McfOptions, McfSession};
+use cc_model::Communicator;
+use cc_sparsify::TemplateCache;
+
+use crate::error::{ServiceError, ServiceErrorKind};
+use crate::request::{GraphSpec, Request, Response};
+
+/// Engine-wide defaults applied to every request.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Laplacian solver construction options (Laplacian solves and
+    /// effective resistances). Defaults to `skip_reference = true`: the
+    /// engine issues many solves and never reads the `O(n³)` reference.
+    pub solver: SolverOptions,
+    /// Max-flow pipeline options.
+    pub maxflow: IpmOptions,
+    /// Min-cost-flow pipeline options.
+    pub mcf: McfOptions,
+    /// Round-accounting model of APSP requests.
+    pub round_model: RoundModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverOptions {
+                skip_reference: true,
+                ..SolverOptions::default()
+            },
+            maxflow: IpmOptions::default(),
+            mcf: McfOptions::default(),
+            round_model: RoundModel::FastMatMul,
+        }
+    }
+}
+
+/// Per-request accounting: what the request cost and which per-graph
+/// state it built or reused.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestStats {
+    /// Engine-assigned request ID (submission order).
+    pub request_id: u64,
+    /// Name of the graph served.
+    pub graph: String,
+    /// Generation of the graph entry that served the request.
+    pub generation: u64,
+    /// Ledger rounds the request cost (batched solves: the group's
+    /// solve rounds split evenly over its `k` members — exact, because a
+    /// batched iteration broadcasts once per column).
+    pub rounds: u64,
+    /// Charged (oracle + implemented) rounds, same attribution.
+    pub charged_rounds: u64,
+    /// Sparsifier-template cache hits this request scored against the
+    /// graph's generation-scoped [`TemplateCache`].
+    pub template_cache_hits: u64,
+    /// True if this request paid a per-graph build (Laplacian solver
+    /// construction or APSP matrix); false when it reused one a previous
+    /// request built.
+    pub built: bool,
+    /// Size of the admitted batch this request was answered in (1 =
+    /// solo).
+    pub batched_with: usize,
+    /// Barrier-engine accounting of flow requests (`None` otherwise).
+    pub engine: Option<cc_ipm::EngineStats>,
+}
+
+/// A successful request: the response plus its accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    /// The computed value.
+    pub response: Response,
+    /// What it cost and what it reused.
+    pub stats: RequestStats,
+}
+
+/// One registered graph: its spec, generation, and the lazily built
+/// per-generation state every request against it reuses.
+#[derive(Debug, Clone)]
+struct GraphEntry {
+    generation: u64,
+    spec: GraphSpec,
+    /// Generation-scoped sparsifier template cache shared by the flow
+    /// sessions (max-flow and MCF key by edge support, so one cache
+    /// serves both).
+    cache: TemplateCache,
+    /// Laplacian solver + workspace (undirected graphs; carries the
+    /// sparsifier Cholesky factorization reused across requests).
+    solver: Option<SolverSession>,
+    maxflow: Option<MaxFlowSession>,
+    mcf: Option<McfSession>,
+    apsp: Option<ApspSession>,
+}
+
+/// A long-lived engine over one communicator: a registry of named
+/// graphs, session state reused across requests, batch admission for
+/// same-graph Laplacian solves, and per-request accounting.
+///
+/// Determinism: the engine adds no ordering or threading of its own —
+/// requests execute in submission order (batched groups at their first
+/// member's slot), all per-graph state is rebuilt deterministically, so
+/// the same request stream yields bitwise-identical responses at any
+/// worker-thread count, matching fresh-engine-per-request execution.
+#[derive(Debug)]
+pub struct FlowEngine<C: Communicator> {
+    clique: C,
+    config: EngineConfig,
+    graphs: BTreeMap<String, GraphEntry>,
+    next_request_id: u64,
+}
+
+impl<C: Communicator> FlowEngine<C> {
+    /// An engine over `clique` with default configuration.
+    pub fn new(clique: C) -> Self {
+        Self::with_config(clique, EngineConfig::default())
+    }
+
+    /// An engine over `clique` with explicit configuration.
+    pub fn with_config(clique: C, config: EngineConfig) -> Self {
+        Self {
+            clique,
+            config,
+            graphs: BTreeMap::new(),
+            next_request_id: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The communicator's round ledger (all requests charge here).
+    pub fn ledger(&self) -> &cc_model::RoundLedger {
+        self.clique.ledger()
+    }
+
+    /// Registers (or re-registers) `name`. Re-registration bumps the
+    /// entry's generation and drops every cached artifact — solver
+    /// factorization, sparsifier templates, APSP matrix — so no request
+    /// can ever be served from a previous generation's state. Returns
+    /// the new generation (1 for a first registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more vertices than the clique has nodes.
+    pub fn register(&mut self, name: &str, spec: GraphSpec) -> u64 {
+        assert!(
+            spec.n() <= self.clique.n(),
+            "graph {:?} has {} vertices but the clique only {} nodes",
+            name,
+            spec.n(),
+            self.clique.n()
+        );
+        let generation = self.graphs.get(name).map_or(1, |e| e.generation + 1);
+        self.graphs.insert(
+            name.to_string(),
+            GraphEntry {
+                generation,
+                spec,
+                cache: TemplateCache::new(),
+                solver: None,
+                maxflow: None,
+                mcf: None,
+                apsp: None,
+            },
+        );
+        generation
+    }
+
+    /// Current generation of a registered graph.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.graphs.get(name).map(|e| e.generation)
+    }
+
+    /// The registered spec of a graph.
+    pub fn graph_spec(&self, name: &str) -> Option<&GraphSpec> {
+        self.graphs.get(name).map(|e| &e.spec)
+    }
+
+    /// Registered graph names (lexicographic).
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> {
+        self.graphs.keys().map(|s| s.as_str())
+    }
+
+    /// Submits one request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] on unknown graphs, malformed requests, or any
+    /// typed failure of the underlying pipeline.
+    pub fn submit(&mut self, request: Request) -> Result<ServiceOutcome, ServiceError> {
+        self.submit_batch(vec![request])
+            .pop()
+            .expect("one request in, one result out")
+    }
+
+    /// Submits a batch. Admission: [`Request::LaplacianSolve`] entries
+    /// sharing `(graph, eps)` are answered by one `solve_multi_into`
+    /// call (each response is its column of the batched solve —
+    /// bitwise-identical to a solo solve by the multi-RHS kernel
+    /// contract); everything else runs solo, in submission order.
+    /// Results are returned in submission order.
+    pub fn submit_batch(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Vec<Result<ServiceOutcome, ServiceError>> {
+        let base_id = self.next_request_id;
+        self.next_request_id += requests.len() as u64;
+
+        // Group batchable solves by (graph, eps). BTreeMap keeps the
+        // grouping deterministic; members stay in submission order.
+        let mut groups: BTreeMap<(String, u64), Vec<usize>> = BTreeMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            if let Request::LaplacianSolve { graph, eps, .. } = r {
+                groups
+                    .entry((graph.clone(), eps.to_bits()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        let mut slots: Vec<Option<Result<ServiceOutcome, ServiceError>>> =
+            requests.iter().map(|_| None).collect();
+        for ((graph, eps_bits), members) in groups {
+            if members.len() < 2 {
+                continue; // solo path below
+            }
+            let eps = f64::from_bits(eps_bits);
+            self.execute_solve_group(&graph, eps, &members, base_id, &requests, &mut slots);
+        }
+        for (i, r) in requests.into_iter().enumerate() {
+            if slots[i].is_none() {
+                slots[i] = Some(self.execute(base_id + i as u64, r));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Runs one admitted group of same-graph same-`eps` Laplacian
+    /// solves through `solve_multi_into`, filling the members' slots.
+    fn execute_solve_group(
+        &mut self,
+        graph: &str,
+        eps: f64,
+        members: &[usize],
+        base_id: u64,
+        requests: &[Request],
+        slots: &mut [Option<Result<ServiceOutcome, ServiceError>>],
+    ) {
+        let fail_all = |slots: &mut [Option<Result<ServiceOutcome, ServiceError>>],
+                        kind: ServiceErrorKind| {
+            for &i in members {
+                slots[i] = Some(Err(ServiceError::new(
+                    base_id + i as u64,
+                    graph,
+                    kind.clone(),
+                )));
+            }
+        };
+        let Some(entry) = self.graphs.get_mut(graph) else {
+            fail_all(slots, ServiceErrorKind::UnknownGraph);
+            return;
+        };
+        let GraphSpec::Undirected(g) = &entry.spec else {
+            fail_all(
+                slots,
+                ServiceErrorKind::BadRequest {
+                    reason: "Laplacian solve needs an undirected graph",
+                },
+            );
+            return;
+        };
+        let n = g.n();
+        if eps.is_nan() || eps <= 0.0 {
+            fail_all(
+                slots,
+                ServiceErrorKind::BadRequest {
+                    reason: "eps must be positive",
+                },
+            );
+            return;
+        }
+        // Per-member validation: malformed members error out solo and
+        // leave the group; the rest still batch (k may drop to 1, which
+        // is just a width-1 batch — same bits either way).
+        let mut valid: Vec<usize> = Vec::with_capacity(members.len());
+        for &i in members {
+            let Request::LaplacianSolve { b, .. } = &requests[i] else {
+                unreachable!("group members are Laplacian solves");
+            };
+            if b.len() == n {
+                valid.push(i);
+            } else {
+                slots[i] = Some(Err(ServiceError::new(
+                    base_id + i as u64,
+                    graph,
+                    ServiceErrorKind::BadRequest {
+                        reason: "rhs length must equal the vertex count",
+                    },
+                )));
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let k = valid.len();
+
+        let clique = &mut self.clique;
+        let rounds0 = clique.ledger().total_rounds();
+        let charged0 = clique.ledger().charged_rounds();
+        let mut built = false;
+        if entry.solver.is_none() {
+            match SolverSession::build(clique, g, &self.config.solver) {
+                Ok(s) => entry.solver = Some(s),
+                Err(e) => {
+                    fail_all(slots, ServiceErrorKind::Core(e));
+                    return;
+                }
+            }
+            built = true;
+        }
+        let rounds_built = clique.ledger().total_rounds();
+        let charged_built = clique.ledger().charged_rounds();
+
+        let mut bs = vec![0.0; n * k];
+        for (j, &i) in valid.iter().enumerate() {
+            let Request::LaplacianSolve { b, .. } = &requests[i] else {
+                unreachable!("validated above");
+            };
+            for v in 0..n {
+                bs[v * k + j] = b[v];
+            }
+        }
+        let mut xs = Vec::new();
+        let session = entry.solver.as_mut().expect("solver just ensured");
+        let iterations = match session.solve_multi_into(clique, &bs, k, eps, &mut xs) {
+            Ok(it) => it,
+            Err(e) => {
+                fail_all(slots, ServiceErrorKind::Core(e));
+                return;
+            }
+        };
+        let solve_rounds = clique.ledger().total_rounds() - rounds_built;
+        let solve_charged = clique.ledger().charged_rounds() - charged_built;
+
+        for (j, &i) in valid.iter().enumerate() {
+            let x: Vec<f64> = (0..n).map(|v| xs[v * k + j]).collect();
+            // The build is attributed to the group's first member; the
+            // solve rounds split evenly (each iteration broadcasts once
+            // per column, so the share is exact).
+            let (build_r, build_c, paid_build) = if j == 0 {
+                (rounds_built - rounds0, charged_built - charged0, built)
+            } else {
+                (0, 0, false)
+            };
+            slots[i] = Some(Ok(ServiceOutcome {
+                response: Response::Potentials { x, iterations },
+                stats: RequestStats {
+                    request_id: base_id + i as u64,
+                    graph: graph.to_string(),
+                    generation: entry.generation,
+                    rounds: build_r + solve_rounds / k as u64,
+                    charged_rounds: build_c + solve_charged / k as u64,
+                    template_cache_hits: 0,
+                    built: paid_build,
+                    batched_with: k,
+                    engine: None,
+                },
+            }));
+        }
+    }
+
+    /// Executes one request solo.
+    fn execute(&mut self, id: u64, request: Request) -> Result<ServiceOutcome, ServiceError> {
+        let name = request.graph().to_string();
+        let err = |kind| Err(ServiceError::new(id, &name, kind));
+        let Some(entry) = self.graphs.get_mut(&name) else {
+            return err(ServiceErrorKind::UnknownGraph);
+        };
+        let clique = &mut self.clique;
+        let rounds0 = clique.ledger().total_rounds();
+        let charged0 = clique.ledger().charged_rounds();
+        let hits0 = entry.cache.hits();
+        let mut built = false;
+        let mut engine_stats = None;
+
+        let response = match request {
+            Request::LaplacianSolve { b, eps, .. } => {
+                let GraphSpec::Undirected(g) = &entry.spec else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "Laplacian solve needs an undirected graph",
+                    });
+                };
+                if eps.is_nan() || eps <= 0.0 {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "eps must be positive",
+                    });
+                }
+                if b.len() != g.n() {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "rhs length must equal the vertex count",
+                    });
+                }
+                built = ensure_solver(entry, clique, &self.config.solver)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Core(e)))?;
+                let session = entry.solver.as_mut().expect("solver just ensured");
+                let mut x = Vec::new();
+                let iterations = session
+                    .solve_into(clique, &b, eps, &mut x)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Core(e)))?;
+                Response::Potentials { x, iterations }
+            }
+            Request::EffectiveResistance { s, t, eps, .. } => {
+                let GraphSpec::Undirected(g) = &entry.spec else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "effective resistance needs an undirected graph",
+                    });
+                };
+                if s >= g.n() || t >= g.n() || s == t {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "terminals must be distinct in-range vertices",
+                    });
+                }
+                if eps.is_nan() || eps <= 0.0 {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "eps must be positive",
+                    });
+                }
+                built = ensure_solver(entry, clique, &self.config.solver)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Core(e)))?;
+                let session = entry.solver.as_mut().expect("solver just ensured");
+                let mut b = vec![0.0; session.n()];
+                b[s] = 1.0;
+                b[t] = -1.0;
+                let mut x = Vec::new();
+                let iterations = session
+                    .solve_into(clique, &b, eps, &mut x)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Core(e)))?;
+                Response::Resistance {
+                    value: x[s] - x[t],
+                    iterations,
+                }
+            }
+            Request::MaxFlow { s, t, .. } => {
+                let GraphSpec::Directed(g) = &entry.spec else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "max flow needs a directed graph",
+                    });
+                };
+                if s >= g.n() || t >= g.n() || s == t {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "terminals must be distinct in-range vertices",
+                    });
+                }
+                let session = entry.maxflow.get_or_insert_with(|| {
+                    MaxFlowSession::with_cache(self.config.maxflow, entry.cache.clone())
+                });
+                let out = session
+                    .max_flow(clique, g, s, t)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::MaxFlow(e)))?;
+                engine_stats = Some(out.stats.engine);
+                Response::MaxFlow {
+                    flow: out.flow,
+                    value: out.value,
+                }
+            }
+            Request::MinCostFlow { demands, .. } => {
+                let GraphSpec::Directed(g) = &entry.spec else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "min-cost flow needs a directed graph",
+                    });
+                };
+                if clique.n() < g.n() + 2 {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "clique too small for MCF rounding (needs n + 2 nodes)",
+                    });
+                }
+                let session = entry.mcf.get_or_insert_with(|| {
+                    McfSession::with_cache(self.config.mcf, entry.cache.clone())
+                });
+                let out = session
+                    .min_cost_flow(clique, g, &demands)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Mcf(e)))?;
+                engine_stats = Some(out.stats.engine);
+                Response::MinCostFlow {
+                    flow: out.flow,
+                    cost: out.cost,
+                }
+            }
+            Request::Sssp { source, .. } => {
+                let Some(arcs) = spec_arcs(&entry.spec) else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "SSSP needs a directed or arc graph",
+                    });
+                };
+                let n = entry.spec.n();
+                if source >= n {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "source out of range",
+                    });
+                }
+                let session = entry
+                    .apsp
+                    .get_or_insert_with(|| ApspSession::new(n, arcs, self.config.round_model));
+                match session
+                    .sssp(clique, source)
+                    .map_err(|e| ServiceError::new(id, &name, ServiceErrorKind::Apsp(e)))?
+                {
+                    SsspOutcome::Converged { dist, .. } => Response::Sssp {
+                        dist,
+                        negative_cycle: false,
+                    },
+                    SsspOutcome::NegativeCycle { .. } => Response::Sssp {
+                        dist: Vec::new(),
+                        negative_cycle: true,
+                    },
+                }
+            }
+            Request::Apsp { .. } => {
+                let Some(arcs) = spec_arcs(&entry.spec) else {
+                    return err(ServiceErrorKind::BadRequest {
+                        reason: "APSP needs a directed or arc graph",
+                    });
+                };
+                let n = entry.spec.n();
+                let session = entry
+                    .apsp
+                    .get_or_insert_with(|| ApspSession::new(n, arcs, self.config.round_model));
+                built = session.apsp_cached().is_none();
+                let apsp = session.apsp(clique);
+                let dist = (0..n)
+                    .map(|u| (0..n).map(|v| apsp.dist(u, v)).collect())
+                    .collect();
+                Response::Apsp { dist }
+            }
+        };
+
+        Ok(ServiceOutcome {
+            response,
+            stats: RequestStats {
+                request_id: id,
+                graph: name.clone(),
+                generation: entry.generation,
+                rounds: clique.ledger().total_rounds() - rounds0,
+                charged_rounds: clique.ledger().charged_rounds() - charged0,
+                template_cache_hits: entry.cache.hits() - hits0,
+                built,
+                batched_with: 1,
+                engine: engine_stats,
+            },
+        })
+    }
+}
+
+/// Builds the entry's Laplacian solver if absent; returns whether this
+/// call paid the build.
+fn ensure_solver<C: Communicator>(
+    entry: &mut GraphEntry,
+    clique: &mut C,
+    options: &SolverOptions,
+) -> Result<bool, cc_core::CoreError> {
+    if entry.solver.is_some() {
+        return Ok(false);
+    }
+    let GraphSpec::Undirected(g) = &entry.spec else {
+        unreachable!("callers checked the spec kind");
+    };
+    entry.solver = Some(SolverSession::build(clique, g, options)?);
+    Ok(true)
+}
+
+/// The shortest-path arc list of a spec (directed graphs contribute
+/// `(from, to, cost)`), or `None` for undirected graphs.
+fn spec_arcs(spec: &GraphSpec) -> Option<Vec<(usize, usize, i64)>> {
+    match spec {
+        GraphSpec::Undirected(_) => None,
+        GraphSpec::Directed(g) => Some(g.edges().iter().map(|e| (e.from, e.to, e.cost)).collect()),
+        GraphSpec::Arcs { arcs, .. } => Some(arcs.clone()),
+    }
+}

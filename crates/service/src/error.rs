@@ -1,0 +1,126 @@
+//! The service-layer error type: every failure carries the request ID
+//! and graph name it belongs to, and wraps the underlying crate's typed
+//! error so `source()`-chain classifiers (e.g.
+//! `cc_conform::comm_rooted`) see through the new layer unchanged.
+
+use std::fmt;
+
+use cc_apsp::ApspError;
+use cc_core::CoreError;
+use cc_maxflow::MaxFlowError;
+use cc_mcf::McfError;
+
+/// What went wrong inside a [`crate::FlowEngine`] request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceErrorKind {
+    /// The request named a graph the registry does not hold.
+    UnknownGraph,
+    /// The request is malformed for the graph it targets (wrong graph
+    /// kind, out-of-range vertex, bad vector length, non-positive `eps`).
+    BadRequest {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A Laplacian solve or effective-resistance computation failed.
+    Core(CoreError),
+    /// A max-flow pipeline failed.
+    MaxFlow(MaxFlowError),
+    /// A min-cost-flow pipeline failed.
+    Mcf(McfError),
+    /// A shortest-path computation failed.
+    Apsp(ApspError),
+}
+
+/// Failure of one [`crate::FlowEngine`] request: the underlying crate's
+/// typed error (or a service-level validation failure) tagged with the
+/// request ID and the graph name it targeted.
+///
+/// The [`std::error::Error::source`] chain continues into the wrapped
+/// error, so comm-rooted classification (walking the chain down to a
+/// `cc_model::ModelError`) works through this layer exactly as it does
+/// on the per-crate errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Engine-assigned ID of the failing request.
+    pub request_id: u64,
+    /// Name of the graph the request targeted.
+    pub graph: String,
+    /// The wrapped failure.
+    pub kind: ServiceErrorKind,
+}
+
+impl ServiceError {
+    pub(crate) fn new(request_id: u64, graph: &str, kind: ServiceErrorKind) -> Self {
+        Self {
+            request_id,
+            graph: graph.to_string(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {} on graph {:?}: ", self.request_id, self.graph)?;
+        match &self.kind {
+            ServiceErrorKind::UnknownGraph => write!(f, "graph is not registered"),
+            ServiceErrorKind::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServiceErrorKind::Core(e) => write!(f, "{e}"),
+            ServiceErrorKind::MaxFlow(e) => write!(f, "{e}"),
+            ServiceErrorKind::Mcf(e) => write!(f, "{e}"),
+            ServiceErrorKind::Apsp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ServiceErrorKind::UnknownGraph | ServiceErrorKind::BadRequest { .. } => None,
+            ServiceErrorKind::Core(e) => Some(e),
+            ServiceErrorKind::MaxFlow(e) => Some(e),
+            ServiceErrorKind::Mcf(e) => Some(e),
+            ServiceErrorKind::Apsp(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_model::ModelError;
+
+    fn comm_rooted(e: &(dyn std::error::Error + 'static)) -> bool {
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(e);
+        while let Some(s) = cur {
+            if s.is::<ModelError>() {
+                return true;
+            }
+            cur = s.source();
+        }
+        false
+    }
+
+    #[test]
+    fn comm_rooted_classification_sees_through_the_wrapper() {
+        let inner = MaxFlowError::Comm(ModelError::BroadcastOnly);
+        let e = ServiceError::new(7, "net", ServiceErrorKind::MaxFlow(inner));
+        assert!(comm_rooted(&e));
+        let bad = ServiceError::new(
+            8,
+            "net",
+            ServiceErrorKind::BadRequest {
+                reason: "bad terminals",
+            },
+        );
+        assert!(!comm_rooted(&bad));
+    }
+
+    #[test]
+    fn display_names_request_and_graph() {
+        let e = ServiceError::new(3, "grid", ServiceErrorKind::UnknownGraph);
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("grid"), "{s}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Cache-backed sparsifier sessions.
+//!
+//! A [`SparsifierSession`] owns a [`TemplateCache`] and a fixed
+//! [`SparsifyParams`], and builds sparsifiers through the cache: the
+//! first build on an edge support pays the full Theorem 3.3 expander
+//! decomposition and publishes its frozen template; every later build on
+//! the same support (same endpoint list, any weights) replaces the
+//! `n^{o(1)}`-round decomposition with a 2-broadcast-per-level
+//! instantiation whose per-cluster `α` is recertified exactly. The
+//! session is the reentrant entry point the service layer
+//! (`DESIGN.md` §11) uses per engine; [`crate::build_sparsifier`] remains
+//! the one-shot wrapper.
+
+use cc_graph::Graph;
+use cc_model::Communicator;
+
+use crate::cache::{TemplateCache, TemplateKey};
+use crate::error::SparsifyError;
+use crate::sparsifier::{SparsifyParams, SpectralSparsifier};
+use crate::template::build_sparsifier_with_template;
+
+/// A reentrant sparsifier-building session around a shared
+/// [`TemplateCache`]. `Clone` shares the cache (handle clone), so one
+/// session's builds feed another's.
+#[derive(Debug, Clone, Default)]
+pub struct SparsifierSession {
+    cache: TemplateCache,
+    params: SparsifyParams,
+}
+
+impl SparsifierSession {
+    /// A session with a fresh private cache.
+    pub fn new(params: SparsifyParams) -> Self {
+        Self {
+            cache: TemplateCache::new(),
+            params,
+        }
+    }
+
+    /// A session over an existing (possibly shared) cache.
+    pub fn with_cache(params: SparsifyParams, cache: TemplateCache) -> Self {
+        Self { cache, params }
+    }
+
+    /// The backing cache (shared handle; hit/miss counters live here).
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
+    }
+
+    /// The construction parameters every build uses.
+    pub fn params(&self) -> &SparsifyParams {
+        &self.params
+    }
+
+    /// Builds the sparsifier of `g` through the cache: instantiates a
+    /// published template when the support is known, otherwise runs the
+    /// full deterministic construction and publishes its template.
+    /// Rounds are charged to `clique` either way; a hit is observable as
+    /// an increment of [`TemplateCache::hits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::build_sparsifier`] /
+    /// [`crate::SparsifierTemplate::instantiate`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clique.n() < g.n()`.
+    pub fn build<C: Communicator>(
+        &self,
+        clique: &mut C,
+        g: &Graph,
+    ) -> Result<SpectralSparsifier, SparsifyError> {
+        let key = TemplateKey::for_support(g.n(), &g.edge_triples());
+        if let Some(template) = self.cache.get(&key) {
+            return template.instantiate(clique, g);
+        }
+        let (sparsifier, template) = build_sparsifier_with_template(clique, g, &self.params)?;
+        self.cache.insert(key, template);
+        Ok(sparsifier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::generators;
+    use cc_model::Clique;
+
+    #[test]
+    fn second_build_on_same_support_hits_the_cache() {
+        let g = generators::random_connected(20, 60, 4, 5);
+        let session = SparsifierSession::new(SparsifyParams::default());
+        let mut clique = Clique::new(20);
+        let h1 = session.build(&mut clique, &g).unwrap();
+        assert_eq!(session.cache().hits(), 0);
+        assert_eq!(session.cache().misses(), 1);
+        let build_rounds = clique.ledger().total_rounds();
+
+        // Same support, scaled weights: instantiation, not decomposition.
+        let mut g2 = Graph::new(g.n());
+        for e in g.edges() {
+            g2.add_edge(e.u, e.v, e.weight * 3.0);
+        }
+        let before = clique.ledger().total_rounds();
+        let h2 = session.build(&mut clique, &g2).unwrap();
+        let hit_rounds = clique.ledger().total_rounds() - before;
+        assert_eq!(session.cache().hits(), 1);
+        assert!(h1.alpha() >= 1.0 && h2.alpha() >= 1.0);
+        assert!(
+            hit_rounds < build_rounds,
+            "instantiation {hit_rounds} vs build {build_rounds}"
+        );
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let g = generators::expander(16);
+        let a = SparsifierSession::new(SparsifyParams::default());
+        let b = a.clone();
+        let mut clique = Clique::new(16);
+        a.build(&mut clique, &g).unwrap();
+        b.build(&mut clique, &g).unwrap();
+        assert_eq!(a.cache().hits(), 1, "clone must see the published template");
+    }
+}

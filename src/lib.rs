@@ -50,6 +50,7 @@ pub use cc_linalg as linalg;
 pub use cc_maxflow as maxflow;
 pub use cc_mcf as mcf;
 pub use cc_model as model;
+pub use cc_service as service;
 pub use cc_sparsify as sparsify;
 
 /// The most common imports in one place.
@@ -69,5 +70,6 @@ pub mod prelude {
     };
     pub use cc_mcf::{min_cost_flow_ipm, ssp_min_cost_flow, McfError, McfOptions, McfOutcome};
     pub use cc_model::{Clique, CliqueConfig, FaultComm, FaultPlan, ModelError, RoundLedger};
+    pub use cc_service::{FlowEngine, GraphSpec, Request, Response, ServiceError};
     pub use cc_sparsify::{build_sparsifier, verify_sparsifier, SparsifyError, SparsifyParams};
 }
