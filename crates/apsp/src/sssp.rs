@@ -66,7 +66,7 @@ pub fn sssp_bellman_ford<C: Communicator>(
         let mut rounds = 0usize;
         for sweep in 0..n {
             // Every vertex broadcasts its distance: 1 round.
-            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+            clique.broadcast_all(&vec![0u64; clique.n()])?;
             rounds += 1;
             let snapshot = dist.clone();
             let mut changed = false;

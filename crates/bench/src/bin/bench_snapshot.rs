@@ -24,11 +24,17 @@
 //! - `"ipm"`: golden end-to-end runs of both interior-point stacks
 //!   (value/cost, round totals, an FNV-1a hash of the integral flow
 //!   bits, and the barrier engine's per-stage solver stats).
-//! - `"service"` (schema v4): a seeded 1000-request soak through the
-//!   `cc-service` engine over the conformance corpus — round totals,
-//!   template-cache hits, oracle-mismatch count (must be 0), and an
-//!   FNV-1a fingerprint of every response, plus per-host wall-clock
-//!   throughput fields that are excluded from `--check`.
+//! - `"service"`: a seeded 1000-request soak through the `cc-service`
+//!   engine over the conformance corpus — round totals, template-cache
+//!   hits, oracle-mismatch count (must be 0), and an FNV-1a fingerprint
+//!   of every response, plus per-host wall-clock throughput fields that
+//!   are excluded from `--check`.
+//! - `"threaded"` (schema v5): the concurrent sharded runtime
+//!   (`ThreadedComm`) replaying a deterministic unicast workload at
+//!   `n` up to 2048 and worker counts 1/2/8 — rounds and inbox hashes
+//!   are asserted identical to the sequential `Clique` and gated by
+//!   `--check`; the per-worker-count `wall_ns` scaling curve is
+//!   per-host and excluded.
 //!
 //! A third tier scales the solver itself: `"large"` times batched
 //! multi-RHS kernels (`matvec_multi_into`, `solve_multi_into`, the full
@@ -57,7 +63,7 @@ use cc_linalg::{
 };
 use cc_maxflow::{max_flow_ipm, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, McfOptions};
-use cc_model::{Clique, Communicator, TracingComm};
+use cc_model::{Clique, Communicator, ThreadedComm, TracingComm};
 
 /// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
 fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -630,12 +636,103 @@ fn service_section() -> String {
     )
 }
 
+/// Sizes of the threaded-scaling tier: virtual cliques sharded over the
+/// persistent worker pool, up to `n = 2048` nodes.
+const THREADED_SIZES: [usize; 3] = [256, 1024, 2048];
+/// Worker counts of the threaded-scaling tier (the same matrix the CI
+/// determinism job pins).
+const THREADED_WORKERS: [usize; 3] = [1, 2, 8];
+/// Synchronous rounds each threaded workload replays.
+const THREADED_ROUNDS: usize = 4;
+
+/// One deterministic round of unicast traffic: node `u` sends a 3-word
+/// message to each of 8 strided neighbors, with the stride varying per
+/// round so shards see different destination mixes.
+fn threaded_outboxes(n: usize, round: usize) -> Vec<Vec<(usize, Vec<u64>)>> {
+    (0..n)
+        .map(|u| {
+            (1..=8usize)
+                .map(|d| {
+                    let dst = (u + d * (round + 1) * 37) % n;
+                    let w = (u as u64) << 32 | (round as u64) << 8 | d as u64;
+                    (dst, vec![w, w.wrapping_mul(0x9e3779b97f4a7c15), !w])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays the threaded workload — alternating `route` and `exchange`
+/// rounds — and folds every delivered envelope into an FNV-1a digest.
+fn threaded_workload<C: Communicator>(comm: &mut C, n: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let fold = |h: &mut u64, w: u64| {
+        *h ^= w;
+        *h = h.wrapping_mul(0x100000001b3);
+    };
+    for round in 0..THREADED_ROUNDS {
+        let routed = comm
+            .route(threaded_outboxes(n, 2 * round))
+            .expect("well-formed workload");
+        let exchanged = comm
+            .exchange(threaded_outboxes(n, 2 * round + 1))
+            .expect("well-formed workload");
+        for inbox in routed.iter().chain(exchanged.iter()) {
+            for env in inbox {
+                fold(&mut h, env.src as u64);
+                for &w in &env.payload {
+                    fold(&mut h, w);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// The threaded-scaling section (schema v5): the same deterministic
+/// unicast workload through the sequential `Clique` and through
+/// `ThreadedComm` at each worker count. Rounds and inbox hashes are
+/// asserted identical across all transports before being reported —
+/// they are the `--check`-gated fields — while `wall_ns` records the
+/// per-host scaling curve and is excluded from drift checks.
+fn threaded_section() -> String {
+    let mut rows = Vec::new();
+    for n in THREADED_SIZES {
+        let mut seq = Clique::new(n);
+        let want_hash = threaded_workload(&mut seq, n);
+        let want_rounds = seq.ledger().total_rounds();
+        for workers in THREADED_WORKERS {
+            let t0 = Instant::now();
+            let mut par = ThreadedComm::with_workers(n, workers);
+            let hash = threaded_workload(&mut par, n);
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let rounds = par.ledger().total_rounds();
+            assert_eq!(
+                (hash, rounds),
+                (want_hash, want_rounds),
+                "ThreadedComm diverged from Clique at n={n}, workers={workers}"
+            );
+            assert_eq!(
+                seq.ledger().report(),
+                par.ledger().report(),
+                "ledger report diverged at n={n}, workers={workers}"
+            );
+            rows.push(format!(
+                "    {{\"bench\": \"threaded_route_exchange\", \"n\": {}, \"workers\": {}, \"rounds\": {}, \"inbox_hash\": \"{:#018x}\", \"wall_ns\": {}}}",
+                n, workers, rounds, hash, wall_ns
+            ));
+        }
+    }
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 /// Drift-sensitive fields of a snapshot document, in document order:
 /// every round total, flow hash, exact value and solver count, plus the
 /// service soak's cache-hit totals and response fingerprint. Wall-clock
 /// fields are deliberately absent — they vary per host.
 fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
-    const KEYS: [&str; 13] = [
+    const KEYS: [&str; 14] = [
+        "inbox_hash",
         "total_rounds",
         "charged_rounds",
         "implemented_rounds",
@@ -684,16 +781,23 @@ fn check_baseline(path: &str) {
     }
     if !baseline.contains("\"service\":") {
         eprintln!(
-            "bench_snapshot --check: {path} has no \"service\" section (schema v4 — regenerate the baseline)"
+            "bench_snapshot --check: {path} has no \"service\" section (regenerate the baseline)"
+        );
+        std::process::exit(1);
+    }
+    if !baseline.contains("\"threaded\":") {
+        eprintln!(
+            "bench_snapshot --check: {path} has no \"threaded\" section (schema v5 — regenerate the baseline)"
         );
         std::process::exit(1);
     }
     eprintln!("bench_snapshot --check: recomputing deterministic sections…");
     let fresh = format!(
-        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {}\n}}\n",
+        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {}\n}}\n",
         ipm_section(),
         congestion_section(),
         service_section(),
+        threaded_section(),
     );
     let want: Vec<(String, String)> = drift_fields(&baseline)
         .into_iter()
@@ -782,6 +886,9 @@ fn main() {
     eprintln!("  service soak…");
     let service = service_section();
 
+    eprintln!("  threaded scaling…");
+    let threaded = threaded_section();
+
     let all_equal =
         records.iter().all(|r| r.bitwise_equal) && large_records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
@@ -789,7 +896,7 @@ fn main() {
     // `"large_determinism"` stays the LAST section: `--check --large`
     // locates it by marker and reads to the end of the document.
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v4\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v5\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
@@ -798,6 +905,7 @@ fn main() {
         ipm,
         congestion,
         service,
+        threaded,
         large_det_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

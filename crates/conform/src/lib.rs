@@ -48,4 +48,4 @@ pub use corpus::{
     ArcCase, DemandCase, FlowCase, UndirectedCase,
 };
 pub use driver::{fault_plans, FaultTarget, Tolerances};
-pub use service::{run_service_soak, SoakConfig, SoakReport};
+pub use service::{run_service_soak, run_service_soak_on, SoakConfig, SoakReport};

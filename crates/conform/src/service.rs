@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use cc_graph::DiGraph;
-use cc_model::Clique;
+use cc_model::{Clique, Communicator};
 use cc_service::{FlowEngine, GraphSpec, Request, Response};
 
 use crate::corpus;
@@ -181,7 +181,10 @@ fn fingerprint_response(mut h: u64, resp: &Response) -> u64 {
 
 /// Registers the full corpus in one engine; returns the engine plus the
 /// oracle-side view of every graph, keyed by registered name.
-fn build_engine(extra: usize) -> (FlowEngine<Clique>, BTreeMap<String, OracleData>) {
+fn build_engine<C: Communicator>(
+    extra: usize,
+    make: impl FnOnce(usize) -> C,
+) -> (FlowEngine<C>, BTreeMap<String, OracleData>) {
     let undirected = corpus::undirected_corpus(extra);
     let flows = corpus::flow_corpus(extra);
     let demands = corpus::demand_corpus(extra);
@@ -197,7 +200,7 @@ fn build_engine(extra: usize) -> (FlowEngine<Clique>, BTreeMap<String, OracleDat
         .chain(arcs.iter().map(|c| c.n))
         .max()
         .expect("non-empty corpus");
-    let mut engine = FlowEngine::new(Clique::new(max_n + 2));
+    let mut engine = FlowEngine::new(make(max_n + 2));
 
     let mut oracles = BTreeMap::new();
     for case in undirected {
@@ -470,7 +473,24 @@ fn oracle_check(
 /// well-formed by construction, so a typed error here is a harness bug,
 /// not a conformance finding.
 pub fn run_service_soak(config: &SoakConfig) -> SoakReport {
-    let (mut engine, oracles) = build_engine(config.extra_cases);
+    run_service_soak_on(config, Clique::new)
+}
+
+/// [`run_service_soak`], but over a caller-chosen transport: `make`
+/// receives the clique size and builds the engine's communicator. The
+/// CI soak runs this with [`cc_model::ThreadedComm`] to pin the whole
+/// service stack — engine, sessions, batch admission — to bitwise
+/// report identity across transports.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a synthesized request, as in
+/// [`run_service_soak`].
+pub fn run_service_soak_on<C: Communicator>(
+    config: &SoakConfig,
+    make: impl FnOnce(usize) -> C,
+) -> SoakReport {
+    let (mut engine, oracles) = build_engine(config.extra_cases, make);
     let names = Names {
         laplacian: oracles
             .iter()

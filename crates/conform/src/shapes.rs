@@ -74,7 +74,7 @@ mod tests {
         use cc_model::Clique;
         let mut clique = Clique::new(4);
         clique.phase("a", |c| {
-            c.broadcast_all(&[0, 1, 2, 3]);
+            c.broadcast_all(&[0, 1, 2, 3]).unwrap();
         });
         assert_phase_partition(clique.ledger());
     }

@@ -5,8 +5,9 @@
 //! default keeps the tier-1 run short. `SERVICE_SOAK_ORACLE_EVERY=K`
 //! tunes the sampled-oracle density.
 
-use cc_conform::{run_service_soak, SoakConfig};
+use cc_conform::{run_service_soak, run_service_soak_on, SoakConfig};
 use cc_linalg::par::with_threads;
+use cc_model::ThreadedComm;
 
 fn env_or(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -64,6 +65,25 @@ fn soak_stream_is_bitwise_identical_across_thread_counts() {
         assert_eq!(
             base, got,
             "soak report diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn soak_stream_is_bitwise_identical_over_threaded_comm() {
+    // The whole service stack — engine, sessions, batch admission —
+    // over the concurrent sharded transport must reproduce the
+    // sequential SoakReport bit for bit, at every worker count.
+    let config = SoakConfig {
+        oracle_every: 0,
+        ..soak_config()
+    };
+    let base = run_service_soak(&config);
+    for workers in [1usize, 2, 8] {
+        let got = run_service_soak_on(&config, |n| ThreadedComm::with_workers(n, workers));
+        assert_eq!(
+            base, got,
+            "soak report diverged over ThreadedComm at {workers} workers"
         );
     }
 }

@@ -1,0 +1,137 @@
+//! ThreadedComm conformance: every differential checker runs the full
+//! corpus over the concurrent sharded runtime at worker counts 1, 2,
+//! and 8, and every run must charge rounds *bitwise identical* to the
+//! sequential `Clique` — the ledger phase map and report string, not
+//! just the totals. `CONFORM_CASES=N` appends N seeded random instances
+//! per corpus for soak runs, exactly as in the sequential suite.
+
+use cc_conform::driver::{
+    check_apsp, check_maxflow_ff, check_maxflow_ipm, check_maxflow_trivial, check_mcf,
+    check_orientation, check_resistance, check_rounding, check_solver, check_sparsifier,
+    check_sssp, Tolerances,
+};
+use cc_conform::{
+    arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus, undirected_corpus,
+};
+use cc_model::{Clique, Communicator, ThreadedComm};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// For one corpus case: run `$check` on a fresh `Clique` and on a fresh
+/// `ThreadedComm` per worker count, asserting identical outcomes and
+/// bitwise-identical ledgers.
+macro_rules! round_identical {
+    ($id:expr, $n:expr, |$comm:ident| $check:expr) => {{
+        let mut seq = Clique::new($n);
+        let want = {
+            let $comm = &mut seq;
+            $check
+        };
+        for workers in WORKER_COUNTS {
+            let mut par = ThreadedComm::with_workers($n, workers);
+            let got = {
+                let $comm = &mut par;
+                $check
+            };
+            assert_eq!(want, got, "{}: outcome at workers={workers}", $id);
+            assert_eq!(
+                seq.ledger().phases(),
+                par.ledger().phases(),
+                "{}: ledger phase map at workers={workers}",
+                $id
+            );
+            assert_eq!(
+                seq.ledger().report(),
+                par.ledger().report(),
+                "{}: ledger report at workers={workers}",
+                $id
+            );
+        }
+    }};
+}
+
+#[test]
+fn solver_round_identity_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_solver(
+            comm, &case, 1e-6, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn resistance_round_identity_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_resistance(
+            comm, &case, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn sparsifier_round_identity_on_corpus() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_sparsifier(
+            comm, &case, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn orientation_round_identity_on_corpus() {
+    for case in eulerian_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_orientation(
+            comm, &case
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn flow_rounding_round_identity_on_corpus() {
+    for case in flow_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_rounding(comm, &case)
+            .unwrap());
+    }
+}
+
+#[test]
+fn maxflow_round_identity_on_corpus() {
+    for case in flow_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n(), |comm| check_maxflow_ipm(
+            comm, &case
+        )
+        .unwrap());
+        round_identical!(case.id, case.graph.n(), |comm| check_maxflow_ff(
+            comm, &case
+        )
+        .unwrap());
+        round_identical!(case.id, case.graph.n(), |comm| check_maxflow_trivial(
+            comm, &case
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn mcf_round_identity_on_corpus() {
+    for case in demand_corpus(case_budget()) {
+        round_identical!(case.id, case.graph.n() + 2, |comm| check_mcf(comm, &case)
+            .unwrap());
+    }
+}
+
+#[test]
+fn shortest_paths_round_identity_on_corpus() {
+    let tol = Tolerances::default();
+    for case in arc_corpus(case_budget()) {
+        round_identical!(case.id, case.n, |comm| check_sssp(comm, &case).unwrap());
+        round_identical!(case.id, case.n, |comm| check_apsp(comm, &case, &tol));
+    }
+}

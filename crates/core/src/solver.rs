@@ -396,7 +396,7 @@ impl LaplacianSolver {
                     *w = encode(x);
                 }
                 if comm_err.is_none() {
-                    if let Err(e) = clique.try_broadcast_all_into(words, view) {
+                    if let Err(e) = clique.broadcast_all_into(words, view) {
                         *comm_err = Some(e);
                     }
                 }
@@ -523,7 +523,7 @@ impl LaplacianSolver {
                         *w = encode(v[i * k + j]);
                     }
                     if comm_err.is_none() {
-                        if let Err(e) = clique.try_broadcast_all_into(words, view) {
+                        if let Err(e) = clique.broadcast_all_into(words, view) {
                             *comm_err = Some(e);
                         }
                     }

@@ -298,7 +298,7 @@ impl<C: Communicator> BarrierEngine<C> {
         self.zeros.clear();
         self.zeros.resize(clique.n(), 0);
         clique
-            .try_broadcast_all_into(&self.zeros, &mut self.echo)
+            .broadcast_all_into(&self.zeros, &mut self.echo)
             .map_err(CoreError::from)?;
         Ok(())
     }

@@ -74,7 +74,7 @@ pub fn max_flow_trivial<C: Communicator>(
         for e in g.edges() {
             per_node[e.from].extend_from_slice(&[e.from as u64, e.to as u64, e.capacity as u64]);
         }
-        let _ = clique.try_allgather(&per_node)?;
+        let _ = clique.allgather(&per_node)?;
         // Everything is global: solve internally (free in the model).
         let (flow, value) = dinic(g, s, t);
         Ok(MaxFlowOutcome {

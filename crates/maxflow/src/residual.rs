@@ -109,7 +109,7 @@ pub fn augment_to_optimality<C: Communicator>(
                 }
             }
             // One broadcast round: the path vertices announce the update.
-            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+            clique.broadcast_all(&vec![0u64; clique.n()])?;
             stats.paths += 1;
             stats.added_value += bottleneck;
         }

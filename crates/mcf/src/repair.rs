@@ -201,7 +201,7 @@ pub fn route_deficits<C: Communicator>(
             }
             deficit[s] -= bottleneck;
             deficit[t] += bottleneck;
-            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+            clique.broadcast_all(&vec![0u64; clique.n()])?;
             paths += 1;
         }
     })

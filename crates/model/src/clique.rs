@@ -1,4 +1,4 @@
-use crate::{Communicator, CostKind, ModelError, NodeId, RoundLedger, Words};
+use crate::{delivery, Communicator, CostKind, ModelError, NodeId, RoundLedger, Words};
 
 /// Which communication primitives the simulated model admits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -145,45 +145,6 @@ impl Clique {
         self.ledger.charge(rounds, CostKind::Implemented);
     }
 
-    fn check_unicast_allowed(&self) -> Result<(), ModelError> {
-        if self.config.mode == CommunicationMode::Broadcast {
-            return Err(ModelError::BroadcastOnly);
-        }
-        Ok(())
-    }
-
-    fn check_outboxes(&self, outboxes: &[Vec<(NodeId, Words)>]) -> Result<(), ModelError> {
-        if outboxes.len() != self.n {
-            return Err(ModelError::WrongOutboxCount {
-                got: outboxes.len(),
-                expected: self.n,
-            });
-        }
-        for per_node in outboxes {
-            for (dst, _) in per_node {
-                if *dst >= self.n {
-                    return Err(ModelError::InvalidNode {
-                        node: *dst,
-                        n: self.n,
-                    });
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn deliver(&self, outboxes: Vec<Vec<(NodeId, Words)>>) -> Vec<Vec<Envelope>> {
-        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); self.n];
-        // Deterministic delivery order: by source id, then by the order the
-        // source enqueued its messages.
-        for (src, per_node) in outboxes.into_iter().enumerate() {
-            for (dst, payload) in per_node {
-                inboxes[dst].push(Envelope { src, payload });
-            }
-        }
-        inboxes
-    }
-
     /// Direct point-to-point exchange.
     ///
     /// `outboxes[u]` lists the `(destination, payload)` messages node `u`
@@ -203,44 +164,11 @@ impl Clique {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        self.check_unicast_allowed()?;
-        self.check_outboxes(&outboxes)?;
-        // Hot path of every exchange: accumulate per-pair words in a flat
-        // per-destination array reused across sources (touched entries are
-        // reset after each source), instead of a tree node per pair.
-        let mut max_pair = 0u64;
-        let mut per_dst = vec![0u64; self.n];
-        let mut touched: Vec<NodeId> = Vec::new();
-        for per_node in outboxes.iter() {
-            for (dst, payload) in per_node {
-                if per_dst[*dst] == 0 {
-                    touched.push(*dst);
-                }
-                per_dst[*dst] += payload.len() as u64;
-            }
-            for &dst in &touched {
-                max_pair = max_pair.max(per_dst[dst]);
-                per_dst[dst] = 0;
-            }
-            touched.clear();
-        }
+        delivery::unicast_gate(&self.config)?;
+        delivery::check_outboxes(self.n, &outboxes)?;
+        let max_pair = delivery::exchange_cost(self.n, &outboxes);
         self.ledger.charge(max_pair, CostKind::Implemented);
-        Ok(self.deliver(outboxes))
-    }
-
-    fn node_loads(&self, outboxes: &[Vec<(NodeId, Words)>]) -> (u64, u64) {
-        let mut send = vec![0u64; self.n];
-        let mut recv = vec![0u64; self.n];
-        for (src, per_node) in outboxes.iter().enumerate() {
-            for (dst, payload) in per_node {
-                send[src] += payload.len() as u64;
-                recv[*dst] += payload.len() as u64;
-            }
-        }
-        (
-            send.iter().copied().max().unwrap_or(0),
-            recv.iter().copied().max().unwrap_or(0),
-        )
+        Ok(delivery::deliver(self.n, outboxes))
     }
 
     /// Routed exchange via Lenzen's routing theorem \[Len13\].
@@ -257,17 +185,15 @@ impl Clique {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        self.check_unicast_allowed()?;
-        self.check_outboxes(&outboxes)?;
-        let (max_send, max_recv) = self.node_loads(&outboxes);
-        let load = max_send.max(max_recv);
+        delivery::unicast_gate(&self.config)?;
+        delivery::check_outboxes(self.n, &outboxes)?;
+        let (send, recv) = delivery::shard_loads(self.n, &outboxes);
+        let load = send.iter().chain(recv.iter()).copied().max().unwrap_or(0);
         if load > 0 {
-            let cap = (self.config.routing_capacity_factor * self.n) as u64;
-            let batches = load.div_ceil(cap);
-            self.ledger
-                .charge(batches * self.config.lenzen_rounds, CostKind::Implemented);
+            let rounds = delivery::route_cost(&self.config, self.n, load);
+            self.ledger.charge(rounds, CostKind::Implemented);
         }
-        Ok(self.deliver(outboxes))
+        Ok(delivery::deliver(self.n, outboxes))
     }
 
     /// Like [`Clique::route`], but fails instead of batching when a node's
@@ -282,34 +208,9 @@ impl Clique {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        self.check_outboxes(&outboxes)?;
-        let cap = self.config.routing_capacity_factor * self.n;
-        let mut send = vec![0usize; self.n];
-        let mut recv = vec![0usize; self.n];
-        for (src, per_node) in outboxes.iter().enumerate() {
-            for (dst, payload) in per_node {
-                send[src] += payload.len();
-                recv[*dst] += payload.len();
-            }
-        }
-        for node in 0..self.n {
-            if send[node] > cap {
-                return Err(ModelError::CongestionExceeded {
-                    node,
-                    words: send[node],
-                    capacity: cap,
-                    sending: true,
-                });
-            }
-            if recv[node] > cap {
-                return Err(ModelError::CongestionExceeded {
-                    node,
-                    words: recv[node],
-                    capacity: cap,
-                    sending: false,
-                });
-            }
-        }
+        delivery::check_outboxes(self.n, &outboxes)?;
+        let (send, recv) = delivery::shard_loads(self.n, &outboxes);
+        delivery::strict_violation(&self.config, self.n, &send, &recv)?;
         self.route(outboxes)
     }
 
@@ -319,13 +220,14 @@ impl Clique {
     /// carries exactly one word). Returns the shared view `values` in node
     /// order — identical at every node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values.len() != n`.
-    pub fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
-        assert_eq!(values.len(), self.n, "one broadcast word per node required");
-        self.ledger.charge(1, CostKind::Implemented);
-        values.to_vec()
+    /// [`ModelError::WrongOutboxCount`] if `values.len() != n`.
+    pub fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+        delivery::check_len(self.n, values.len())?;
+        self.ledger
+            .charge(delivery::broadcast_all_cost(), CostKind::Implemented);
+        Ok(values.to_vec())
     }
 
     /// [`Clique::broadcast_all`] into a caller-owned buffer: identical
@@ -333,14 +235,21 @@ impl Clique {
     /// instead of allocating a fresh vector — allocation-free once `out`
     /// has capacity `n`. Used by the per-iteration solver hot paths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values.len() != n`.
-    pub fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
-        assert_eq!(values.len(), self.n, "one broadcast word per node required");
-        self.ledger.charge(1, CostKind::Implemented);
+    /// [`ModelError::WrongOutboxCount`] if `values.len() != n` (leaving
+    /// `out` untouched).
+    pub fn broadcast_all_into(
+        &mut self,
+        values: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), ModelError> {
+        delivery::check_len(self.n, values.len())?;
+        self.ledger
+            .charge(delivery::broadcast_all_cost(), CostKind::Implemented);
         out.clear();
         out.extend_from_slice(values);
+        Ok(())
     }
 
     /// Every node broadcasts a word vector; everyone learns all of them.
@@ -350,14 +259,16 @@ impl Clique {
     /// round every node can ship one word to all others. Returns the shared
     /// per-source view, identical at every node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `per_node.len() != n`.
-    pub fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
-        assert_eq!(per_node.len(), self.n, "one word vector per node required");
-        let rounds = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
-        self.ledger.charge(rounds, CostKind::Implemented);
-        per_node.to_vec()
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
+    pub fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        delivery::check_len(self.n, per_node.len())?;
+        self.ledger.charge(
+            delivery::broadcast_words_cost(per_node),
+            CostKind::Implemented,
+        );
+        Ok(per_node.to_vec())
     }
 
     /// One node broadcasts `w` words to everyone.
@@ -378,15 +289,7 @@ impl Clique {
                 n: self.n,
             });
         }
-        let w = words.len() as u64;
-        let rounds = if self.config.mode == CommunicationMode::Broadcast {
-            // No helper scattering available: w broadcast rounds.
-            w
-        } else if w <= 1 {
-            w
-        } else {
-            2 * w.div_ceil(self.n as u64 - 1)
-        };
+        let rounds = delivery::broadcast_from_cost(&self.config, self.n, words.len() as u64);
         self.ledger.charge(rounds, CostKind::Implemented);
         Ok(words.clone())
     }
@@ -397,47 +300,26 @@ impl Clique {
     /// load balancing: the words are first spread evenly over the clique
     /// with Lenzen routing, then broadcast at `n` words per round. With
     /// total volume `W` and maximum per-node contribution `L`, the cost is
-    /// `lenzen_rounds·⌈L/n⌉ + ⌈W/n⌉`. Use this instead of
-    /// `broadcast_all_words` when contributions are skewed.
+    /// `lenzen_rounds·⌈L/n⌉ + ⌈W/n⌉` (in broadcast mode: the unbalanced
+    /// `max_i w_i`). Use this instead of `broadcast_all_words` when
+    /// contributions are skewed.
     ///
     /// Returns the concatenation of all vectors in node order (identical at
     /// every node), together with per-node offsets.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `per_node.len() != n`.
-    pub fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
-        assert_eq!(per_node.len(), self.n, "one word vector per node required");
-        if self.config.mode == CommunicationMode::Broadcast {
-            // Broadcast-only fallback: everyone broadcasts its own words
-            // (no balancing), max_i w_i rounds instead of ~W/n.
-            let rounds = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
+    pub fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
+        delivery::check_len(self.n, per_node.len())?;
+        // Broadcast mode always touches the ledger (the fallback broadcast
+        // runs even when empty); the balanced path is free for empty input.
+        let nonempty = per_node.iter().any(|w| !w.is_empty());
+        if self.config.mode == CommunicationMode::Broadcast || nonempty {
+            let rounds = delivery::allgather_cost(&self.config, self.n, per_node);
             self.ledger.charge(rounds, CostKind::Implemented);
-            let mut offsets = Vec::with_capacity(self.n + 1);
-            let mut all = Vec::new();
-            for words in per_node {
-                offsets.push(all.len());
-                all.extend_from_slice(words);
-            }
-            offsets.push(all.len());
-            return (all, offsets);
         }
-        let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
-        let max_contrib = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
-        if total > 0 {
-            let balance = self.config.lenzen_rounds * max_contrib.div_ceil(self.n as u64);
-            let broadcast = total.div_ceil(self.n as u64);
-            self.ledger
-                .charge(balance + broadcast, CostKind::Implemented);
-        }
-        let mut offsets = Vec::with_capacity(self.n + 1);
-        let mut all = Vec::with_capacity(total as usize);
-        for words in per_node {
-            offsets.push(all.len());
-            all.extend_from_slice(words);
-        }
-        offsets.push(all.len());
-        (all, offsets)
+        Ok(delivery::concat_words(self.n, per_node))
     }
 
     /// Globally sorts all keys across the clique (Lenzen's deterministic
@@ -454,36 +336,13 @@ impl Clique {
     /// [`ModelError::BroadcastOnly`] in broadcast mode;
     /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
     pub fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
-        self.check_unicast_allowed()?;
-        if per_node.len() != self.n {
-            return Err(ModelError::WrongOutboxCount {
-                got: per_node.len(),
-                expected: self.n,
-            });
+        delivery::unicast_gate(&self.config)?;
+        delivery::check_len(self.n, per_node.len())?;
+        if per_node.iter().any(|w| !w.is_empty()) {
+            let rounds = delivery::sort_cost(&self.config, self.n, per_node);
+            self.ledger.charge(rounds, CostKind::Implemented);
         }
-        let max_keys = per_node.iter().map(|w| w.len() as u64).max().unwrap_or(0);
-        if max_keys > 0 {
-            let batches = max_keys.div_ceil(self.n as u64);
-            self.ledger
-                .charge(batches * self.config.lenzen_rounds, CostKind::Implemented);
-        }
-        let mut tagged: Vec<(u64, usize, usize)> = Vec::new();
-        for (src, words) in per_node.iter().enumerate() {
-            for (pos, &w) in words.iter().enumerate() {
-                tagged.push((w, src, pos));
-            }
-        }
-        tagged.sort_unstable();
-        let total = tagged.len();
-        let base = total / self.n;
-        let extra = total % self.n;
-        let mut out = Vec::with_capacity(self.n);
-        let mut it = tagged.into_iter().map(|(w, _, _)| w);
-        for i in 0..self.n {
-            let take = base + usize::from(i < extra);
-            out.push((&mut it).take(take).collect());
-        }
-        Ok(out)
+        Ok(delivery::sorted_blocks(self.n, per_node))
     }
 
     /// Every node sends its word vector to a single destination.
@@ -496,22 +355,18 @@ impl Clique {
     /// [`ModelError::InvalidNode`] if `dst` is out of range;
     /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`.
     pub fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
-        self.check_unicast_allowed()?;
+        delivery::unicast_gate(&self.config)?;
         if dst >= self.n {
             return Err(ModelError::InvalidNode {
                 node: dst,
                 n: self.n,
             });
         }
-        if per_node.len() != self.n {
-            return Err(ModelError::WrongOutboxCount {
-                got: per_node.len(),
-                expected: self.n,
-            });
-        }
-        let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
-        self.ledger
-            .charge(total.div_ceil(self.n as u64 - 1), CostKind::Implemented);
+        delivery::check_len(self.n, per_node.len())?;
+        self.ledger.charge(
+            delivery::gather_cost(self.n, per_node),
+            CostKind::Implemented,
+        );
         Ok(per_node.to_vec())
     }
 }
@@ -565,15 +420,15 @@ impl Communicator for Clique {
         Clique::route_strict(self, outboxes)
     }
 
-    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+    fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
         Clique::broadcast_all(self, values)
     }
 
-    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) -> Result<(), ModelError> {
         Clique::broadcast_all_into(self, values, out)
     }
 
-    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         Clique::broadcast_all_words(self, per_node)
     }
 
@@ -581,7 +436,7 @@ impl Communicator for Clique {
         Clique::broadcast_from(self, src, words)
     }
 
-    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+    fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
         Clique::allgather(self, per_node)
     }
 
@@ -601,7 +456,7 @@ mod tests {
     #[test]
     fn broadcast_all_costs_one_round() {
         let mut clique = Clique::new(4);
-        let view = clique.broadcast_all(&[10, 11, 12, 13]);
+        let view = clique.broadcast_all(&[10, 11, 12, 13]).unwrap();
         assert_eq!(view, vec![10, 11, 12, 13]);
         assert_eq!(clique.ledger().total_rounds(), 1);
     }
@@ -686,7 +541,7 @@ mod tests {
     #[test]
     fn allgather_concatenates_in_node_order() {
         let mut clique = Clique::new(3);
-        let (all, offsets) = clique.allgather(&[vec![1, 2], vec![], vec![3]]);
+        let (all, offsets) = clique.allgather(&[vec![1, 2], vec![], vec![3]]).unwrap();
         assert_eq!(all, vec![1, 2, 3]);
         assert_eq!(offsets, vec![0, 2, 2, 3]);
         // total 3 words, max contribution 2: ceil(2/3)*lenzen + ceil(3/3) = 2+1.
@@ -706,7 +561,7 @@ mod tests {
     fn phase_attribution() {
         let mut clique = Clique::new(2);
         clique.phase("outer", |c| {
-            c.broadcast_all(&[1, 2]);
+            c.broadcast_all(&[1, 2]).unwrap();
             c.phase("inner", |c| c.charge_oracle(5));
         });
         assert_eq!(clique.ledger().phase("outer").implemented, 1);
@@ -732,7 +587,9 @@ mod tests {
     #[test]
     fn broadcast_all_words_costs_longest_vector() {
         let mut clique = Clique::new(3);
-        let view = clique.broadcast_all_words(&[vec![1, 2, 3], vec![], vec![9]]);
+        let view = clique
+            .broadcast_all_words(&[vec![1, 2, 3], vec![], vec![9]])
+            .unwrap();
         assert_eq!(view[0], vec![1, 2, 3]);
         assert_eq!(view[2], vec![9]);
         assert_eq!(clique.ledger().total_rounds(), 3);
@@ -754,7 +611,9 @@ mod tests {
         let mut clique = Clique::new(4);
         // One node contributes 12 words, others none: balancing pays
         // lenzen·ceil(12/4) = 3 batches, broadcast pays ceil(12/4) = 3.
-        let (all, offsets) = clique.allgather(&[(0..12).collect(), vec![], vec![], vec![]]);
+        let (all, offsets) = clique
+            .allgather(&[(0..12).collect(), vec![], vec![], vec![]])
+            .unwrap();
         assert_eq!(all.len(), 12);
         assert_eq!(offsets, vec![0, 12, 12, 12, 12]);
         assert_eq!(
@@ -815,12 +674,14 @@ mod tests {
             Err(ModelError::BroadcastOnly)
         );
         // Broadcast primitives still work, with broadcast-only accounting.
-        clique.broadcast_all(&[1, 2, 3, 4]);
+        clique.broadcast_all(&[1, 2, 3, 4]).unwrap();
         let before = clique.ledger().total_rounds();
         clique.broadcast_from(0, &vec![1, 2, 3, 4, 5, 6]).unwrap();
         assert_eq!(clique.ledger().total_rounds() - before, 6);
         let before = clique.ledger().total_rounds();
-        let (all, _) = clique.allgather(&[vec![1, 2], vec![3], vec![], vec![4]]);
+        let (all, _) = clique
+            .allgather(&[vec![1, 2], vec![3], vec![], vec![4]])
+            .unwrap();
         assert_eq!(all, vec![1, 2, 3, 4]);
         // Broadcast allgather: max contribution = 2 rounds.
         assert_eq!(clique.ledger().total_rounds() - before, 2);

@@ -68,7 +68,7 @@ pub fn scoped_phase<C: Communicator, R>(
 ///
 /// fn min_consensus<C: Communicator>(comm: &mut C, mine: u64) -> u64 {
 ///     comm.phase("consensus", |comm| {
-///         let view = comm.broadcast_all(&vec![mine; comm.n()]);
+///         let view = comm.broadcast_all(&vec![mine; comm.n()]).unwrap();
 ///         view.into_iter().min().unwrap()
 ///     })
 /// }
@@ -170,10 +170,12 @@ pub trait Communicator {
 
     /// Every node broadcasts one word; everyone learns all `n` words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values.len() != n`.
-    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64>;
+    /// [`ModelError::WrongOutboxCount`] if `values.len() != n`;
+    /// fault-injecting transports ([`crate::FaultComm`]) additionally
+    /// return [`ModelError::CongestionExceeded`] for injected faults.
+    fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError>;
 
     /// [`Communicator::broadcast_all`] into a caller-owned buffer: `out`
     /// is cleared and refilled with the shared view. The default delegates
@@ -182,76 +184,25 @@ pub trait Communicator {
     /// override it ([`crate::Clique`] does). Round accounting must be
     /// identical to `broadcast_all`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values.len() != n`.
-    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
-        let view = self.broadcast_all(values);
+    /// Same errors as [`Communicator::broadcast_all`] (leaving `out`
+    /// untouched on failure).
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) -> Result<(), ModelError> {
+        let view = self.broadcast_all(values)?;
         out.clear();
         out.extend_from_slice(&view);
+        Ok(())
     }
 
     /// Every node broadcasts a word vector; everyone learns all of them.
     ///
-    /// # Panics
-    ///
-    /// Panics if `per_node.len() != n`.
-    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words>;
-
-    /// Fallible twin of [`Communicator::broadcast_all`]. The default
-    /// delegates to the infallible primitive, so for honest substrates the
-    /// two are indistinguishable (identical rounds, identical results);
-    /// fault-injecting transports ([`crate::FaultComm`]) override the
-    /// `try_*` family to surface injected faults as typed errors instead of
-    /// silently succeeding. Algorithm code on the error-propagating path
-    /// should call the `try_*` variants.
-    ///
     /// # Errors
     ///
-    /// Never fails in honest substrates; fault-injecting transports return
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`;
+    /// fault-injecting transports additionally return
     /// [`ModelError::CongestionExceeded`] for injected faults.
-    fn try_broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
-        Ok(self.broadcast_all(values))
-    }
-
-    /// Fallible twin of [`Communicator::broadcast_all_into`]; see
-    /// [`Communicator::try_broadcast_all`] for the contract.
-    ///
-    /// # Errors
-    ///
-    /// Never fails in honest substrates; fault-injecting transports return
-    /// [`ModelError::CongestionExceeded`] for injected faults (leaving
-    /// `out` untouched).
-    fn try_broadcast_all_into(
-        &mut self,
-        values: &[u64],
-        out: &mut Vec<u64>,
-    ) -> Result<(), ModelError> {
-        self.broadcast_all_into(values, out);
-        Ok(())
-    }
-
-    /// Fallible twin of [`Communicator::broadcast_all_words`]; see
-    /// [`Communicator::try_broadcast_all`] for the contract.
-    ///
-    /// # Errors
-    ///
-    /// Never fails in honest substrates; fault-injecting transports return
-    /// [`ModelError::CongestionExceeded`] for injected faults.
-    fn try_broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
-        Ok(self.broadcast_all_words(per_node))
-    }
-
-    /// Fallible twin of [`Communicator::allgather`]; see
-    /// [`Communicator::try_broadcast_all`] for the contract.
-    ///
-    /// # Errors
-    ///
-    /// Never fails in honest substrates; fault-injecting transports return
-    /// [`ModelError::CongestionExceeded`] for injected faults.
-    fn try_allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
-        Ok(self.allgather(per_node))
-    }
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError>;
 
     /// One node broadcasts its word vector to everyone.
     ///
@@ -263,10 +214,12 @@ pub trait Communicator {
     /// Everyone learns everyone's word vector, load-balanced (all-gather).
     /// Returns the concatenation in node order plus per-node offsets.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `per_node.len() != n`.
-    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>);
+    /// [`ModelError::WrongOutboxCount`] if `per_node.len() != n`;
+    /// fault-injecting transports additionally return
+    /// [`ModelError::CongestionExceeded`] for injected faults.
+    fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError>;
 
     /// Globally sorts all keys across the clique (Lenzen's deterministic
     /// sorting theorem); node `i` receives the `i`-th sorted block.
@@ -292,7 +245,7 @@ mod tests {
     fn generic_round<C: Communicator>(comm: &mut C) -> u64 {
         comm.phase("generic", |comm| {
             let n = comm.n();
-            comm.broadcast_all(&vec![1; n]);
+            comm.broadcast_all(&vec![1; n]).unwrap();
             comm.charge_oracle(3);
         });
         comm.ledger().total_rounds()

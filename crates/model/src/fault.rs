@@ -19,9 +19,9 @@
 //!   a phase path matching [`FaultPlan::fail_phases`] fails with a
 //!   synthesized `CongestionExceeded` (capacity 0 marks it as injected),
 //!   exercising the caller's error path deterministically; this includes
-//!   the `try_*` broadcast twins
-//!   ([`Communicator::try_broadcast_all`] and friends), which honest
-//!   substrates never fail but this transport does;
+//!   the broadcast family ([`Communicator::broadcast_all`] and friends),
+//!   which honest substrates only fail structurally but this transport
+//!   fails on demand;
 //! * **seeded random faults** — [`FaultPlan::failure_rate`] injects the
 //!   same failures on every run with the same seed (SplitMix64 stream);
 //! * **payload-size assertions** — [`FaultPlan::max_message_words`] turns
@@ -286,49 +286,18 @@ impl<C: Communicator> Communicator for FaultComm<C> {
         self.inner.route_strict(outboxes)
     }
 
-    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+    fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+        self.preflight()?;
         self.inner.broadcast_all(values)
     }
 
-    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) {
-        self.inner.broadcast_all_into(values, out);
-    }
-
-    fn try_broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) -> Result<(), ModelError> {
         self.preflight()?;
-        self.inner.try_broadcast_all(values)
+        self.inner.broadcast_all_into(values, out)
     }
 
-    fn try_broadcast_all_into(
-        &mut self,
-        values: &[u64],
-        out: &mut Vec<u64>,
-    ) -> Result<(), ModelError> {
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         self.preflight()?;
-        self.inner.try_broadcast_all_into(values, out)
-    }
-
-    fn try_broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
-        self.preflight()?;
-        if self.plan.max_message_words.is_some() {
-            for words in per_node {
-                self.assert_payload(words.len());
-            }
-        }
-        self.inner.try_broadcast_all_words(per_node)
-    }
-
-    fn try_allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
-        self.preflight()?;
-        if self.plan.max_message_words.is_some() {
-            for words in per_node {
-                self.assert_payload(words.len());
-            }
-        }
-        self.inner.try_allgather(per_node)
-    }
-
-    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
         if self.plan.max_message_words.is_some() {
             for words in per_node {
                 self.assert_payload(words.len());
@@ -343,7 +312,8 @@ impl<C: Communicator> Communicator for FaultComm<C> {
         self.inner.broadcast_from(src, words)
     }
 
-    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+    fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
+        self.preflight()?;
         if self.plan.max_message_words.is_some() {
             for words in per_node {
                 self.assert_payload(words.len());

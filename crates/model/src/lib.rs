@@ -32,7 +32,9 @@
 //! // 8 nodes; each broadcasts its own id, so afterwards every node knows
 //! // all ids. One word per ordered pair => exactly 1 round.
 //! let mut clique = Clique::new(8);
-//! let view = clique.broadcast_all(&(0..8).map(|i| i as u64).collect::<Vec<_>>());
+//! let view = clique
+//!     .broadcast_all(&(0..8).map(|i| i as u64).collect::<Vec<_>>())
+//!     .unwrap();
 //! assert_eq!(view, (0..8).map(|i| i as u64).collect::<Vec<_>>());
 //! assert_eq!(clique.ledger().total_rounds(), 1);
 //! ```
@@ -42,11 +44,13 @@
 
 mod clique;
 mod comm;
+pub mod delivery;
 mod encode;
 mod error;
 mod fault;
 mod ledger;
 mod program;
+mod threaded;
 mod trace;
 
 pub use clique::{Clique, CliqueConfig, CommunicationMode, Envelope};
@@ -58,6 +62,7 @@ pub use error::ModelError;
 pub use fault::{FaultComm, FaultPlan};
 pub use ledger::{CostKind, PhaseCost, RoundLedger};
 pub use program::{run_node_programs, NodeCtx, NodeProgram};
+pub use threaded::ThreadedComm;
 pub use trace::{PhaseTrace, TraceEvent, TracingComm, TRACE_HIST_BUCKETS};
 
 /// Identifier of a node (processor) of the clique; ranges over `0..n`.

@@ -1,0 +1,418 @@
+//! [`ThreadedComm`]: the concurrent sharded clique runtime.
+//!
+//! The paper's model is `n` nodes acting *concurrently*; [`crate::Clique`]
+//! executes rounds as a sequential loop on one thread. `ThreadedComm` runs
+//! the **same delivery kernel** ([`crate::delivery`]) across a persistent
+//! [`cc_par::WorkerPool`]: virtual nodes are sharded many-per-worker
+//! (contiguous source ranges, so `n` reaches the thousands without
+//! thousands of threads), each round is barrier-synchronized, and the
+//! per-shard partial results are merged in shard-index order.
+//!
+//! # Determinism discipline
+//!
+//! Bitwise identity to [`crate::Clique`] — results *and* ledger — holds by
+//! construction, not by tolerance:
+//!
+//! * **Sharding is contiguous in source id**, so concatenating per-shard
+//!   inboxes in shard order ([`crate::delivery::merge_inboxes`]) is
+//!   exactly the sequential source-order delivery.
+//! * **Cost formulas are maxima and sums of per-source terms** over `u64`,
+//!   so shard-wise max-of-max and elementwise sums are exact.
+//! * **Errors are selected by lowest shard index** (each shard reports its
+//!   first violation in source order), reproducing the sequential scan's
+//!   first error.
+//! * **Serial primitives stay serial.** The broadcast family, `sort`, and
+//!   `gather_to` are shared-view operations with no per-source message
+//!   fan-out worth sharding; they run on the driver thread through an
+//!   embedded sequential [`crate::Clique`] — identical code, identical
+//!   ledger, by definition.
+//!
+//! # Watchdog contract
+//!
+//! Every sharded round dispatches owned jobs ([`WorkerPool::run_owned`])
+//! and waits on a balanced barrier with the
+//! [`cc_par::watchdog_timeout`] deadline (`CC_WATCHDOG_SECS`, default
+//! 120 s, `0` disables). A round that does not complete within the
+//! deadline panics with shard diagnostics instead of hanging the process —
+//! turning a deadlocked barrier into a fast, attributable test failure.
+//! The barrier itself asserts balanced arrivals, so a protocol bug (a
+//! shard arriving twice) also fails loudly rather than corrupting a later
+//! round.
+
+use crate::{
+    delivery, Clique, CliqueConfig, Communicator, CostKind, Envelope, ModelError, NodeId,
+    RoundLedger, Words,
+};
+use cc_par::{Job, WorkerPool};
+use std::sync::{Arc, Mutex};
+
+/// Per-source outboxes: `outboxes[src][i] = (dst, words)`.
+type Outboxes = Vec<Vec<(NodeId, Words)>>;
+
+/// What a round's merge yields: (exchange max, per-source send loads,
+/// per-destination receive loads, length-`n` inboxes).
+type MergedRound = (u64, Vec<u64>, Vec<u64>, Vec<Vec<Envelope>>);
+
+/// What a shard reports back from one parallel round.
+#[derive(Debug, Default)]
+struct ShardReport {
+    /// First structural violation in this shard, in source order.
+    error: Option<ModelError>,
+    /// Max per-ordered-pair words over this shard's sources.
+    exchange_max: u64,
+    /// Per-source send loads (shard-local indexing, disjoint globally).
+    send: Vec<u64>,
+    /// Per-destination receive loads contributed by this shard.
+    recv: Vec<u64>,
+    /// Inboxes contributed by this shard (length `n`).
+    inboxes: Vec<Vec<Envelope>>,
+}
+
+/// A [`Communicator`] executing the delivery kernel concurrently over a
+/// persistent worker pool, bitwise identical to [`Clique`] at every worker
+/// count. See the module docs for the determinism discipline and the
+/// watchdog contract.
+#[derive(Debug)]
+pub struct ThreadedComm {
+    /// Sequential driver for the shared-view primitives and the ledger:
+    /// delegating to it makes "identical to `Clique`" true by definition
+    /// on those paths.
+    seq: Clique,
+    workers: usize,
+    pool: Arc<WorkerPool>,
+}
+
+impl ThreadedComm {
+    /// A threaded clique of `n` nodes with default accounting constants;
+    /// worker count from [`cc_par::current_threads`] (clamped to `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        Self::with_config_and_workers(n, CliqueConfig::default(), cc_par::current_threads())
+    }
+
+    /// A threaded clique with an explicit worker count (clamped to `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `workers == 0`.
+    pub fn with_workers(n: usize, workers: usize) -> Self {
+        Self::with_config_and_workers(n, CliqueConfig::default(), workers)
+    }
+
+    /// A threaded clique with explicit accounting constants; worker count
+    /// from [`cc_par::current_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `config.routing_capacity_factor == 0`.
+    pub fn with_config(n: usize, config: CliqueConfig) -> Self {
+        Self::with_config_and_workers(n, config, cc_par::current_threads())
+    }
+
+    /// A threaded clique with explicit accounting constants and worker
+    /// count (clamped to `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `workers == 0`, or
+    /// `config.routing_capacity_factor == 0`.
+    pub fn with_config_and_workers(n: usize, config: CliqueConfig, workers: usize) -> Self {
+        assert!(workers > 0, "threaded clique needs at least one worker");
+        let workers = workers.min(n);
+        Self {
+            seq: Clique::with_config(n, config),
+            workers,
+            pool: cc_par::global_pool(workers),
+        }
+    }
+
+    /// Number of worker threads sharding each round.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Splits `outboxes` into contiguous per-worker source shards, runs
+    /// one barrier-synchronized round over the pool, and returns the
+    /// shard reports in shard-index order.
+    fn sharded_round(&self, outboxes: Outboxes) -> Vec<ShardReport> {
+        let n = self.seq.n();
+        let shard_size = n.div_ceil(self.workers);
+        let mut shards: Vec<(usize, Outboxes)> = Vec::with_capacity(self.workers);
+        let mut rest = outboxes;
+        let mut offset = 0;
+        while !rest.is_empty() {
+            let take = shard_size.min(rest.len());
+            let tail = rest.split_off(take);
+            shards.push((offset, rest));
+            offset += take;
+            rest = tail;
+        }
+        let nshards = shards.len();
+        let slots: Arc<Vec<Mutex<Option<ShardReport>>>> =
+            Arc::new((0..nshards).map(|_| Mutex::new(None)).collect());
+        let jobs: Vec<Job> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard_idx, (src_offset, shard))| {
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    let report = run_shard(n, src_offset, shard);
+                    *slots[shard_idx].lock().expect("shard slot poisoned") = Some(report);
+                }) as Job
+            })
+            .collect();
+        if let Err(hang) = self.pool.run_owned(jobs, cc_par::watchdog_timeout()) {
+            let missing: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.lock().map(|g| g.is_none()).unwrap_or(true))
+                .map(|(i, _)| i)
+                .collect();
+            panic!(
+                "ThreadedComm watchdog: round hung ({hang}); shards without reports: {missing:?} \
+                 of {nshards} (n={n}, workers={})",
+                self.workers
+            );
+        }
+        slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("shard slot poisoned")
+                    .take()
+                    .expect("shard finished without reporting")
+            })
+            .collect()
+    }
+
+    /// Merges shard reports into the global (first error, exchange max,
+    /// send loads, recv loads, inboxes) — all in shard-index order.
+    fn merge(&self, reports: Vec<ShardReport>) -> Result<MergedRound, ModelError> {
+        let n = self.seq.n();
+        // Lowest-indexed shard's first violation == the sequential scan's.
+        for report in &reports {
+            if let Some(err) = &report.error {
+                return Err(err.clone());
+            }
+        }
+        let mut exchange_max = 0u64;
+        let mut send = Vec::with_capacity(n);
+        let mut recv = vec![0u64; n];
+        let mut inbox_shards = Vec::with_capacity(reports.len());
+        for report in reports {
+            exchange_max = exchange_max.max(report.exchange_max);
+            send.extend(report.send);
+            for (acc, add) in recv.iter_mut().zip(&report.recv) {
+                *acc += add;
+            }
+            inbox_shards.push(report.inboxes);
+        }
+        Ok((
+            exchange_max,
+            send,
+            recv,
+            delivery::merge_inboxes(n, inbox_shards),
+        ))
+    }
+}
+
+/// The per-shard worker body: validate destinations (first violation in
+/// source order), compute cost contributions, and deliver this shard's
+/// messages. Pure — all inputs owned, output returned by value.
+fn run_shard(n: usize, src_offset: usize, shard: Vec<Vec<(NodeId, Words)>>) -> ShardReport {
+    if let Err(err) = delivery::check_destinations(n, &shard) {
+        return ShardReport {
+            error: Some(err),
+            ..ShardReport::default()
+        };
+    }
+    let exchange_max = delivery::exchange_cost(n, &shard);
+    let (send, recv) = delivery::shard_loads(n, &shard);
+    let inboxes = delivery::deliver_shard(n, src_offset, shard);
+    ShardReport {
+        error: None,
+        exchange_max,
+        send,
+        recv,
+        inboxes,
+    }
+}
+
+impl Communicator for ThreadedComm {
+    fn n(&self) -> usize {
+        self.seq.n()
+    }
+
+    fn config(&self) -> CliqueConfig {
+        self.seq.config()
+    }
+
+    fn ledger(&self) -> &RoundLedger {
+        self.seq.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut RoundLedger {
+        self.seq.ledger_mut()
+    }
+
+    fn exchange(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        delivery::unicast_gate(&self.config())?;
+        delivery::check_len(self.n(), outboxes.len())?;
+        let reports = self.sharded_round(outboxes);
+        let (max_pair, _, _, inboxes) = self.merge(reports)?;
+        self.seq
+            .ledger_mut()
+            .charge(max_pair, CostKind::Implemented);
+        Ok(inboxes)
+    }
+
+    fn route(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        delivery::unicast_gate(&self.config())?;
+        delivery::check_len(self.n(), outboxes.len())?;
+        let reports = self.sharded_round(outboxes);
+        let (_, send, recv, inboxes) = self.merge(reports)?;
+        let load = send.iter().chain(recv.iter()).copied().max().unwrap_or(0);
+        if load > 0 {
+            let rounds = delivery::route_cost(&self.config(), self.n(), load);
+            self.seq.ledger_mut().charge(rounds, CostKind::Implemented);
+        }
+        Ok(inboxes)
+    }
+
+    fn route_strict(
+        &mut self,
+        outboxes: Vec<Vec<(NodeId, Words)>>,
+    ) -> Result<Vec<Vec<Envelope>>, ModelError> {
+        // Mirrors `Clique::route_strict` exactly: structural checks, then
+        // the strict budget scan, then the batching route path (which in
+        // broadcast mode surfaces BroadcastOnly *after* the budget scan).
+        delivery::check_len(self.n(), outboxes.len())?;
+        let reports = self.sharded_round(outboxes);
+        let (_, send, recv, inboxes) = self.merge(reports)?;
+        delivery::strict_violation(&self.config(), self.n(), &send, &recv)?;
+        delivery::unicast_gate(&self.config())?;
+        let load = send.iter().chain(recv.iter()).copied().max().unwrap_or(0);
+        if load > 0 {
+            let rounds = delivery::route_cost(&self.config(), self.n(), load);
+            self.seq.ledger_mut().charge(rounds, CostKind::Implemented);
+        }
+        Ok(inboxes)
+    }
+
+    fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
+        self.seq.broadcast_all(values)
+    }
+
+    fn broadcast_all_into(&mut self, values: &[u64], out: &mut Vec<u64>) -> Result<(), ModelError> {
+        self.seq.broadcast_all_into(values, out)
+    }
+
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.seq.broadcast_all_words(per_node)
+    }
+
+    fn broadcast_from(&mut self, src: NodeId, words: &Words) -> Result<Words, ModelError> {
+        self.seq.broadcast_from(src, words)
+    }
+
+    fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
+        self.seq.allgather(per_node)
+    }
+
+    fn sort(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.seq.sort(per_node)
+    }
+
+    fn gather_to(&mut self, dst: NodeId, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
+        self.seq.gather_to(dst, per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_outboxes(n: usize, words_per_msg: usize) -> Vec<Vec<(NodeId, Words)>> {
+        (0..n)
+            .map(|u| {
+                vec![(
+                    (u + 1) % n,
+                    (0..words_per_msg).map(|k| (u * 100 + k) as u64).collect(),
+                )]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exchange_matches_clique_at_every_worker_count() {
+        for workers in [1, 2, 3, 8] {
+            let mut seq = Clique::new(7);
+            let mut par = ThreadedComm::with_workers(7, workers);
+            let a = seq.exchange(ring_outboxes(7, 3)).unwrap();
+            let b = par.exchange(ring_outboxes(7, 3)).unwrap();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(
+                seq.ledger().total_rounds(),
+                par.ledger().total_rounds(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_strict_error_matches_clique() {
+        let overload = vec![
+            vec![(1, (0..9).collect::<Vec<u64>>())],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let mut seq = Clique::new(4);
+        let mut par = ThreadedComm::with_workers(4, 2);
+        assert_eq!(
+            seq.route_strict(overload.clone()).unwrap_err(),
+            par.route_strict(overload).unwrap_err()
+        );
+        assert_eq!(seq.ledger().total_rounds(), par.ledger().total_rounds());
+    }
+
+    #[test]
+    fn invalid_destination_error_matches_clique() {
+        let bad = vec![vec![], vec![(9, vec![1])], vec![(8, vec![2])], vec![]];
+        let mut seq = Clique::new(4);
+        let mut par = ThreadedComm::with_workers(4, 4);
+        assert_eq!(
+            seq.exchange(bad.clone()).unwrap_err(),
+            par.exchange(bad).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn workers_clamped_to_n() {
+        let par = ThreadedComm::with_workers(3, 64);
+        assert_eq!(par.workers(), 3);
+    }
+
+    #[test]
+    fn shared_view_primitives_charge_identically() {
+        let mut seq = Clique::new(5);
+        let mut par = ThreadedComm::with_workers(5, 2);
+        let data = vec![vec![1, 2], vec![], vec![3], vec![4, 5, 6], vec![]];
+        assert_eq!(seq.allgather(&data).unwrap(), par.allgather(&data).unwrap());
+        assert_eq!(seq.sort(&data).unwrap(), par.sort(&data).unwrap());
+        assert_eq!(
+            seq.gather_to(2, &data).unwrap(),
+            par.gather_to(2, &data).unwrap()
+        );
+        assert_eq!(seq.ledger().phases(), par.ledger().phases());
+    }
+}

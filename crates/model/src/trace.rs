@@ -127,7 +127,7 @@ impl Default for PhaseTrace {
 /// use cc_model::{Clique, Communicator, TracingComm};
 ///
 /// let mut comm = TracingComm::new(Clique::new(4));
-/// comm.phase("demo", |comm| comm.broadcast_all(&[1, 2, 3, 4]));
+/// comm.phase("demo", |comm| comm.broadcast_all(&[1, 2, 3, 4]).unwrap());
 /// let trace = comm.trace_json();
 /// assert!(trace.contains("\"phase\": \"demo\""));
 /// assert_eq!(comm.ledger().total_rounds(), 1);
@@ -465,7 +465,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         self.traced("route_strict", stats, sizes, |c| c.route_strict(outboxes))
     }
 
-    fn broadcast_all(&mut self, values: &[u64]) -> Vec<u64> {
+    fn broadcast_all(&mut self, values: &[u64]) -> Result<Vec<u64>, ModelError> {
         let stats = CallStats {
             messages: values.len() as u64,
             words: values.len() as u64,
@@ -477,7 +477,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         self.traced("broadcast_all", stats, sizes, |c| c.broadcast_all(values))
     }
 
-    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Vec<Words> {
+    fn broadcast_all_words(&mut self, per_node: &[Words]) -> Result<Vec<Words>, ModelError> {
         let (stats, sizes) = vector_stats(per_node);
         self.traced("broadcast_all_words", stats, sizes, |c| {
             c.broadcast_all_words(per_node)
@@ -503,7 +503,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         })
     }
 
-    fn allgather(&mut self, per_node: &[Words]) -> (Words, Vec<usize>) {
+    fn allgather(&mut self, per_node: &[Words]) -> Result<(Words, Vec<usize>), ModelError> {
         let (stats, sizes) = vector_stats(per_node);
         self.traced("allgather", stats, sizes, |c| c.allgather(per_node))
     }
@@ -526,7 +526,7 @@ mod tests {
 
     fn workload<C: Communicator>(comm: &mut C) {
         comm.phase("outer", |comm| {
-            comm.broadcast_all(&[1, 2, 3, 4]);
+            comm.broadcast_all(&[1, 2, 3, 4]).unwrap();
             comm.phase("inner", |comm| {
                 let outboxes = vec![vec![(1, vec![5, 6])], vec![], vec![(0, vec![7])], vec![]];
                 comm.route(outboxes).unwrap();

@@ -21,7 +21,7 @@ fn default_plan_injects_nothing_and_preserves_rounds() {
     let echo_faulty = faulty.broadcast_all(&[1, 2, 3, 4]);
     assert_eq!(echo_plain, echo_faulty);
     assert_eq!(faulty.ledger().total_rounds(), plain_rounds);
-    assert!(faulty.try_broadcast_all(&[0, 0, 0, 0]).is_ok());
+    assert!(faulty.broadcast_all(&[0, 0, 0, 0]).is_ok());
     assert!(faulty.route(one_word_outboxes(4)).is_ok());
     assert_eq!(faulty.injected_faults(), 0);
 }
@@ -35,14 +35,14 @@ fn fail_phases_matches_path_fragments_only() {
     let mut comm = FaultComm::new(Clique::new(4), plan);
 
     // Outside any matching phase: calls succeed.
-    let ok = comm.phase("healthy", |c| c.try_broadcast_all(&[0, 0, 0, 0]));
+    let ok = comm.phase("healthy", |c| c.broadcast_all(&[0, 0, 0, 0]));
     assert!(ok.is_ok());
     assert_eq!(comm.injected_faults(), 0);
 
     // Inside a phase whose path contains the fragment: injected fault,
     // recognizable by its zero capacity.
     let err = comm
-        .phase("doomed_phase", |c| c.try_broadcast_all(&[0, 0, 0, 0]))
+        .phase("doomed_phase", |c| c.broadcast_all(&[0, 0, 0, 0]))
         .expect_err("fragment must match");
     assert!(matches!(
         err,
@@ -73,7 +73,7 @@ fn failure_rate_stream_is_deterministic_per_seed() {
         };
         let mut comm = FaultComm::new(Clique::new(4), plan);
         let outcomes: Vec<bool> = (0..32)
-            .map(|_| comm.try_broadcast_all(&[0, 0, 0, 0]).is_ok())
+            .map(|_| comm.broadcast_all(&[0, 0, 0, 0]).is_ok())
             .collect();
         (outcomes, comm.injected_faults())
     };
@@ -98,7 +98,7 @@ fn failure_rate_extremes_are_never_and_always() {
         },
     );
     for _ in 0..16 {
-        assert!(never.try_broadcast_all(&[0, 0, 0, 0]).is_ok());
+        assert!(never.broadcast_all(&[0, 0, 0, 0]).is_ok());
     }
     assert_eq!(never.injected_faults(), 0);
 
@@ -110,7 +110,7 @@ fn failure_rate_extremes_are_never_and_always() {
         },
     );
     for _ in 0..16 {
-        assert!(always.try_broadcast_all(&[0, 0, 0, 0]).is_err());
+        assert!(always.broadcast_all(&[0, 0, 0, 0]).is_err());
     }
     assert_eq!(always.injected_faults(), 16);
 }

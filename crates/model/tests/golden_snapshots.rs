@@ -13,7 +13,7 @@ use cc_model::{Clique, Communicator, TracingComm};
 /// phases and oracle charging, on n = 4.
 fn workload<C: Communicator>(comm: &mut C) {
     comm.phase("build", |c| {
-        c.broadcast_all(&[1, 2, 3, 4]);
+        c.broadcast_all(&[1, 2, 3, 4]).unwrap();
         c.phase("sparsify", |c| {
             c.route(vec![
                 vec![(1, vec![10, 11])],

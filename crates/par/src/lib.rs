@@ -10,9 +10,11 @@
 //! > therefore the result is bitwise identical for 1, 2, or 64 threads —
 //! > and identical to a plain serial loop over the same chunks.
 //!
-//! The execution engine is `std::thread::scope` (the container has no
-//! crates.io access, so `rayon` itself is not available; this is the
-//! rayon-shaped layer the workspace codes against). Threads pick up
+//! The execution engine is a persistent [`WorkerPool`] (the container has
+//! no crates.io access, so `rayon` itself is not available; this is the
+//! rayon-shaped layer the workspace codes against): jobs are dispatched
+//! over per-worker channels and synchronized with a [`RoundBarrier`]
+//! instead of paying a thread spawn + join per call. Threads pick up
 //! contiguous *groups* of chunks, which only affects scheduling, not
 //! results.
 //!
@@ -24,16 +26,24 @@
 //! 3. the `CC_NUM_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{global_pool, in_worker, watchdog_timeout, Hang, Job, RoundBarrier, WorkerPool};
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
+
+/// A contiguous group of `(chunk_index, payload)` tasks handed to one
+/// thread, wrapped so exactly one worker can take ownership of it.
+type TaskGroup<P> = Mutex<Option<Vec<(usize, P)>>>;
 
 fn env_threads() -> Option<usize> {
     for var in ["RAYON_NUM_THREADS", "CC_NUM_THREADS"] {
@@ -104,7 +114,7 @@ where
     assert!(chunk > 0, "chunk size must be positive");
     let threads = current_threads();
     let nchunks = data.len().div_ceil(chunk).max(1);
-    if threads <= 1 || nchunks <= 1 {
+    if threads <= 1 || nchunks <= 1 || pool::in_worker() {
         for (idx, sl) in data.chunks_mut(chunk).enumerate() {
             f(idx, sl);
         }
@@ -116,24 +126,32 @@ where
     for (idx, sl) in data.chunks_mut(chunk).enumerate() {
         grouped[(idx / per_group).min(groups - 1)].push((idx, sl));
     }
+    let mut iter = grouped.into_iter();
+    let own = iter.next();
+    let rest: Vec<TaskGroup<&mut [T]>> = iter.map(|g| Mutex::new(Some(g))).collect();
     let f = &f;
-    std::thread::scope(|scope| {
-        let mut iter = grouped.into_iter();
-        let own = iter.next();
-        for group in iter {
-            scope.spawn(move || {
-                for (idx, sl) in group {
-                    f(idx, sl);
-                }
-            });
-        }
-        // The spawning thread works too, on the first group.
-        if let Some(group) = own {
+    let pool = pool::global_pool(rest.len());
+    pool.scoped(
+        rest.len(),
+        |t| {
+            let group = rest[t]
+                .lock()
+                .expect("group slot poisoned")
+                .take()
+                .expect("group dispatched twice");
             for (idx, sl) in group {
                 f(idx, sl);
             }
-        }
-    });
+        },
+        || {
+            // The dispatching thread works too, on the first group.
+            if let Some(group) = own {
+                for (idx, sl) in group {
+                    f(idx, sl);
+                }
+            }
+        },
+    );
 }
 
 /// Evaluates `f` on every chunk-range of `0..len` (fixed chunking by
@@ -157,38 +175,45 @@ where
         .map(|lo| lo..(lo + chunk).min(len))
         .collect();
     let threads = current_threads();
-    if threads <= 1 || ranges.len() <= 1 {
+    if threads <= 1 || ranges.len() <= 1 || pool::in_worker() {
         return ranges.into_iter().map(f).collect();
     }
     let groups = threads.min(ranges.len());
     let per_group = ranges.len().div_ceil(groups);
+    let mut grouped: Vec<Vec<(usize, Range<usize>)>> = (0..groups).map(|_| Vec::new()).collect();
+    for (idx, r) in ranges.into_iter().enumerate() {
+        grouped[(idx / per_group).min(groups - 1)].push((idx, r));
+    }
+    let mut iter = grouped.into_iter();
+    let own = iter.next();
+    let work: Vec<TaskGroup<Range<usize>>> = iter.map(|g| Mutex::new(Some(g))).collect();
+    let done: Vec<Mutex<Vec<(usize, R)>>> =
+        (0..work.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let mut own_results: Vec<(usize, R)> = Vec::new();
     let f = &f;
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(groups);
-        let mut grouped: Vec<Vec<(usize, Range<usize>)>> =
-            (0..groups).map(|_| Vec::new()).collect();
-        for (idx, r) in ranges.into_iter().enumerate() {
-            grouped[(idx / per_group).min(groups - 1)].push((idx, r));
-        }
-        let mut iter = grouped.into_iter();
-        let own = iter.next();
-        for group in iter {
-            handles.push(scope.spawn(move || {
-                group
-                    .into_iter()
-                    .map(|(idx, r)| (idx, f(r)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut out: Vec<(usize, R)> = Vec::new();
-        if let Some(group) = own {
-            out.extend(group.into_iter().map(|(idx, r)| (idx, f(r))));
-        }
-        for h in handles {
-            out.extend(h.join().expect("cc-par worker panicked"));
-        }
-        out
-    });
+    let pool = pool::global_pool(work.len());
+    pool.scoped(
+        work.len(),
+        |t| {
+            let group = work[t]
+                .lock()
+                .expect("group slot poisoned")
+                .take()
+                .expect("group dispatched twice");
+            let results: Vec<(usize, R)> = group.into_iter().map(|(idx, r)| (idx, f(r))).collect();
+            *done[t].lock().expect("result slot poisoned") = results;
+        },
+        || {
+            // The dispatching thread works too, on the first group.
+            if let Some(group) = own {
+                own_results.extend(group.into_iter().map(|(idx, r)| (idx, f(r))));
+            }
+        },
+    );
+    let mut tagged: Vec<(usize, R)> = own_results;
+    for slot in done {
+        tagged.extend(slot.into_inner().expect("result slot poisoned"));
+    }
     tagged.sort_by_key(|&(idx, _)| idx);
     tagged.into_iter().map(|(_, r)| r).collect()
 }

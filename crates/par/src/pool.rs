@@ -1,0 +1,571 @@
+//! Persistent worker pool and barrier — the execution substrate for
+//! round-synchronized transports and for the fork-join kernels.
+//!
+//! [`crate::par_chunks_mut`] and [`crate::par_map_chunks`] used to spawn a
+//! fresh `std::thread::scope` per call; hot loops (a Chebyshev iteration
+//! calls into the kernel layer thousands of times) paid a thread spawn +
+//! join per call. The [`WorkerPool`] keeps its threads alive across calls:
+//! jobs are sent over per-worker channels and completion is synchronized
+//! with a [`RoundBarrier`].
+//!
+//! Two dispatch paths, with different safety stories:
+//!
+//! * [`WorkerPool::run_owned`] takes `'static` boxed jobs (all captured
+//!   state is owned or `Arc`-shared). This path supports a **watchdog
+//!   timeout**: if the barrier does not collect all arrivals within the
+//!   deadline, the caller gets [`Hang`] back and can panic with
+//!   diagnostics instead of deadlocking forever. Leaking a job on the
+//!   hang path is safe precisely because the jobs own their state.
+//!   `ThreadedComm` rounds run here.
+//! * [`WorkerPool::scoped`] dispatches a *borrowed* task closure to the
+//!   workers (the rayon-style scoped pattern). The pointer to the closure
+//!   is only valid until `scoped` returns, so this path **always blocks
+//!   until every task has acknowledged** — no timeout — and is the one
+//!   place in the crate that needs `unsafe` (a lifetime erasure, see
+//!   module `erase`). The fork-join kernels run here.
+//!
+//! Nested dispatch from inside a pool worker would deadlock a fully
+//! loaded pool, so both paths detect re-entry ([`in_worker`]) and run the
+//! jobs inline on the calling worker instead.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A dispatchable unit of work: owned closure, executed once on a worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the current thread is a [`WorkerPool`] worker executing a
+/// job. Dispatch paths use this to run nested parallelism inline instead
+/// of deadlocking on a fully loaded pool.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Returned by [`WorkerPool::run_owned`] when the watchdog deadline
+/// elapses before all jobs arrive at the round barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hang {
+    /// Jobs that had not acknowledged completion at the deadline.
+    pub pending: usize,
+    /// Jobs dispatched in this round.
+    pub total: usize,
+    /// How long the caller waited.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for Hang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker pool hang: {}/{} jobs pending after {:?}",
+            self.pending, self.total, self.waited
+        )
+    }
+}
+
+/// A reusable generation-counting barrier with balanced-arrival asserts.
+///
+/// `parties` participants call [`RoundBarrier::arrive`] (workers) or
+/// [`RoundBarrier::arrive_and_wait`] (the round driver); when the last
+/// participant arrives the generation advances and all waiters wake. The
+/// barrier asserts that no generation ever collects more than `parties`
+/// arrivals — an unbalanced barrier is a protocol bug, not a timing
+/// accident, and must fail loudly.
+pub struct RoundBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl RoundBarrier {
+    /// A barrier for `parties` participants (must be positive).
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Self {
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants per generation.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Completed generations so far.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("barrier poisoned").generation
+    }
+
+    /// Arrive without waiting (worker side).
+    pub fn arrive(&self) {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        assert!(
+            st.arrived < self.parties,
+            "unbalanced barrier: more than {} arrivals in generation {}",
+            self.parties,
+            st.generation
+        );
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Arrive and wait for the generation to complete, with an optional
+    /// deadline. Returns the number of arrivals still missing on timeout.
+    ///
+    /// # Errors
+    ///
+    /// `Err(pending)` if `timeout` elapsed before the generation closed.
+    pub fn arrive_and_wait(&self, timeout: Option<Duration>) -> Result<(), usize> {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        assert!(
+            st.arrived < self.parties,
+            "unbalanced barrier: more than {} arrivals in generation {}",
+            self.parties,
+            st.generation
+        );
+        st.arrived += 1;
+        if st.arrived == self.parties {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let target = st.generation + 1;
+        let start = Instant::now();
+        while st.generation < target {
+            match timeout {
+                None => st = self.cv.wait(st).expect("barrier poisoned"),
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        return Err(self.parties - st.arrived);
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, limit - elapsed)
+                        .expect("barrier poisoned");
+                    st = guard;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A pool of persistent worker threads consuming [`Job`]s from per-worker
+/// channels. See the module docs for the two dispatch paths.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` persistent threads (must be positive).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cc-par-worker-{idx}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|f| f.set(true));
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs owned jobs across the workers (round-robin), synchronizing
+    /// completion on a [`RoundBarrier`] of `jobs.len() + 1` parties.
+    ///
+    /// Panics from jobs are caught on the workers (so the pool survives)
+    /// and re-raised on the calling thread after the barrier closes, with
+    /// the original message preserved. Called from inside a pool worker,
+    /// the jobs run inline (nested dispatch would deadlock a loaded pool).
+    ///
+    /// # Errors
+    ///
+    /// [`Hang`] if `watchdog` elapses before every job arrives at the
+    /// barrier. The round state owned by the jobs is leaked safely (all
+    /// `'static`); the caller should treat this as a deadlock and panic
+    /// with diagnostics.
+    pub fn run_owned(&self, jobs: Vec<Job>, watchdog: Option<Duration>) -> Result<(), Hang> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        if in_worker() {
+            for job in jobs {
+                job();
+            }
+            return Ok(());
+        }
+        let total = jobs.len();
+        let barrier = Arc::new(RoundBarrier::new(total + 1));
+        let panics: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            let panics = Arc::clone(&panics);
+            let wrapped: Job = Box::new(move || {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    panics
+                        .lock()
+                        .expect("panic log poisoned")
+                        .push(panic_message(payload));
+                }
+                barrier.arrive();
+            });
+            self.senders[idx % self.senders.len()]
+                .send(wrapped)
+                .expect("pool worker hung up");
+        }
+        if let Err(pending) = barrier.arrive_and_wait(watchdog) {
+            return Err(Hang {
+                pending,
+                total,
+                waited: start.elapsed(),
+            });
+        }
+        let messages = panics.lock().expect("panic log poisoned");
+        if let Some(first) = messages.first() {
+            panic!("pool job panicked: {first}");
+        }
+        Ok(())
+    }
+
+    /// Runs `tasks` invocations of a *borrowed* closure on the workers
+    /// while the calling thread runs `own` concurrently, then blocks until
+    /// every task has acknowledged (no timeout — the borrow must not
+    /// outlive this call). Task `t` is invoked as `f(t)`.
+    ///
+    /// Panics from tasks are re-raised on the calling thread after all
+    /// tasks finish. Called from inside a pool worker, everything runs
+    /// inline.
+    pub fn scoped<F, G>(&self, tasks: usize, f: F, own: G)
+    where
+        F: Fn(usize) + Sync,
+        G: FnOnce(),
+    {
+        if tasks == 0 || in_worker() {
+            for t in 0..tasks {
+                f(t);
+            }
+            own();
+            return;
+        }
+        let barrier = RoundBarrier::new(tasks + 1);
+        let panics: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        erase::dispatch_borrowed(self, tasks, &f, &barrier, &panics);
+        own();
+        // Borrowed state: wait unconditionally; a watchdog here could
+        // return while workers still hold pointers into our frame.
+        barrier
+            .arrive_and_wait(None)
+            .expect("scoped barrier cannot time out");
+        let messages = panics.lock().expect("panic log poisoned");
+        if let Some(first) = messages.first() {
+            panic!("pool task panicked: {first}");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // workers see a closed channel and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The single unsafe corner of the crate: lifetime erasure for the scoped
+/// dispatch path (the pattern rayon and crossbeam use for scoped tasks).
+///
+/// # Safety argument
+///
+/// `dispatch_borrowed` sends raw pointers to stack-owned state (`f`, the
+/// barrier, the panic log) into `'static` jobs. This is sound because
+/// [`WorkerPool::scoped`] *unconditionally* blocks on the barrier until
+/// every dispatched task has arrived — the pointers cannot outlive the
+/// borrow they were erased from. Workers catch task panics, so a panicking
+/// task still arrives at the barrier; and the scoped path has no timeout,
+/// so the wait cannot be abandoned early.
+#[allow(unsafe_code)]
+mod erase {
+    use super::{Job, Mutex, RoundBarrier, WorkerPool};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    struct ErasedTask {
+        f: *const (dyn Fn(usize) + Sync + 'static),
+        barrier: *const RoundBarrier,
+        panics: *const Mutex<Vec<String>>,
+    }
+    // SAFETY: the pointees are Sync (Fn + Sync, RoundBarrier, Mutex) and
+    // outlive every use — see the module safety argument.
+    unsafe impl Send for ErasedTask {}
+
+    pub(super) fn dispatch_borrowed(
+        pool: &WorkerPool,
+        tasks: usize,
+        f: &(dyn Fn(usize) + Sync),
+        barrier: &RoundBarrier,
+        panics: &Mutex<Vec<String>>,
+    ) {
+        // SAFETY: fat-pointer lifetime erasure; validity is guaranteed by
+        // the unconditional barrier wait in `scoped` (module docs above).
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        for t in 0..tasks {
+            let erased = ErasedTask {
+                f: f_static as *const _,
+                barrier: barrier as *const _,
+                panics: panics as *const _,
+            };
+            let job: Job = Box::new(move || {
+                let erased = erased;
+                // SAFETY: scoped() blocks until this task arrives at the
+                // barrier, so all three pointers are live here.
+                let (f, barrier, panics) =
+                    unsafe { (&*erased.f, &*erased.barrier, &*erased.panics) };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(t))) {
+                    panics
+                        .lock()
+                        .expect("panic log poisoned")
+                        .push(super::panic_message(payload));
+                }
+                barrier.arrive();
+            });
+            pool.senders[t % pool.senders.len()]
+                .send(job)
+                .expect("pool worker hung up");
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
+static WATCHDOG: OnceLock<Option<Duration>> = OnceLock::new();
+
+/// The shared process-wide pool, grown on demand: returns a pool with at
+/// least `min_workers` workers (and at least [`crate::max_threads`]`- 1`,
+/// so the fork-join kernels always find enough lanes). Growing replaces
+/// the shared handle with a bigger pool; existing `Arc`s keep the old pool
+/// alive until their last round finishes.
+pub fn global_pool(min_workers: usize) -> Arc<WorkerPool> {
+    let want = min_workers.max(1);
+    let mut slot = GLOBAL.lock().expect("global pool poisoned");
+    match slot.as_ref() {
+        Some(pool) if pool.workers() >= want => Arc::clone(pool),
+        _ => {
+            let pool = Arc::new(WorkerPool::new(
+                want.max(crate::max_threads().saturating_sub(1).max(1)),
+            ));
+            *slot = Some(Arc::clone(&pool));
+            pool
+        }
+    }
+}
+
+/// The hang-watchdog deadline for round-synchronized dispatch, read once
+/// from `CC_WATCHDOG_SECS`: unset → 120 s, `0` → disabled (wait forever),
+/// any other integer → that many seconds. The threaded test suites set a
+/// low value so a deadlocked barrier fails fast in CI.
+pub fn watchdog_timeout() -> Option<Duration> {
+    *WATCHDOG.get_or_init(|| match std::env::var("CC_WATCHDOG_SECS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(secs) => Some(Duration::from_secs(secs)),
+            Err(_) => Some(Duration::from_secs(120)),
+        },
+        Err(_) => Some(Duration::from_secs(120)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owned_jobs_all_run() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..37)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_owned(jobs, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let boom: Vec<Job> = vec![Box::new(|| panic!("intentional test panic"))];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_owned(boom, Some(Duration::from_secs(30)))
+        }));
+        assert!(caught.is_err());
+        // The pool is still usable after a job panic.
+        let ok: Vec<Job> = vec![Box::new(|| {})];
+        pool.run_owned(ok, Some(Duration::from_secs(30))).unwrap();
+    }
+
+    #[test]
+    fn watchdog_reports_hang() {
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<Job> = vec![Box::new(|| {
+            std::thread::sleep(Duration::from_millis(400));
+        })];
+        let err = pool
+            .run_owned(jobs, Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(err.total, 1);
+        assert!(err.pending >= 1);
+        // Drain: give the sleeper time to finish so Drop joins cleanly.
+        std::thread::sleep(Duration::from_millis(500));
+    }
+
+    #[test]
+    fn scoped_runs_all_tasks_and_own_work() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        let own_ran = AtomicUsize::new(0);
+        pool.scoped(
+            10,
+            |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            },
+            || {
+                own_ran.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+        assert_eq!(own_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scoped_sees_borrowed_state() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<usize> = (0..100).collect();
+        let slots: Vec<Mutex<usize>> = (0..10).map(|_| Mutex::new(0)).collect();
+        pool.scoped(
+            10,
+            |t| {
+                let sum: usize = data[t * 10..(t + 1) * 10].iter().sum();
+                *slots[t].lock().unwrap() = sum;
+            },
+            || {},
+        );
+        let total: usize = slots.iter().map(|m| *m.lock().unwrap()).sum();
+        assert_eq!(total, (0..100).sum());
+    }
+
+    #[test]
+    fn barrier_generations_advance() {
+        let barrier = Arc::new(RoundBarrier::new(4));
+        for round in 1..=5u64 {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let b = Arc::clone(&barrier);
+                    std::thread::spawn(move || b.arrive())
+                })
+                .collect();
+            barrier
+                .arrive_and_wait(Some(Duration::from_secs(30)))
+                .unwrap();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(barrier.generation(), round);
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner = Arc::clone(&pool);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let jobs: Vec<Job> = vec![Box::new(move || {
+            assert!(in_worker());
+            // With one worker busy on this very job, nested dispatch must
+            // run inline instead of deadlocking.
+            let ran3 = Arc::clone(&ran2);
+            inner
+                .run_owned(
+                    vec![Box::new(move || {
+                        ran3.fetch_add(1, Ordering::SeqCst);
+                    }) as Job],
+                    Some(Duration::from_secs(5)),
+                )
+                .unwrap();
+        })];
+        pool.run_owned(jobs, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn global_pool_grows_on_demand() {
+        let small = global_pool(1);
+        let big = global_pool(small.workers() + 2);
+        assert!(big.workers() >= small.workers() + 2);
+        let again = global_pool(2);
+        assert!(again.workers() >= big.workers());
+    }
+}

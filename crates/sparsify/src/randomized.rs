@@ -103,7 +103,7 @@ pub fn build_randomized_sparsifier<C: Communicator>(
         let words: u64 = 3 * edges.len() as u64;
         let per_node = words.div_ceil(clique.n() as u64);
         for _ in 0..per_node.max(1) {
-            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+            clique.broadcast_all(&vec![0u64; clique.n()])?;
         }
 
         // A-posteriori exact certification (dense pencil; the sampled

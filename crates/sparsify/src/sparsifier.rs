@@ -303,7 +303,7 @@ pub fn build_sparsifier<C: Communicator>(
             // degree): 2 one-word broadcast rounds; afterwards the gadget
             // construction below is internal at every node.
             let assignment = dec.assignment(n);
-            clique.try_broadcast_all(
+            clique.broadcast_all(
                 &(0..clique.n())
                     .map(|v| {
                         if v < n {
@@ -314,7 +314,7 @@ pub fn build_sparsifier<C: Communicator>(
                     })
                     .collect::<Vec<_>>(),
             )?;
-            clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+            clique.broadcast_all(&vec![0u64; clique.n()])?;
             // Per-cluster work (degree sums, gadget spectra) is mutually
             // independent, so fan it out; emission below stays sequential
             // in cluster order, which keeps edge order, center ids, and

@@ -96,8 +96,8 @@ impl SparsifierTemplate {
             let mut aux_count = 0usize;
             let mut alpha: f64 = 1.0;
             for level in &self.levels {
-                clique.try_broadcast_all(&vec![0u64; clique.n()])?;
-                clique.try_broadcast_all(&vec![0u64; clique.n()])?;
+                clique.broadcast_all(&vec![0u64; clique.n()])?;
+                clique.broadcast_all(&vec![0u64; clique.n()])?;
                 for e in &level.direct_edges {
                     let edge = g.edge(*e);
                     edges.push((edge.u, edge.v, edge.weight));

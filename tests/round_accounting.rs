@@ -115,11 +115,11 @@ fn round_model_switch_reattributes_apsp_costs() {
 #[test]
 fn ledger_mixed_usage() {
     let mut clique = Clique::new(4);
-    clique.broadcast_all(&[0, 1, 2, 3]);
+    clique.broadcast_all(&[0, 1, 2, 3]).unwrap();
     clique.phase("x", |c| {
         c.charge_oracle(10);
         c.phase("y", |c| {
-            c.broadcast_all(&[0; 4]);
+            c.broadcast_all(&[0; 4]).unwrap();
         });
     });
     let ledger = clique.ledger();
