@@ -135,6 +135,12 @@ pub fn exchange_cost(n: usize, shard: &[Vec<(NodeId, Words)>]) -> u64 {
     let mut touched: Vec<NodeId> = Vec::new();
     for per_node in shard {
         for (dst, payload) in per_node {
+            // Skip empty payloads: they contribute nothing to the max,
+            // and pushing them into `touched` while `per_dst` stays 0
+            // would let the reset list collect duplicates.
+            if payload.is_empty() {
+                continue;
+            }
             if per_dst[*dst] == 0 {
                 touched.push(*dst);
             }
@@ -227,7 +233,12 @@ pub fn broadcast_words_cost(per_node: &[Words]) -> u64 {
 /// Rounds charged by a single-source broadcast of `w` words: `w` in
 /// broadcast mode (no helper scattering) and for `w ≤ 1`; otherwise the
 /// scatter-then-broadcast doubling trick, `2·⌈w/(n−1)⌉`.
+///
+/// Requires `n ≥ 2` (the transport invariant — a clique needs two nodes;
+/// [`crate::Clique::new`] enforces it). With `n < 2` the scatter formula
+/// divides by `n − 1`, which is zero or underflows.
 pub fn broadcast_from_cost(config: &CliqueConfig, n: usize, w: u64) -> u64 {
+    debug_assert!(n >= 2, "clique cost formulas require n >= 2, got {n}");
     if config.mode == CommunicationMode::Broadcast || w <= 1 {
         w
     } else {
@@ -299,7 +310,12 @@ pub fn sorted_blocks(n: usize, per_node: &[Words]) -> Vec<Words> {
 
 /// Rounds charged by a gather of total volume `W` to one node:
 /// `⌈W/(n−1)⌉` (the destination receives `n−1` words per round).
+///
+/// Requires `n ≥ 2` (the transport invariant — a clique needs two nodes;
+/// [`crate::Clique::new`] enforces it). With `n < 2` the divisor `n − 1`
+/// is zero or underflows.
 pub fn gather_cost(n: usize, per_node: &[Words]) -> u64 {
+    debug_assert!(n >= 2, "clique cost formulas require n >= 2, got {n}");
     let total: u64 = per_node.iter().map(|w| w.len() as u64).sum();
     total.div_ceil(n as u64 - 1)
 }
@@ -347,6 +363,18 @@ mod tests {
             let (lo, hi) = outboxes.split_at(split);
             assert_eq!(exchange_cost(n, lo).max(exchange_cost(n, hi)), full);
         }
+    }
+
+    #[test]
+    fn exchange_cost_ignores_empty_payloads() {
+        // Repeated zero-length payloads to one destination must neither
+        // affect the pair max nor bloat the internal reset list.
+        let outboxes: Vec<Vec<(NodeId, Words)>> = vec![
+            vec![(1, vec![]), (1, vec![]), (1, vec![7]), (1, vec![])],
+            vec![(2, vec![]); 5],
+            vec![],
+        ];
+        assert_eq!(exchange_cost(3, &outboxes), 1);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! * [`WorkerPool::scoped`] dispatches a *borrowed* task closure to the
 //!   workers (the rayon-style scoped pattern). The pointer to the closure
 //!   is only valid until `scoped` returns, so this path **always blocks
-//!   until every task has acknowledged** — no timeout — and is the one
-//!   place in the crate that needs `unsafe` (a lifetime erasure, see
-//!   module `erase`). The fork-join kernels run here.
+//!   until every dispatched task has completed** — no timeout, and a
+//!   drop guard keeps that wait in place even when the frame unwinds
+//!   (the caller-supplied `own` closure runs user code and may panic) —
+//!   and is the one place in the crate that needs `unsafe` (a lifetime
+//!   erasure, see module `erase`). The fork-join kernels run here.
 //!
 //! Nested dispatch from inside a pool worker would deadlock a fully
 //! loaded pool, so both paths detect re-entry ([`in_worker`]) and run the
@@ -174,6 +176,83 @@ impl RoundBarrier {
     }
 }
 
+/// Completion latch for the scoped dispatch path: counts tasks
+/// successfully handed to workers against tasks that have finished, and
+/// lets the dispatching frame block until the two balance.
+///
+/// Unlike [`RoundBarrier`], the expected count is discovered *during*
+/// dispatch — so if dispatch itself panics partway (a `send` to a dead
+/// worker), the wait covers exactly the tasks that were sent, never ones
+/// that were not. Locking ignores mutex poisoning: the latch is waited on
+/// during unwind, where a second panic would abort the process, and its
+/// critical sections are bare counter updates that cannot leave the state
+/// inconsistent.
+struct ScopedLatch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct LatchState {
+    dispatched: usize,
+    completed: usize,
+}
+
+impl ScopedLatch {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                dispatched: 0,
+                completed: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LatchState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one successfully dispatched task. Called *after* the
+    /// channel send, so a failed send is never waited on.
+    fn note_dispatched(&self) {
+        self.lock().dispatched += 1;
+    }
+
+    /// Records one finished task and wakes the waiter (worker side).
+    fn complete(&self) {
+        self.lock().completed += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every dispatched task has completed. A task may
+    /// complete before its dispatch is recorded (the worker races the
+    /// dispatch loop), so `completed` can transiently exceed
+    /// `dispatched`; by the time anyone waits, dispatch has stopped and
+    /// the final counts balance.
+    fn wait_all(&self) {
+        let mut st = self.lock();
+        while st.completed < st.dispatched {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Blocks on the latch when dropped — on the normal path and during
+/// unwind alike. This is the guarantee that makes the lifetime erasure in
+/// [`erase`] sound: no exit from [`WorkerPool::scoped`]'s frame (normal
+/// return, a panic in the caller's `own` closure, or a panicking send
+/// mid-dispatch) can precede the completion of every dispatched task.
+struct ScopedWaitGuard<'a> {
+    latch: &'a ScopedLatch,
+}
+
+impl Drop for ScopedWaitGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait_all();
+    }
+}
+
 /// A pool of persistent worker threads consuming [`Job`]s from per-worker
 /// channels. See the module docs for the two dispatch paths.
 pub struct WorkerPool {
@@ -278,11 +357,13 @@ impl WorkerPool {
 
     /// Runs `tasks` invocations of a *borrowed* closure on the workers
     /// while the calling thread runs `own` concurrently, then blocks until
-    /// every task has acknowledged (no timeout — the borrow must not
-    /// outlive this call). Task `t` is invoked as `f(t)`.
+    /// every dispatched task has completed (no timeout — the borrow must
+    /// not outlive this call, even on unwind). Task `t` is invoked as
+    /// `f(t)`.
     ///
     /// Panics from tasks are re-raised on the calling thread after all
-    /// tasks finish. Called from inside a pool worker, everything runs
+    /// tasks finish. A panic in `own` still waits for all tasks before
+    /// propagating. Called from inside a pool worker, everything runs
     /// inline.
     pub fn scoped<F, G>(&self, tasks: usize, f: F, own: G)
     where
@@ -296,15 +377,17 @@ impl WorkerPool {
             own();
             return;
         }
-        let barrier = RoundBarrier::new(tasks + 1);
+        let latch = ScopedLatch::new();
         let panics: Mutex<Vec<String>> = Mutex::new(Vec::new());
-        erase::dispatch_borrowed(self, tasks, &f, &barrier, &panics);
+        // Declared after the state it protects, so it drops (and blocks)
+        // first on every exit from this frame — including unwinds from
+        // `own` (caller code) or from a panicking send mid-dispatch,
+        // which would otherwise free `f`/`latch`/`panics` while workers
+        // still hold erased pointers into them.
+        let guard = ScopedWaitGuard { latch: &latch };
+        erase::dispatch_borrowed(self, tasks, &f, &latch, &panics);
         own();
-        // Borrowed state: wait unconditionally; a watchdog here could
-        // return while workers still hold pointers into our frame.
-        barrier
-            .arrive_and_wait(None)
-            .expect("scoped barrier cannot time out");
+        drop(guard); // normal path: block until every task is done
         let messages = panics.lock().expect("panic log poisoned");
         if let Some(first) = messages.first() {
             panic!("pool task panicked: {first}");
@@ -337,23 +420,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// # Safety argument
 ///
 /// `dispatch_borrowed` sends raw pointers to stack-owned state (`f`, the
-/// barrier, the panic log) into `'static` jobs. This is sound because
-/// [`WorkerPool::scoped`] *unconditionally* blocks on the barrier until
-/// every dispatched task has arrived — the pointers cannot outlive the
-/// borrow they were erased from. Workers catch task panics, so a panicking
-/// task still arrives at the barrier; and the scoped path has no timeout,
-/// so the wait cannot be abandoned early.
+/// latch, the panic log) into `'static` jobs. This is sound because the
+/// [`ScopedWaitGuard`] in [`WorkerPool::scoped`] blocks on the latch on
+/// *every* exit from that frame — normal return or unwind (a panic in the
+/// caller's `own` closure, or a panicking send here) — until every
+/// dispatched task has completed, so the pointers cannot outlive the
+/// borrow they were erased from. The latch counts only *successful* sends
+/// (recorded after each send), so a send that fails and drops its job
+/// unrun is never waited on and cannot deadlock the guard. Workers catch
+/// task panics, so a panicking task still completes the latch; and the
+/// scoped path has no timeout, so the wait cannot be abandoned early.
 #[allow(unsafe_code)]
 mod erase {
-    use super::{Job, Mutex, RoundBarrier, WorkerPool};
+    use super::{Job, Mutex, ScopedLatch, WorkerPool};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     struct ErasedTask {
         f: *const (dyn Fn(usize) + Sync + 'static),
-        barrier: *const RoundBarrier,
+        latch: *const ScopedLatch,
         panics: *const Mutex<Vec<String>>,
     }
-    // SAFETY: the pointees are Sync (Fn + Sync, RoundBarrier, Mutex) and
+    // SAFETY: the pointees are Sync (Fn + Sync, ScopedLatch, Mutex) and
     // outlive every use — see the module safety argument.
     unsafe impl Send for ErasedTask {}
 
@@ -361,35 +448,35 @@ mod erase {
         pool: &WorkerPool,
         tasks: usize,
         f: &(dyn Fn(usize) + Sync),
-        barrier: &RoundBarrier,
+        latch: &ScopedLatch,
         panics: &Mutex<Vec<String>>,
     ) {
         // SAFETY: fat-pointer lifetime erasure; validity is guaranteed by
-        // the unconditional barrier wait in `scoped` (module docs above).
+        // the guard's latch wait in `scoped` (module docs above).
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
         for t in 0..tasks {
             let erased = ErasedTask {
                 f: f_static as *const _,
-                barrier: barrier as *const _,
+                latch: latch as *const _,
                 panics: panics as *const _,
             };
             let job: Job = Box::new(move || {
                 let erased = erased;
-                // SAFETY: scoped() blocks until this task arrives at the
-                // barrier, so all three pointers are live here.
-                let (f, barrier, panics) =
-                    unsafe { (&*erased.f, &*erased.barrier, &*erased.panics) };
+                // SAFETY: scoped()'s guard blocks until this task calls
+                // complete(), so all three pointers are live here.
+                let (f, latch, panics) = unsafe { (&*erased.f, &*erased.latch, &*erased.panics) };
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(t))) {
                     panics
                         .lock()
                         .expect("panic log poisoned")
                         .push(super::panic_message(payload));
                 }
-                barrier.arrive();
+                latch.complete();
             });
             pool.senders[t % pool.senders.len()]
                 .send(job)
                 .expect("pool worker hung up");
+            latch.note_dispatched();
         }
     }
 }
@@ -417,10 +504,16 @@ pub fn global_pool(min_workers: usize) -> Arc<WorkerPool> {
     }
 }
 
-/// The hang-watchdog deadline for round-synchronized dispatch, read once
-/// from `CC_WATCHDOG_SECS`: unset → 120 s, `0` → disabled (wait forever),
-/// any other integer → that many seconds. The threaded test suites set a
-/// low value so a deadlocked barrier fails fast in CI.
+/// The hang-watchdog deadline for round-synchronized dispatch, read from
+/// `CC_WATCHDOG_SECS`: unset → 120 s, `0` → disabled (wait forever), any
+/// other non-negative integer → that many seconds. A value that does not
+/// parse as an integer falls back to the 120 s default.
+///
+/// The variable is read **once per process** and cached; set it in the
+/// environment before the first round runs (as the CI jobs do). Changing
+/// it later — e.g. per-test inside one binary — has no effect. The
+/// threaded test suites rely on CI exporting a low value so a deadlocked
+/// barrier fails fast.
 pub fn watchdog_timeout() -> Option<Duration> {
     *WATCHDOG.get_or_init(|| match std::env::var("CC_WATCHDOG_SECS") {
         Ok(v) => match v.trim().parse::<u64>() {
@@ -497,6 +590,45 @@ mod tests {
         );
         assert_eq!(hits.load(Ordering::SeqCst), 10);
         assert_eq!(own_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn own_panic_still_waits_for_tasks() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(
+                8,
+                |_| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    hits.fetch_add(1, Ordering::SeqCst);
+                },
+                || panic!("own work panicked"),
+            );
+        }));
+        assert!(caught.is_err());
+        // The drop guard blocked the unwind until every task completed:
+        // all increments through the borrowed counter are already visible.
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scoped_task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(4, |t| assert_ne!(t, 2, "intentional task panic"), || {});
+        }));
+        assert!(caught.is_err());
+        // The pool is still usable after a task panic.
+        let ran = AtomicUsize::new(0);
+        pool.scoped(
+            3,
+            |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            },
+            || {},
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
     }
 
     #[test]
