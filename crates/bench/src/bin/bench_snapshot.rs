@@ -35,6 +35,17 @@
 //!   are asserted identical to the sequential `Clique` and gated by
 //!   `--check`; the per-worker-count `wall_ns` scaling curve is
 //!   per-host and excluded.
+//! - `"adversary"` (schema v6): the chaos matrix and the retry path.
+//!   `"chaos"` replays the full (pipeline × adversary-strategy)
+//!   conformance matrix — detected/tolerated/corrupted counts plus a
+//!   hash of the rendered matrix — asserting the detectability
+//!   invariant (omission adversaries never corrupt silently) before
+//!   reporting. `"recovery"` pins the service layer's retry/backoff
+//!   path: a crash–recover node fails attempt 1, the engine charges
+//!   backoff and degrades to a fresh build, and attempt 2's response
+//!   is asserted bitwise identical to a fault-free run — attempts,
+//!   observed faults, retry-phase rounds, and the response
+//!   fingerprint are all `--check`-gated.
 //!
 //! A third tier scales the solver itself: `"large"` times batched
 //! multi-RHS kernels (`matvec_multi_into`, `solve_multi_into`, the full
@@ -63,7 +74,11 @@ use cc_linalg::{
 };
 use cc_maxflow::{max_flow_ipm, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, McfOptions};
-use cc_model::{Clique, Communicator, ThreadedComm, TracingComm};
+use cc_model::{
+    AdversaryComm, AdversarySchedule, AdversaryStrategy, Clique, Communicator, ThreadedComm,
+    TracingComm,
+};
+use cc_service::{EngineConfig, FlowEngine, GraphSpec, Request, Response, RetryPolicy};
 
 /// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
 fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -726,12 +741,159 @@ fn threaded_section() -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+/// FNV-1a over raw bytes (used to pin the rendered chaos matrix).
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over a service response's bits: a variant tag, then every
+/// field (floats by IEEE-754 bits, integers by two's complement).
+fn hash_response(r: &Response) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut fold = |w: u64| {
+        h ^= w;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    match r {
+        Response::Potentials { x, iterations } => {
+            fold(1);
+            fold(*iterations as u64);
+            x.iter().for_each(|v| fold(v.to_bits()));
+        }
+        Response::MaxFlow { flow, value } => {
+            fold(3);
+            fold(*value as u64);
+            flow.iter().for_each(|&f| fold(f as u64));
+        }
+        other => unreachable!("recovery scenarios return potentials or flows, got {other:?}"),
+    }
+    h
+}
+
+/// Node count of the recovery scenarios (matches the service-layer
+/// recovery suite).
+const ADV_N: usize = 14;
+/// The crash window: node 1 is dead for the first `ADV_CRASH_UNTIL`
+/// ledger rounds, long enough that every scenario's opening
+/// communication hits it.
+const ADV_CRASH_UNTIL: u64 = 50;
+/// Backoff charged before the retry; `≥ ADV_CRASH_UNTIL` guarantees
+/// attempt 2 starts after the node recovered.
+const ADV_BACKOFF: u64 = 200;
+
+/// The adversary section (schema v6): chaos-matrix counts over the full
+/// conformance corpus plus the pinned retry/backoff recovery scenarios.
+/// Everything here is bitwise deterministic — the adversary streams are
+/// pure functions of (schedule, call sequence, payload shapes) — so all
+/// fields are `--check`-gated.
+fn adversary_section() -> String {
+    // A Corrupted cell panics inside the suite's catch_unwind; keep the
+    // snapshot log readable by silencing the hook while the matrix runs.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = cc_conform::run_adversary_suite();
+    std::panic::set_hook(hook);
+    report.assert_detectable_strategies_never_corrupt();
+    let chaos = format!(
+        "{{\"cells\": {}, \"detected\": {}, \"tolerated\": {}, \"corrupted\": {}, \"matrix_hash\": \"{:#018x}\"}}",
+        report.cells.len(),
+        report.count(cc_conform::CellOutcome::Detected),
+        report.count(cc_conform::CellOutcome::Tolerated),
+        report.count(cc_conform::CellOutcome::Corrupted),
+        hash_bytes(report.matrix_markdown().as_bytes()),
+    );
+
+    fn register<C: Communicator>(engine: &mut FlowEngine<C>) {
+        engine.register(
+            "lap",
+            GraphSpec::Undirected(generators::random_connected(ADV_N, 34, 4, 3)),
+        );
+        engine.register(
+            "net",
+            GraphSpec::Directed(generators::random_flow_network(10, 18, 4, 2)),
+        );
+    }
+    let mut b = vec![0.0; ADV_N];
+    b[0] = 1.0;
+    b[ADV_N - 1] = -1.0;
+    let scenarios: [(&str, Request); 2] = [
+        (
+            "laplacian_solve/crash_recover",
+            Request::LaplacianSolve {
+                graph: "lap".into(),
+                b,
+                eps: 1e-8,
+            },
+        ),
+        (
+            "maxflow/crash_recover",
+            Request::MaxFlow {
+                graph: "net".into(),
+                s: 0,
+                t: 9,
+            },
+        ),
+    ];
+    let rows: Vec<String> = scenarios
+        .into_iter()
+        .map(|(label, request)| {
+            // Fault-free baseline: what the recovered attempt must
+            // reproduce bit for bit.
+            let mut baseline = FlowEngine::new(Clique::new(ADV_N));
+            register(&mut baseline);
+            let want = baseline.submit(request.clone()).expect("honest clique");
+
+            let schedule = AdversarySchedule::new(17).with(
+                1,
+                AdversaryStrategy::CrashRecover {
+                    from_round: 0,
+                    until_round: ADV_CRASH_UNTIL,
+                },
+            );
+            let mut engine = FlowEngine::with_config(
+                AdversaryComm::new(Clique::new(ADV_N), schedule),
+                EngineConfig {
+                    retry: RetryPolicy::retries(3, ADV_BACKOFF),
+                    ..EngineConfig::default()
+                },
+            );
+            register(&mut engine);
+            let got = engine.submit(request).expect("retry must recover");
+            let degraded = got.stats.degraded.expect("recovered request is degraded");
+            assert_eq!(
+                hash_response(&got.response),
+                hash_response(&want.response),
+                "{label}: recovered response diverged from the fault-free run"
+            );
+            format!(
+                "    {{\"scenario\": \"{}\", \"attempts\": {}, \"faults_observed\": {}, \"retry_rounds\": {}, \"request_rounds\": {}, \"response_fingerprint\": \"{:#018x}\"}}",
+                label,
+                got.stats.attempts,
+                degraded.faults_observed,
+                engine.ledger().phase("service_retry").implemented,
+                got.stats.rounds,
+                hash_response(&got.response),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"chaos\": {}, \"recovery\": [\n{}\n  ]}}",
+        chaos,
+        rows.join(",\n")
+    )
+}
+
 /// Drift-sensitive fields of a snapshot document, in document order:
 /// every round total, flow hash, exact value and solver count, plus the
 /// service soak's cache-hit totals and response fingerprint. Wall-clock
 /// fields are deliberately absent — they vary per host.
 fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
-    const KEYS: [&str; 14] = [
+    const KEYS: [&str; 24] = [
         "inbox_hash",
         "total_rounds",
         "charged_rounds",
@@ -746,6 +908,16 @@ fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
         "template_cache_hits",
         "mismatches",
         "fingerprint",
+        "detected",
+        "tolerated",
+        "corrupted",
+        "cells",
+        "matrix_hash",
+        "attempts",
+        "faults_observed",
+        "retry_rounds",
+        "request_rounds",
+        "response_fingerprint",
     ];
     let mut found = Vec::new();
     for key in KEYS {
@@ -791,13 +963,20 @@ fn check_baseline(path: &str) {
         );
         std::process::exit(1);
     }
+    if !baseline.contains("\"adversary\":") {
+        eprintln!(
+            "bench_snapshot --check: {path} has no \"adversary\" section (schema v6 — regenerate the baseline)"
+        );
+        std::process::exit(1);
+    }
     eprintln!("bench_snapshot --check: recomputing deterministic sections…");
     let fresh = format!(
-        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {}\n}}\n",
+        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {}\n}}\n",
         ipm_section(),
         congestion_section(),
         service_section(),
         threaded_section(),
+        adversary_section(),
     );
     let want: Vec<(String, String)> = drift_fields(&baseline)
         .into_iter()
@@ -889,6 +1068,9 @@ fn main() {
     eprintln!("  threaded scaling…");
     let threaded = threaded_section();
 
+    eprintln!("  adversary chaos + recovery…");
+    let adversary = adversary_section();
+
     let all_equal =
         records.iter().all(|r| r.bitwise_equal) && large_records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
@@ -896,7 +1078,7 @@ fn main() {
     // `"large_determinism"` stays the LAST section: `--check --large`
     // locates it by marker and reads to the end of the document.
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v5\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v6\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
@@ -906,6 +1088,7 @@ fn main() {
         congestion,
         service,
         threaded,
+        adversary,
         large_det_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -1,0 +1,12 @@
+//! Prints the E12 chaos matrix (the table EXPERIMENTS.md records).
+fn main() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = cc_conform::run_adversary_suite();
+    print!("{}", r.matrix_markdown());
+    println!(
+        "detected={} tolerated={} corrupted={}",
+        r.count(cc_conform::CellOutcome::Detected),
+        r.count(cc_conform::CellOutcome::Tolerated),
+        r.count(cc_conform::CellOutcome::Corrupted)
+    );
+}

@@ -21,6 +21,18 @@ pub fn case_budget() -> usize {
         .unwrap_or(0)
 }
 
+/// Reads the `CONFORM_ADVERSARY_CASES` environment variable: the number
+/// of extra seeded adversary schedules the chaos suite
+/// ([`crate::run_adversary_suite`]) appends to its base slate, per
+/// pipeline (0 outside soak runs, or on an unparsable value). Mirrors
+/// [`case_budget`]/`CONFORM_CASES`.
+pub fn adversary_case_budget() -> usize {
+    std::env::var("CONFORM_ADVERSARY_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// An undirected weighted instance (solver / sparsifier / orientation
 /// corpora).
 #[derive(Debug, Clone)]

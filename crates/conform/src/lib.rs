@@ -23,6 +23,13 @@
 //!   [`shapes`]. [`driver::fault_plans`] enumerates per-pipeline
 //!   [`FaultPlan`]s whose injected faults must surface as typed errors —
 //!   never panics, never silently wrong results.
+//! * [`adversary`] — the chaos matrix: [`run_adversary_suite`] replays
+//!   every checker under seeded node-level adversary schedules
+//!   (silent, crash–recover, value-corrupting `cc_model::AdversaryComm`
+//!   nodes), classifying each (pipeline × strategy) cell as detected /
+//!   tolerated / corrupted and enforcing that omission adversaries can
+//!   never corrupt silently. `CONFORM_ADVERSARY_CASES=N` extends the
+//!   slate for chaos soak runs.
 //! * [`service`] — a seeded soak driver for the `cc-service` engine:
 //!   [`run_service_soak`] replays a randomized typed request stream
 //!   against the whole corpus registered in one long-lived
@@ -36,16 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod corpus;
 pub mod driver;
 pub mod oracle;
 pub mod service;
 pub mod shapes;
 
-pub use cc_model::{FaultComm, FaultPlan};
+pub use adversary::{
+    adversary_schedules, run_adversary_suite, run_adversary_suite_on, AdversaryCell,
+    AdversaryReport, CellOutcome,
+};
+pub use cc_model::{AdversaryComm, AdversarySchedule, AdversaryStrategy, FaultComm, FaultPlan};
 pub use corpus::{
-    arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus, undirected_corpus,
-    ArcCase, DemandCase, FlowCase, UndirectedCase,
+    adversary_case_budget, arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus,
+    undirected_corpus, ArcCase, DemandCase, FlowCase, UndirectedCase,
 };
 pub use driver::{fault_plans, FaultTarget, Tolerances};
 pub use service::{run_service_soak, run_service_soak_on, SoakConfig, SoakReport};

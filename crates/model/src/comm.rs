@@ -117,6 +117,17 @@ pub trait Communicator {
         scoped_phase(self, name, f)
     }
 
+    /// Number of transport-layer faults this substrate has injected or
+    /// detected so far. Honest substrates report 0 (the default);
+    /// wrapping transports add their own count to the wrapped
+    /// substrate's ([`crate::FaultComm`] counts injected faults,
+    /// [`crate::AdversaryComm`] counts adversary events), so engine
+    /// layers can surface fault totals through their error types
+    /// without naming a concrete transport stack.
+    fn faults_observed(&self) -> u64 {
+        0
+    }
+
     /// Charges `rounds` rounds for an oracle subroutine that is simulated
     /// rather than executed distributedly (tagged [`CostKind::Charged`];
     /// see `DESIGN.md` §2).

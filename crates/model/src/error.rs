@@ -36,6 +36,18 @@ pub enum ModelError {
         /// Entries expected (`n`).
         expected: usize,
     },
+    /// A node-level adversary withheld a scheduled message: `node` had
+    /// outbound payload in a primitive while silent or crashed (see
+    /// [`crate::AdversaryComm`]). In a synchronous model a missing
+    /// message is observable the round it fails to arrive, so omission
+    /// faults surface as this typed error rather than as silent data
+    /// loss.
+    NodeSilenced {
+        /// The silenced (adversarial) node.
+        node: NodeId,
+        /// Ledger round (total) at which the omission was detected.
+        round: u64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -68,6 +80,12 @@ impl fmt::Display for ModelError {
                     "outbox count {got} does not match clique size {expected}"
                 )
             }
+            ModelError::NodeSilenced { node, round } => {
+                write!(
+                    f,
+                    "node {node} withheld its message in round {round} (silent or crashed)"
+                )
+            }
         }
     }
 }
@@ -92,6 +110,7 @@ mod tests {
                 got: 3,
                 expected: 4,
             },
+            ModelError::NodeSilenced { node: 2, round: 17 },
         ];
         for e in errs {
             let s = e.to_string();

@@ -240,6 +240,10 @@ impl<C: Communicator> Communicator for FaultComm<C> {
         self.inner.ledger_mut()
     }
 
+    fn faults_observed(&self) -> u64 {
+        self.injected + self.inner.faults_observed()
+    }
+
     fn push_phase(&mut self, name: &str) {
         self.inner.push_phase(name);
     }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod clique;
 mod comm;
 pub mod delivery;
@@ -53,6 +54,9 @@ mod program;
 mod threaded;
 mod trace;
 
+pub use adversary::{
+    AdversaryAction, AdversaryComm, AdversaryEvent, AdversarySchedule, AdversaryStrategy,
+};
 pub use clique::{Clique, CliqueConfig, CommunicationMode, Envelope};
 pub use comm::{scoped_phase, Communicator};
 pub use encode::{

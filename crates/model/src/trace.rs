@@ -416,6 +416,10 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         self.inner.ledger_mut()
     }
 
+    fn faults_observed(&self) -> u64 {
+        self.inner.faults_observed()
+    }
+
     fn push_phase(&mut self, name: &str) {
         self.inner.push_phase(name);
         self.record("phase_enter", CallStats::default(), &[], 0);

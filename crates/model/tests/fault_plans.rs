@@ -2,7 +2,7 @@
 //! isolation against a plain `Clique`, behaves exactly as documented and
 //! is deterministic per seed.
 
-use cc_model::{Clique, Communicator, FaultComm, FaultPlan, ModelError};
+use cc_model::{Clique, Communicator, FaultComm, FaultPlan, ModelError, ThreadedComm};
 
 fn one_word_outboxes(n: usize) -> Vec<Vec<(usize, Vec<u64>)>> {
     // Node 0 sends one word to node 1; everyone else is silent.
@@ -164,6 +164,44 @@ fn max_message_words_allows_payloads_within_budget() {
         comm.route(out).is_ok(),
         "2-word message within 2-word budget"
     );
+}
+
+#[test]
+fn seeded_fault_stream_is_identical_across_threaded_worker_counts() {
+    // The seeded fault stream is a pure function of the plan and the call
+    // sequence — never of the substrate or its worker count — so the same
+    // plan over `ThreadedComm` at any parallelism injects the exact same
+    // faults (and charges the same rounds) as over a plain `Clique`.
+    let plan = || FaultPlan {
+        seed: 42,
+        failure_rate: 0.5,
+        fail_phases: vec!["doomed".into()],
+        ..FaultPlan::default()
+    };
+    fn run<C: Communicator>(inner: C, plan: FaultPlan) -> (Vec<bool>, u64, u64) {
+        let mut comm = FaultComm::new(inner, plan);
+        let mut outcomes = Vec::new();
+        for k in 0..24u64 {
+            outcomes.push(comm.broadcast_all(&[k, k, k, k]).is_ok());
+            let ok = comm.phase("doomed_window", |c| c.route(one_word_outboxes(4)));
+            outcomes.push(ok.is_ok());
+        }
+        (
+            outcomes,
+            comm.injected_faults(),
+            comm.ledger().total_rounds(),
+        )
+    }
+
+    let baseline = run(Clique::new(4), plan());
+    assert!(baseline.1 > 0, "the slate must inject something");
+    for workers in [1usize, 2, 8] {
+        let threaded = run(ThreadedComm::with_workers(4, workers), plan());
+        assert_eq!(
+            baseline, threaded,
+            "fault stream diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]

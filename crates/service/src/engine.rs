@@ -12,6 +12,69 @@ use cc_sparsify::TemplateCache;
 use crate::error::{ServiceError, ServiceErrorKind};
 use crate::request::{GraphSpec, Request, Response};
 
+/// Bounded retry with deterministic round-charged backoff, applied to
+/// **comm-rooted** request failures (the transient class: injected
+/// faults, adversary omissions). Validation errors, numerical failures,
+/// and round-budget violations are never retried.
+///
+/// Before retry `k` (1-based) the engine charges
+/// `backoff_rounds · 2^(k-1)` implemented rounds to the dedicated
+/// `service_retry` ledger phase — deterministic "waiting time" that,
+/// against a crash–recover adversary
+/// ([`cc_model::AdversaryStrategy::CrashRecover`]), pushes the ledger
+/// past the crash window so the retried attempt runs fault-free. Each
+/// retry also degrades gracefully: the target graph's cached artifacts
+/// (solver factorization, sparsifier templates, APSP matrix) are
+/// dropped, so the retry rebuilds from scratch rather than trusting
+/// state a faulty transport may have poisoned.
+///
+/// The default (`max_attempts = 1`) disables retry entirely, preserving
+/// the engine's baseline behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included); 1 = no retry.
+    pub max_attempts: u32,
+    /// Implemented rounds charged before the first retry (doubling on
+    /// each further retry); 0 charges nothing.
+    pub backoff_rounds: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_rounds: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A retrying policy: up to `max_attempts` total attempts, charging
+    /// `backoff_rounds` (doubling) before each retry.
+    pub fn retries(max_attempts: u32, backoff_rounds: u64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_rounds,
+        }
+    }
+
+    /// Implemented rounds charged before 1-based retry `k`.
+    fn backoff_for(&self, retry: u32) -> u64 {
+        self.backoff_rounds
+            .saturating_mul(1u64 << (retry - 1).min(32))
+    }
+}
+
+/// Recovery accounting of a request that needed more than one attempt
+/// (surfaced in [`RequestStats::degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degraded {
+    /// Attempts the request took (≥ 2).
+    pub attempts: u32,
+    /// Transport faults observed across the failed attempts.
+    pub faults_observed: u64,
+}
+
 /// Engine-wide defaults applied to every request.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -25,6 +88,16 @@ pub struct EngineConfig {
     pub mcf: McfOptions,
     /// Round-accounting model of APSP requests.
     pub round_model: RoundModel,
+    /// Retry/backoff policy for comm-rooted failures (default: no
+    /// retry).
+    pub retry: RetryPolicy,
+    /// Per-request round budget: a request whose ledger-round cost
+    /// exceeds it fails with
+    /// [`ServiceErrorKind::RoundBudgetExceeded`] (default: unlimited).
+    /// The wall-clock analogue is the process watchdog
+    /// (`CC_WATCHDOG_SECS`, [`cc_par::watchdog_timeout`]), which also
+    /// bounds how long the retry loop keeps trying.
+    pub round_budget: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +110,8 @@ impl Default for EngineConfig {
             maxflow: IpmOptions::default(),
             mcf: McfOptions::default(),
             round_model: RoundModel::FastMatMul,
+            retry: RetryPolicy::default(),
+            round_budget: None,
         }
     }
 }
@@ -69,6 +144,12 @@ pub struct RequestStats {
     pub batched_with: usize,
     /// Barrier-engine accounting of flow requests (`None` otherwise).
     pub engine: Option<cc_ipm::EngineStats>,
+    /// Attempts the request took under the engine's [`RetryPolicy`]
+    /// (1 = first try succeeded).
+    pub attempts: u32,
+    /// Recovery accounting when the request needed a retry (`None` on a
+    /// clean first attempt).
+    pub degraded: Option<Degraded>,
 }
 
 /// A successful request: the response plus its accounting.
@@ -235,15 +316,84 @@ impl<C: Communicator> FlowEngine<C> {
             let eps = f64::from_bits(eps_bits);
             self.execute_solve_group(&graph, eps, &members, base_id, &requests, &mut slots);
         }
-        for (i, r) in requests.into_iter().enumerate() {
+        for (i, r) in requests.iter().enumerate() {
             if slots[i].is_none() {
-                slots[i] = Some(self.execute(base_id + i as u64, r));
+                slots[i] = Some(self.execute(base_id + i as u64, r.clone()));
             }
         }
+        self.retry_failed(&requests, base_id, &mut slots);
         slots
             .into_iter()
             .map(|s| s.expect("every slot filled"))
             .collect()
+    }
+
+    /// The retry pass: re-executes every comm-rooted failure under the
+    /// engine's [`RetryPolicy`], degrading to a fresh per-graph build
+    /// and charging deterministic backoff rounds before each attempt.
+    /// The process watchdog deadline ([`cc_par::watchdog_timeout`])
+    /// bounds how long the loop keeps retrying.
+    fn retry_failed(
+        &mut self,
+        requests: &[Request],
+        base_id: u64,
+        slots: &mut [Option<Result<ServiceOutcome, ServiceError>>],
+    ) {
+        let policy = self.config.retry;
+        if policy.max_attempts <= 1 {
+            return;
+        }
+        let deadline = cc_par::watchdog_timeout().map(|d| std::time::Instant::now() + d);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let mut faults = match slot {
+                Some(Err(e)) if e.comm_rooted() => e.faults_observed,
+                _ => continue,
+            };
+            let id = base_id + i as u64;
+            let mut attempts: u32 = 1;
+            while attempts < policy.max_attempts {
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    break;
+                }
+                attempts += 1;
+                // Graceful degradation: drop every cached artifact of
+                // the graph, so the retry rebuilds fresh instead of
+                // trusting state a faulty transport may have poisoned.
+                if let Some(entry) = self.graphs.get_mut(requests[i].graph()) {
+                    entry.cache = TemplateCache::new();
+                    entry.solver = None;
+                    entry.maxflow = None;
+                    entry.mcf = None;
+                    entry.apsp = None;
+                }
+                let backoff = policy.backoff_for(attempts - 1);
+                if backoff > 0 {
+                    self.clique
+                        .phase("service_retry", |c| c.charge_implemented(backoff));
+                }
+                match self.execute(id, requests[i].clone()) {
+                    Ok(mut outcome) => {
+                        outcome.stats.attempts = attempts;
+                        outcome.stats.degraded = Some(Degraded {
+                            attempts,
+                            faults_observed: faults,
+                        });
+                        *slot = Some(Ok(outcome));
+                        break;
+                    }
+                    Err(mut e) => {
+                        faults += e.faults_observed;
+                        e.faults_observed = faults;
+                        e.attempts = attempts;
+                        let transient = e.comm_rooted();
+                        *slot = Some(Err(e));
+                        if !transient {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Runs one admitted group of same-graph same-`eps` Laplacian
@@ -258,17 +408,16 @@ impl<C: Communicator> FlowEngine<C> {
         slots: &mut [Option<Result<ServiceOutcome, ServiceError>>],
     ) {
         let fail_all = |slots: &mut [Option<Result<ServiceOutcome, ServiceError>>],
-                        kind: ServiceErrorKind| {
+                        kind: ServiceErrorKind,
+                        faults: u64| {
             for &i in members {
-                slots[i] = Some(Err(ServiceError::new(
-                    base_id + i as u64,
-                    graph,
-                    kind.clone(),
-                )));
+                let mut e = ServiceError::new(base_id + i as u64, graph, kind.clone());
+                e.faults_observed = faults;
+                slots[i] = Some(Err(e));
             }
         };
         let Some(entry) = self.graphs.get_mut(graph) else {
-            fail_all(slots, ServiceErrorKind::UnknownGraph);
+            fail_all(slots, ServiceErrorKind::UnknownGraph, 0);
             return;
         };
         let GraphSpec::Undirected(g) = &entry.spec else {
@@ -277,6 +426,7 @@ impl<C: Communicator> FlowEngine<C> {
                 ServiceErrorKind::BadRequest {
                     reason: "Laplacian solve needs an undirected graph",
                 },
+                0,
             );
             return;
         };
@@ -287,6 +437,7 @@ impl<C: Communicator> FlowEngine<C> {
                 ServiceErrorKind::BadRequest {
                     reason: "eps must be positive",
                 },
+                0,
             );
             return;
         }
@@ -316,6 +467,7 @@ impl<C: Communicator> FlowEngine<C> {
         let k = valid.len();
 
         let clique = &mut self.clique;
+        let faults0 = clique.faults_observed();
         let rounds0 = clique.ledger().total_rounds();
         let charged0 = clique.ledger().charged_rounds();
         let mut built = false;
@@ -323,7 +475,8 @@ impl<C: Communicator> FlowEngine<C> {
             match SolverSession::build(clique, g, &self.config.solver) {
                 Ok(s) => entry.solver = Some(s),
                 Err(e) => {
-                    fail_all(slots, ServiceErrorKind::Core(e));
+                    let faults = clique.faults_observed() - faults0;
+                    fail_all(slots, ServiceErrorKind::Core(e), faults);
                     return;
                 }
             }
@@ -346,7 +499,8 @@ impl<C: Communicator> FlowEngine<C> {
         let iterations = match session.solve_multi_into(clique, &bs, k, eps, &mut xs) {
             Ok(it) => it,
             Err(e) => {
-                fail_all(slots, ServiceErrorKind::Core(e));
+                let faults = clique.faults_observed() - faults0;
+                fail_all(slots, ServiceErrorKind::Core(e), faults);
                 return;
             }
         };
@@ -363,25 +517,71 @@ impl<C: Communicator> FlowEngine<C> {
             } else {
                 (0, 0, false)
             };
+            let member_rounds = build_r + solve_rounds / k as u64;
+            if let Some(budget) = self.config.round_budget {
+                if member_rounds > budget {
+                    slots[i] = Some(Err(ServiceError::new(
+                        base_id + i as u64,
+                        graph,
+                        ServiceErrorKind::RoundBudgetExceeded {
+                            rounds: member_rounds,
+                            budget,
+                        },
+                    )));
+                    continue;
+                }
+            }
             slots[i] = Some(Ok(ServiceOutcome {
                 response: Response::Potentials { x, iterations },
                 stats: RequestStats {
                     request_id: base_id + i as u64,
                     graph: graph.to_string(),
                     generation: entry.generation,
-                    rounds: build_r + solve_rounds / k as u64,
+                    rounds: member_rounds,
                     charged_rounds: build_c + solve_charged / k as u64,
                     template_cache_hits: 0,
                     built: paid_build,
                     batched_with: k,
                     engine: None,
+                    attempts: 1,
+                    degraded: None,
                 },
             }));
         }
     }
 
-    /// Executes one request solo.
+    /// Executes one request solo: runs it, stamps observed transport
+    /// faults onto any failure, and enforces the per-request round
+    /// budget.
     fn execute(&mut self, id: u64, request: Request) -> Result<ServiceOutcome, ServiceError> {
+        let faults0 = self.clique.faults_observed();
+        match self.execute_inner(id, request) {
+            Ok(outcome) => {
+                if let Some(budget) = self.config.round_budget {
+                    if outcome.stats.rounds > budget {
+                        let mut e = ServiceError::new(
+                            id,
+                            &outcome.stats.graph,
+                            ServiceErrorKind::RoundBudgetExceeded {
+                                rounds: outcome.stats.rounds,
+                                budget,
+                            },
+                        );
+                        e.faults_observed = self.clique.faults_observed() - faults0;
+                        return Err(e);
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(mut e) => {
+                e.faults_observed = self.clique.faults_observed() - faults0;
+                Err(e)
+            }
+        }
+    }
+
+    /// The raw single-request dispatch (no fault stamping, no budget).
+    fn execute_inner(&mut self, id: u64, request: Request) -> Result<ServiceOutcome, ServiceError> {
         let name = request.graph().to_string();
         let err = |kind| Err(ServiceError::new(id, &name, kind));
         let Some(entry) = self.graphs.get_mut(&name) else {
@@ -557,6 +757,8 @@ impl<C: Communicator> FlowEngine<C> {
                 built,
                 batched_with: 1,
                 engine: engine_stats,
+                attempts: 1,
+                degraded: None,
             },
         })
     }

@@ -30,6 +30,16 @@ pub enum ServiceErrorKind {
     Mcf(McfError),
     /// A shortest-path computation failed.
     Apsp(ApspError),
+    /// The request exceeded the engine's per-request round budget
+    /// ([`crate::EngineConfig::round_budget`]). Budget violations are a
+    /// service-level policy decision, not a communication fault, so they
+    /// are never retried.
+    RoundBudgetExceeded {
+        /// Rounds the request cost.
+        rounds: u64,
+        /// The configured per-request budget it exceeded.
+        budget: u64,
+    },
 }
 
 /// Failure of one [`crate::FlowEngine`] request: the underlying crate's
@@ -48,6 +58,14 @@ pub struct ServiceError {
     pub graph: String,
     /// The wrapped failure.
     pub kind: ServiceErrorKind,
+    /// Transport-layer faults the engine's communicator observed while
+    /// this request (including its retries) executed — injected
+    /// [`cc_model::FaultComm`] faults plus adversary events of
+    /// [`cc_model::AdversaryComm`]; 0 over honest transports.
+    pub faults_observed: u64,
+    /// Attempts the engine made before giving up (1 = no retry; > 1 only
+    /// under a retrying [`crate::RetryPolicy`]).
+    pub attempts: u32,
 }
 
 impl ServiceError {
@@ -56,7 +74,25 @@ impl ServiceError {
             request_id,
             graph: graph.to_string(),
             kind,
+            faults_observed: 0,
+            attempts: 1,
         }
+    }
+
+    /// True if the failure is rooted in the communication layer — the
+    /// [`std::error::Error::source`] chain bottoms out in a
+    /// [`cc_model::ModelError`]. Comm-rooted failures are the transient
+    /// class a [`crate::RetryPolicy`] retries; validation and policy
+    /// errors are not.
+    pub fn comm_rooted(&self) -> bool {
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(self);
+        while let Some(e) = cur {
+            if e.is::<cc_model::ModelError>() {
+                return true;
+            }
+            cur = e.source();
+        }
+        false
     }
 }
 
@@ -70,14 +106,23 @@ impl fmt::Display for ServiceError {
             ServiceErrorKind::MaxFlow(e) => write!(f, "{e}"),
             ServiceErrorKind::Mcf(e) => write!(f, "{e}"),
             ServiceErrorKind::Apsp(e) => write!(f, "{e}"),
+            ServiceErrorKind::RoundBudgetExceeded { rounds, budget } => {
+                write!(f, "round budget exceeded: {rounds} rounds, budget {budget}")
+            }
+        }?;
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
         }
+        Ok(())
     }
 }
 
 impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.kind {
-            ServiceErrorKind::UnknownGraph | ServiceErrorKind::BadRequest { .. } => None,
+            ServiceErrorKind::UnknownGraph
+            | ServiceErrorKind::BadRequest { .. }
+            | ServiceErrorKind::RoundBudgetExceeded { .. } => None,
             ServiceErrorKind::Core(e) => Some(e),
             ServiceErrorKind::MaxFlow(e) => Some(e),
             ServiceErrorKind::Mcf(e) => Some(e),
@@ -107,6 +152,7 @@ mod tests {
         let inner = MaxFlowError::Comm(ModelError::BroadcastOnly);
         let e = ServiceError::new(7, "net", ServiceErrorKind::MaxFlow(inner));
         assert!(comm_rooted(&e));
+        assert!(e.comm_rooted(), "the method agrees with the classifier");
         let bad = ServiceError::new(
             8,
             "net",
@@ -115,6 +161,28 @@ mod tests {
             },
         );
         assert!(!comm_rooted(&bad));
+        assert!(!bad.comm_rooted());
+        // Adversary omissions are comm-rooted (they carry a ModelError).
+        let silenced = ServiceError::new(
+            9,
+            "net",
+            ServiceErrorKind::Core(cc_core::CoreError::Comm(ModelError::NodeSilenced {
+                node: 1,
+                round: 3,
+            })),
+        );
+        assert!(silenced.comm_rooted());
+        // Budget violations are a policy decision, not a comm fault.
+        let over = ServiceError::new(
+            10,
+            "net",
+            ServiceErrorKind::RoundBudgetExceeded {
+                rounds: 12,
+                budget: 8,
+            },
+        );
+        assert!(!over.comm_rooted());
+        assert!(over.to_string().contains("budget 8"), "{over}");
     }
 
     #[test]

@@ -58,6 +58,6 @@ mod engine;
 mod error;
 mod request;
 
-pub use engine::{EngineConfig, FlowEngine, RequestStats, ServiceOutcome};
+pub use engine::{Degraded, EngineConfig, FlowEngine, RequestStats, RetryPolicy, ServiceOutcome};
 pub use error::{ServiceError, ServiceErrorKind};
 pub use request::{GraphSpec, Request, Response};
