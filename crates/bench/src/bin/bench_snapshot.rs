@@ -46,6 +46,12 @@
 //!   is asserted bitwise identical to a fault-free run — attempts,
 //!   observed faults, retry-phase rounds, and the response
 //!   fingerprint are all `--check`-gated.
+//! - `"broadcast"` (schema v7): the sparsifier → solver → IPM pipeline
+//!   over the measured Broadcast Congested Clique (`BroadcastComm`),
+//!   asserted bitwise identical to the unicast clique before reporting
+//!   per-pipeline unicast/broadcast round totals and their ratio, a
+//!   strict-mode replay of the Laplacian surface, and a hash of the
+//!   broadcast-attributed congestion trace.
 //!
 //! A third tier scales the solver itself: `"large"` times batched
 //! multi-RHS kernels (`matvec_multi_into`, `solve_multi_into`, the full
@@ -75,10 +81,11 @@ use cc_linalg::{
 use cc_maxflow::{max_flow_ipm, IpmOptions};
 use cc_mcf::{min_cost_flow_ipm, McfOptions};
 use cc_model::{
-    AdversaryComm, AdversarySchedule, AdversaryStrategy, Clique, Communicator, ThreadedComm,
-    TracingComm,
+    AdversaryComm, AdversarySchedule, AdversaryStrategy, BroadcastComm, Clique, Communicator,
+    ThreadedComm, TracingComm,
 };
 use cc_service::{EngineConfig, FlowEngine, GraphSpec, Request, Response, RetryPolicy};
+use cc_sparsify::{build_sparsifier, SparsifyParams};
 
 /// Median wall-clock nanoseconds of `reps` runs of `f` (after one warm-up).
 fn time_ns(reps: usize, mut f: impl FnMut()) -> u64 {
@@ -888,12 +895,129 @@ fn adversary_section() -> String {
     )
 }
 
+/// The broadcast section (schema v7): the sparsifier → solver → IPM
+/// pipeline replayed over the measured Broadcast Congested Clique
+/// (`BroadcastComm`) and differenced against the unicast clique.
+/// Results are asserted bitwise identical across the two cost models
+/// before being reported — measured mode simulates unicast primitives
+/// at true broadcast cost, so only the ledgers may differ — and each
+/// row pins both round totals plus their ratio. The solver row
+/// additionally replays under *strict* mode (the Laplacian surface
+/// never touches a unicast primitive) and a tracing row pins the
+/// one-sender-to-all congestion attribution. All fields are
+/// `--check`-gated.
+fn broadcast_section() -> String {
+    let mut rows = Vec::new();
+
+    // Laplacian solve: unicast vs measured vs strict broadcast.
+    let g = generators::random_connected(32, 96, 8, 1);
+    let n = g.n();
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    let opts = SolverOptions::default();
+    let mut uni = Clique::new(n);
+    let want = solve_laplacian(&mut uni, &g, &b, 1e-6, &opts).expect("unicast solve");
+    let mut bc = BroadcastComm::measured(Clique::new(n));
+    let got = solve_laplacian(&mut bc, &g, &b, 1e-6, &opts).expect("broadcast solve");
+    assert_eq!(
+        (hash_f64(&want.x), want.iterations),
+        (hash_f64(&got.x), got.iterations),
+        "measured BroadcastComm must reproduce the unicast solution bitwise"
+    );
+    let mut strict = BroadcastComm::strict(Clique::new(n));
+    let strict_out = solve_laplacian(&mut strict, &g, &b, 1e-6, &opts)
+        .expect("the Laplacian surface is strictly broadcast-expressible");
+    assert_eq!(
+        (hash_f64(&strict_out.x), strict.ledger().report()),
+        (hash_f64(&got.x), bc.ledger().report()),
+        "strict and measured broadcast runs must agree on the broadcast surface"
+    );
+    rows.push(format!(
+        "    {{\"pipeline\": \"laplacian_solve/random_connected_32\", \"result_hash\": \"{:#018x}\", \"unicast_rounds\": {}, \"broadcast_rounds\": {}, \"round_ratio\": {:.4}}}",
+        hash_f64(&got.x),
+        uni.ledger().total_rounds(),
+        bc.ledger().total_rounds(),
+        bc.ledger().total_rounds() as f64 / uni.ledger().total_rounds() as f64,
+    ));
+
+    // Sparsifier: the same template over both cost models.
+    let mut uni = Clique::new(n);
+    let want = build_sparsifier(&mut uni, &g, &SparsifyParams::default()).expect("unicast");
+    let mut bc = BroadcastComm::measured(Clique::new(n));
+    let got = build_sparsifier(&mut bc, &g, &SparsifyParams::default()).expect("broadcast");
+    let edge_hash = |s: &cc_sparsify::SpectralSparsifier| {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &(u, v, w) in s.edges() {
+            for word in [u as u64, v as u64, w.to_bits()] {
+                h ^= word;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+    assert_eq!(
+        (edge_hash(&want), want.alpha().to_bits()),
+        (edge_hash(&got), got.alpha().to_bits()),
+        "measured BroadcastComm must reproduce the sparsifier bitwise"
+    );
+    rows.push(format!(
+        "    {{\"pipeline\": \"sparsifier/random_connected_32\", \"result_hash\": \"{:#018x}\", \"unicast_rounds\": {}, \"broadcast_rounds\": {}, \"round_ratio\": {:.4}}}",
+        edge_hash(&got),
+        uni.ledger().total_rounds(),
+        bc.ledger().total_rounds(),
+        bc.ledger().total_rounds() as f64 / uni.ledger().total_rounds() as f64,
+    ));
+
+    // Max-flow IPM: the unicast-shaped primitives (routing, Eulerian
+    // orientation) simulated at broadcast cost.
+    let gf = generators::random_flow_network(12, 26, 4, 13);
+    let mut uni = Clique::new(12);
+    let want = max_flow_ipm(&mut uni, &gf, 0, 11, &IpmOptions::default()).expect("unicast");
+    let mut bc = BroadcastComm::measured(Clique::new(12));
+    let got = max_flow_ipm(&mut bc, &gf, 0, 11, &IpmOptions::default()).expect("broadcast");
+    assert_eq!(
+        (want.value, hash_i64(&want.flow)),
+        (got.value, hash_i64(&got.flow)),
+        "measured BroadcastComm must reproduce the max flow bitwise"
+    );
+    rows.push(format!(
+        "    {{\"pipeline\": \"maxflow_ipm/random_flow_network_12_seed13\", \"result_hash\": \"{:#018x}\", \"unicast_rounds\": {}, \"broadcast_rounds\": {}, \"round_ratio\": {:.4}}}",
+        hash_i64(&got.flow),
+        uni.ledger().total_rounds(),
+        bc.ledger().total_rounds(),
+        bc.ledger().total_rounds() as f64 / uni.ledger().total_rounds() as f64,
+    ));
+
+    // Congestion attribution under broadcast: one sender reaches all
+    // n−1 receivers, so the per-pair congestion seam reports the
+    // per-node send load instead of the max pair load.
+    let mut trace = TracingComm::new(BroadcastComm::measured(Clique::new(n)));
+    solve_laplacian(&mut trace, &g, &b, 1e-6, &opts).expect("traced broadcast solve");
+    let trace_json = trace.congestion_json();
+    format!(
+        "{{\"pipelines\": [\n{}\n  ], \"trace_hash\": \"{:#018x}\", \"trace\": {}}}",
+        rows.join(",\n"),
+        hash_bytes(trace_json.as_bytes()),
+        trace_json
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == 0 {
+                l.to_string()
+            } else {
+                format!("  {l}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+}
+
 /// Drift-sensitive fields of a snapshot document, in document order:
 /// every round total, flow hash, exact value and solver count, plus the
 /// service soak's cache-hit totals and response fingerprint. Wall-clock
 /// fields are deliberately absent — they vary per host.
 fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
-    const KEYS: [&str; 24] = [
+    const KEYS: [&str; 29] = [
         "inbox_hash",
         "total_rounds",
         "charged_rounds",
@@ -918,6 +1042,11 @@ fn drift_fields(doc: &str) -> Vec<(usize, String, String)> {
         "retry_rounds",
         "request_rounds",
         "response_fingerprint",
+        "result_hash",
+        "unicast_rounds",
+        "broadcast_rounds",
+        "round_ratio",
+        "trace_hash",
     ];
     let mut found = Vec::new();
     for key in KEYS {
@@ -969,14 +1098,21 @@ fn check_baseline(path: &str) {
         );
         std::process::exit(1);
     }
+    if !baseline.contains("\"broadcast\":") {
+        eprintln!(
+            "bench_snapshot --check: {path} has no \"broadcast\" section (schema v7 — regenerate the baseline)"
+        );
+        std::process::exit(1);
+    }
     eprintln!("bench_snapshot --check: recomputing deterministic sections…");
     let fresh = format!(
-        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {}\n}}\n",
+        "{{\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {},\n  \"broadcast\": {}\n}}\n",
         ipm_section(),
         congestion_section(),
         service_section(),
         threaded_section(),
         adversary_section(),
+        broadcast_section(),
     );
     let want: Vec<(String, String)> = drift_fields(&baseline)
         .into_iter()
@@ -1071,6 +1207,9 @@ fn main() {
     eprintln!("  adversary chaos + recovery…");
     let adversary = adversary_section();
 
+    eprintln!("  broadcast clique…");
+    let broadcast = broadcast_section();
+
     let all_equal =
         records.iter().all(|r| r.bitwise_equal) && large_records.iter().all(|r| r.bitwise_equal);
     let body: Vec<String> = records.iter().map(Record::json).collect();
@@ -1078,7 +1217,7 @@ fn main() {
     // `"large_determinism"` stays the LAST section: `--check --large`
     // locates it by marker and reads to the end of the document.
     let json = format!(
-        "{{\n  \"schema\": \"cc-bench/snapshot-v6\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cc-bench/snapshot-v7\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \"all_bitwise_equal\": {},\n  \"records\": [\n{}\n  ],\n  \"large\": [\n{}\n  ],\n  \"ipm\": {},\n  \"congestion\": {},\n  \"service\": {},\n  \"threaded\": {},\n  \"adversary\": {},\n  \"broadcast\": {},\n  \"large_determinism\": [\n{}\n  ]\n}}\n",
         threads,
         par::PARALLEL_ENABLED,
         all_equal,
@@ -1089,6 +1228,7 @@ fn main() {
         service,
         threaded,
         adversary,
+        broadcast,
         large_det_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -33,6 +33,18 @@ pub fn adversary_case_budget() -> usize {
         .unwrap_or(0)
 }
 
+/// Reads the `CONFORM_BROADCAST_CASES` environment variable: the number
+/// of extra seeded random instances the broadcast conformance leg
+/// (`tests/broadcast.rs`) appends to each corpus it replays over
+/// `cc_model::BroadcastComm` (0 outside soak runs, or on an unparsable
+/// value). Mirrors [`case_budget`]/`CONFORM_CASES`.
+pub fn broadcast_case_budget() -> usize {
+    std::env::var("CONFORM_BROADCAST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// An undirected weighted instance (solver / sparsifier / orientation
 /// corpora).
 #[derive(Debug, Clone)]

@@ -56,8 +56,8 @@ pub use adversary::{
 };
 pub use cc_model::{AdversaryComm, AdversarySchedule, AdversaryStrategy, FaultComm, FaultPlan};
 pub use corpus::{
-    adversary_case_budget, arc_corpus, case_budget, demand_corpus, eulerian_corpus, flow_corpus,
-    undirected_corpus, ArcCase, DemandCase, FlowCase, UndirectedCase,
+    adversary_case_budget, arc_corpus, broadcast_case_budget, case_budget, demand_corpus,
+    eulerian_corpus, flow_corpus, undirected_corpus, ArcCase, DemandCase, FlowCase, UndirectedCase,
 };
 pub use driver::{fault_plans, FaultTarget, Tolerances};
 pub use service::{run_service_soak, run_service_soak_on, SoakConfig, SoakReport};

@@ -5,7 +5,7 @@
 //! identity.
 
 use cc_conform::{run_adversary_suite, run_adversary_suite_on, CellOutcome, FaultTarget};
-use cc_model::ThreadedComm;
+use cc_model::{BroadcastComm, Clique, ThreadedComm};
 
 /// Corrupted cells are part of the expected output of the corrupt
 /// column, and each one panics inside `catch_unwind` — silence the
@@ -76,6 +76,38 @@ fn chaos_matrix_holds_the_detectability_invariant() {
     assert_eq!(matrix, report.matrix_markdown());
     for p in [FaultTarget::Solver, FaultTarget::Mcf, FaultTarget::Sssp] {
         assert!(matrix.contains(&format!("{p:?}")), "{matrix}");
+    }
+}
+
+/// The broadcast row of the chaos matrix: the full (pipeline ×
+/// strategy) slate over the measured Broadcast Congested Clique. The
+/// E12 invariant — omission adversaries never corrupt silently — must
+/// hold under broadcast costs too, and the report must be bitwise
+/// identical over `Clique` and `ThreadedComm` substrates.
+#[test]
+fn chaos_matrix_holds_over_broadcast_comm() {
+    quiet_panics();
+    let report = run_adversary_suite_on(|n| BroadcastComm::measured(Clique::new(n)));
+    let slate = cc_conform::adversary_schedules().len();
+    assert_eq!(report.cells.len(), 10 * slate);
+    report.assert_detectable_strategies_never_corrupt();
+    for cell in report.cells.iter().filter(|c| c.strategy == "silent") {
+        assert_eq!(
+            cell.outcome,
+            CellOutcome::Detected,
+            "{:?}: a silent node went unnoticed on the broadcast clique: {}",
+            cell.pipeline,
+            cell.detail
+        );
+    }
+    for workers in [1usize, 2, 8] {
+        let got = run_adversary_suite_on(|n| {
+            BroadcastComm::measured(ThreadedComm::with_workers(n, workers))
+        });
+        assert_eq!(
+            report, got,
+            "broadcast chaos report diverged over ThreadedComm at {workers} workers"
+        );
     }
 }
 

@@ -1,0 +1,212 @@
+//! BroadcastComm conformance: the full differential corpus replayed
+//! over the Broadcast Congested Clique transport.
+//!
+//! * **Measured mode** runs every checker — all ten pipelines — with
+//!   sequential-oracle agreement (a checker panics on any mismatch, so
+//!   a clean pass is zero oracle mismatches), and each run over
+//!   `BroadcastComm<Clique>` must be bitwise identical — outcome and
+//!   ledger — to `BroadcastComm<ThreadedComm>` at workers 1, 2, and 8.
+//! * **Strict mode** runs the broadcast-expressible pipelines
+//!   (sparsifier → solver → resistance, the Forster–de Vos arXiv:2205.12059
+//!   surface) unchanged, and rejects the unicast-dependent ones
+//!   (Eulerian orientation, flow rounding) with a typed, comm-rooted
+//!   `UnicastInBroadcastModel` error — the paper's §1.1 hardness remark
+//!   as a test.
+//! * `CONFORM_BROADCAST_CASES=N` appends N seeded random instances per
+//!   corpus for soak runs, mirroring `CONFORM_CASES`.
+
+use cc_conform::driver::{
+    check_apsp, check_maxflow_ff, check_maxflow_ipm, check_maxflow_trivial, check_mcf,
+    check_orientation, check_resistance, check_rounding, check_solver, check_sparsifier,
+    check_sssp, comm_rooted, Tolerances,
+};
+use cc_conform::{
+    arc_corpus, broadcast_case_budget, demand_corpus, eulerian_corpus, flow_corpus,
+    undirected_corpus,
+};
+use cc_model::{BroadcastComm, Clique, Communicator, ModelError, ThreadedComm};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// For one corpus case: run `$check` on a fresh measured
+/// `BroadcastComm<Clique>` and on a fresh measured
+/// `BroadcastComm<ThreadedComm>` per worker count, asserting identical
+/// outcomes and bitwise-identical ledgers.
+macro_rules! broadcast_identical {
+    ($id:expr, $n:expr, |$comm:ident| $check:expr) => {{
+        let mut seq = BroadcastComm::measured(Clique::new($n));
+        let want = {
+            let $comm = &mut seq;
+            $check
+        };
+        for workers in WORKER_COUNTS {
+            let mut par = BroadcastComm::measured(ThreadedComm::with_workers($n, workers));
+            let got = {
+                let $comm = &mut par;
+                $check
+            };
+            assert_eq!(want, got, "{}: outcome at workers={workers}", $id);
+            assert_eq!(
+                seq.ledger().phases(),
+                par.ledger().phases(),
+                "{}: ledger phase map at workers={workers}",
+                $id
+            );
+            assert_eq!(
+                seq.ledger().report(),
+                par.ledger().report(),
+                "{}: ledger report at workers={workers}",
+                $id
+            );
+        }
+    }};
+}
+
+#[test]
+fn solver_conformance_over_broadcast() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_solver(
+            comm, &case, 1e-6, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn resistance_conformance_over_broadcast() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_resistance(
+            comm, &case, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn sparsifier_conformance_over_broadcast() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_sparsifier(
+            comm, &case, &tol
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn orientation_conformance_over_broadcast() {
+    for case in eulerian_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_orientation(
+            comm, &case
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn flow_rounding_conformance_over_broadcast() {
+    for case in flow_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_rounding(comm, &case)
+            .unwrap());
+    }
+}
+
+#[test]
+fn maxflow_conformance_over_broadcast() {
+    for case in flow_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_maxflow_ipm(
+            comm, &case
+        )
+        .unwrap());
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_maxflow_ff(
+            comm, &case
+        )
+        .unwrap());
+        broadcast_identical!(case.id, case.graph.n(), |comm| check_maxflow_trivial(
+            comm, &case
+        )
+        .unwrap());
+    }
+}
+
+#[test]
+fn mcf_conformance_over_broadcast() {
+    for case in demand_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.graph.n() + 2, |comm| check_mcf(comm, &case)
+            .unwrap());
+    }
+}
+
+#[test]
+fn shortest_paths_conformance_over_broadcast() {
+    let tol = Tolerances::default();
+    for case in arc_corpus(broadcast_case_budget()) {
+        broadcast_identical!(case.id, case.n, |comm| check_sssp(comm, &case).unwrap());
+        broadcast_identical!(case.id, case.n, |comm| check_apsp(comm, &case, &tol));
+    }
+}
+
+/// The Laplacian surface of the companion paper runs under the *strict*
+/// broadcast clique — no unicast primitive is ever reached — and stays
+/// bitwise identical to measured mode.
+#[test]
+fn laplacian_pipelines_run_under_strict_broadcast() {
+    let tol = Tolerances::default();
+    for case in undirected_corpus(broadcast_case_budget()) {
+        let n = case.graph.n();
+        let mut strict = BroadcastComm::strict(Clique::new(n));
+        let mut measured = BroadcastComm::measured(Clique::new(n));
+        let a = check_solver(&mut strict, &case, 1e-6, &tol).unwrap();
+        let b = check_solver(&mut measured, &case, 1e-6, &tol).unwrap();
+        assert_eq!(a, b, "{}: solver rounds strict vs measured", case.id);
+        let a = check_resistance(&mut strict, &case, &tol).unwrap();
+        let b = check_resistance(&mut measured, &case, &tol).unwrap();
+        assert_eq!(a, b, "{}: resistance rounds strict vs measured", case.id);
+        let a = check_sparsifier(&mut strict, &case, &tol).unwrap();
+        let b = check_sparsifier(&mut measured, &case, &tol).unwrap();
+        assert_eq!(a, b, "{}: sparsifier rounds strict vs measured", case.id);
+        assert_eq!(
+            strict.ledger().phases(),
+            measured.ledger().phases(),
+            "{}: strict and measured ledgers agree on the broadcast surface",
+            case.id
+        );
+    }
+}
+
+/// Eulerian orientation needs point-to-point routing; under the strict
+/// broadcast clique it must fail with the typed, comm-rooted
+/// `UnicastInBroadcastModel` error — never a panic, never a silently
+/// wrong orientation.
+#[test]
+fn orientation_is_typed_rejection_under_strict_broadcast() {
+    let mut rejected = 0;
+    for case in eulerian_corpus(0) {
+        let mut strict = BroadcastComm::strict(Clique::new(case.graph.n()));
+        let err = check_orientation(&mut strict, &case).unwrap_err();
+        assert!(
+            comm_rooted(&err),
+            "{}: rejection must be comm-rooted, got {err}",
+            case.id
+        );
+        let chain = format!("{err}");
+        let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(&err);
+        let mut found = false;
+        while let Some(s) = cur {
+            if let Some(m) = s.downcast_ref::<ModelError>() {
+                assert!(
+                    matches!(m, ModelError::UnicastInBroadcastModel { .. }),
+                    "{}: unexpected model error {m:?}",
+                    case.id
+                );
+                found = true;
+            }
+            cur = s.source();
+        }
+        assert!(found, "{}: no ModelError in chain of {chain}", case.id);
+        rejected += 1;
+    }
+    assert!(rejected >= 5, "the whole Eulerian corpus must be exercised");
+}

@@ -7,7 +7,7 @@
 
 use cc_conform::{run_service_soak, run_service_soak_on, SoakConfig};
 use cc_linalg::par::with_threads;
-use cc_model::ThreadedComm;
+use cc_model::{BroadcastComm, Clique, ThreadedComm};
 
 fn env_or(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -65,6 +65,38 @@ fn soak_stream_is_bitwise_identical_across_thread_counts() {
         assert_eq!(
             base, got,
             "soak report diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn broadcast_soak_has_zero_oracle_mismatches() {
+    // The registry leg of the broadcast model: the whole engine —
+    // registration, sessions, batch admission, caching — over a measured
+    // `BroadcastComm`, spot-checked against the same sequential oracles.
+    let report = run_service_soak_on(&soak_config(), |n| BroadcastComm::measured(Clique::new(n)));
+    assert!(report.oracle_checks > 0, "soak must sample the oracle");
+    assert!(
+        report.mismatches.is_empty(),
+        "oracle mismatches over BroadcastComm: {:#?}",
+        report.mismatches
+    );
+}
+
+#[test]
+fn broadcast_soak_is_bitwise_identical_over_threaded_comm() {
+    let config = SoakConfig {
+        oracle_every: 0,
+        ..soak_config()
+    };
+    let base = run_service_soak_on(&config, |n| BroadcastComm::measured(Clique::new(n)));
+    for workers in [1usize, 2, 8] {
+        let got = run_service_soak_on(&config, |n| {
+            BroadcastComm::measured(ThreadedComm::with_workers(n, workers))
+        });
+        assert_eq!(
+            base, got,
+            "broadcast soak report diverged over ThreadedComm at {workers} workers"
         );
     }
 }

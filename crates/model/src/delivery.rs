@@ -219,6 +219,18 @@ pub fn strict_violation(
     Ok(())
 }
 
+/// Rounds charged to *simulate* a unicast exchange/route in the
+/// Broadcast Congested Clique (measured-mode [`crate::BroadcastComm`]):
+/// every node broadcasts its entire outbox, one word per round, all
+/// nodes in parallel — destinations ride in the word (addressing bits
+/// are absorbed into the `O(log n)`-bit word, the model's convention) —
+/// so the cost is the maximum per-node send load. One all-to-all round
+/// (each node sending up to `n − 1` distinct words) thus costs up to
+/// `n − 1` sequential broadcast rounds, the honest simulation overhead.
+pub fn broadcast_sim_cost(send: &[u64]) -> u64 {
+    send.iter().copied().max().unwrap_or(0)
+}
+
 /// Rounds charged by the 1-word all-broadcast: always exactly 1.
 pub fn broadcast_all_cost() -> u64 {
     1
@@ -417,6 +429,13 @@ mod tests {
             err,
             ModelError::CongestionExceeded { sending: true, .. }
         ));
+    }
+
+    #[test]
+    fn broadcast_sim_cost_is_max_send_load() {
+        assert_eq!(broadcast_sim_cost(&[]), 0);
+        assert_eq!(broadcast_sim_cost(&[0, 0]), 0);
+        assert_eq!(broadcast_sim_cost(&[3, 7, 1]), 7);
     }
 
     #[test]

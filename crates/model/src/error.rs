@@ -36,6 +36,17 @@ pub enum ModelError {
         /// Entries expected (`n`).
         expected: usize,
     },
+    /// A unicast-shaped primitive was invoked on a strict
+    /// [`crate::BroadcastComm`]: the Broadcast Congested Clique admits
+    /// one *identical* word per node per round, so point-to-point
+    /// message sets have no strict counterpart. Measured-mode
+    /// [`crate::BroadcastComm`] simulates them instead, at their honest
+    /// broadcast cost.
+    UnicastInBroadcastModel {
+        /// Name of the rejected primitive (`"exchange"`, `"route"`,
+        /// `"route_strict"`, `"gather_to"`, or `"sort"`).
+        primitive: &'static str,
+    },
     /// A node-level adversary withheld a scheduled message: `node` had
     /// outbound payload in a primitive while silent or crashed (see
     /// [`crate::AdversaryComm`]). In a synchronous model a missing
@@ -80,6 +91,13 @@ impl fmt::Display for ModelError {
                     "outbox count {got} does not match clique size {expected}"
                 )
             }
+            ModelError::UnicastInBroadcastModel { primitive } => {
+                write!(
+                    f,
+                    "unicast primitive `{primitive}` has no counterpart in the strict \
+                     broadcast congested clique (use measured mode to simulate it)"
+                )
+            }
             ModelError::NodeSilenced { node, round } => {
                 write!(
                     f,
@@ -111,6 +129,7 @@ mod tests {
                 expected: 4,
             },
             ModelError::NodeSilenced { node: 2, round: 17 },
+            ModelError::UnicastInBroadcastModel { primitive: "sort" },
         ];
         for e in errs {
             let s = e.to_string();

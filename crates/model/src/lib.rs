@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod broadcast;
 mod clique;
 mod comm;
 pub mod delivery;
@@ -57,6 +58,7 @@ mod trace;
 pub use adversary::{
     AdversaryAction, AdversaryComm, AdversaryEvent, AdversarySchedule, AdversaryStrategy,
 };
+pub use broadcast::{BroadcastComm, BroadcastMode};
 pub use clique::{Clique, CliqueConfig, CommunicationMode, Envelope};
 pub use comm::{scoped_phase, Communicator};
 pub use encode::{

@@ -17,7 +17,9 @@
 
 use std::collections::BTreeMap;
 
-use crate::{CliqueConfig, Communicator, Envelope, ModelError, NodeId, RoundLedger, Words};
+use crate::{
+    CliqueConfig, CommunicationMode, Communicator, Envelope, ModelError, NodeId, RoundLedger, Words,
+};
 
 /// Number of buckets of the per-message word-count histogram: bucket 0
 /// holds empty payloads, bucket `k ≥ 1` holds sizes in
@@ -175,6 +177,33 @@ fn outbox_stats(n: usize, outboxes: &[Vec<(NodeId, Words)>]) -> (CallStats, Vec<
     (stats, sizes)
 }
 
+/// Broadcast-mode attribution of a unicast-shaped outbox set: every word
+/// a node emits is broadcast to the other `n − 1` nodes (there are no
+/// private pairs), so the per-pair and per-node-send maxima coincide at
+/// the maximum per-node send load, and every node's receive load is the
+/// total broadcast volume — the same shared-view convention
+/// [`vector_stats`] uses for the broadcast family.
+fn broadcast_outbox_stats(outboxes: &[Vec<(NodeId, Words)>]) -> (CallStats, Vec<usize>) {
+    let mut stats = CallStats::default();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut max_send = 0u64;
+    for per_node in outboxes {
+        let mut send = 0u64;
+        for (_dst, payload) in per_node {
+            let w = payload.len() as u64;
+            stats.messages += 1;
+            stats.words += w;
+            send += w;
+            sizes.push(payload.len());
+        }
+        max_send = max_send.max(send);
+    }
+    stats.max_pair_words = max_send;
+    stats.max_node_send = max_send;
+    stats.max_node_recv = stats.words;
+    (stats, sizes)
+}
+
 fn vector_stats(per_node: &[Words]) -> (CallStats, Vec<usize>) {
     let mut stats = CallStats::default();
     let mut sizes = Vec::new();
@@ -262,6 +291,18 @@ impl<C: Communicator> TracingComm<C> {
         self.max_pair_words = 0;
         self.max_node_send = 0;
         self.max_node_recv = 0;
+    }
+
+    /// Congestion attribution for a unicast-shaped outbox set: per-pair
+    /// in unicast substrates, one-sender-to-`n − 1`-receivers when the
+    /// wrapped substrate reports broadcast mode (e.g.
+    /// [`crate::BroadcastComm`] in measured mode).
+    fn outbox_call_stats(&self, outboxes: &[Vec<(NodeId, Words)>]) -> (CallStats, Vec<usize>) {
+        if self.inner.config().mode == CommunicationMode::Broadcast {
+            broadcast_outbox_stats(outboxes)
+        } else {
+            outbox_stats(self.inner.n(), outboxes)
+        }
     }
 
     fn record(&mut self, primitive: &'static str, stats: CallStats, sizes: &[usize], rounds: u64) {
@@ -449,7 +490,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        let (stats, sizes) = outbox_stats(self.inner.n(), &outboxes);
+        let (stats, sizes) = self.outbox_call_stats(&outboxes);
         self.traced("exchange", stats, sizes, |c| c.exchange(outboxes))
     }
 
@@ -457,7 +498,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        let (stats, sizes) = outbox_stats(self.inner.n(), &outboxes);
+        let (stats, sizes) = self.outbox_call_stats(&outboxes);
         self.traced("route", stats, sizes, |c| c.route(outboxes))
     }
 
@@ -465,7 +506,7 @@ impl<C: Communicator> Communicator for TracingComm<C> {
         &mut self,
         outboxes: Vec<Vec<(NodeId, Words)>>,
     ) -> Result<Vec<Vec<Envelope>>, ModelError> {
-        let (stats, sizes) = outbox_stats(self.inner.n(), &outboxes);
+        let (stats, sizes) = self.outbox_call_stats(&outboxes);
         self.traced("route_strict", stats, sizes, |c| c.route_strict(outboxes))
     }
 
@@ -603,6 +644,51 @@ mod tests {
         assert_eq!(a, run());
         assert!(a.contains("\"schema\": \"cc-model/trace-v1\""));
         assert!(a.contains("\"phase\": \"outer/inner\""));
+    }
+
+    #[test]
+    fn broadcast_congestion_attribution_is_one_sender_to_all() {
+        use crate::{BroadcastComm, NodeId, Words};
+
+        let outboxes: Vec<Vec<(NodeId, Words)>> = vec![
+            vec![(1, vec![1, 2]), (2, vec![3])],
+            vec![],
+            vec![(0, vec![9])],
+            vec![],
+        ];
+        // Unicast attribution: the busiest ordered pair (0 → 1) carries
+        // 2 words and the busiest receiver gets 2.
+        let mut unicast = TracingComm::new(Clique::new(4));
+        unicast.phase("bcast", |c| c.exchange(outboxes.clone()).unwrap());
+        let p = &unicast.phases()["bcast"];
+        assert_eq!(
+            (p.max_pair_words, p.max_node_send, p.max_node_recv),
+            (2, 3, 2)
+        );
+
+        // Broadcast attribution (auto-detected from the wrapped
+        // substrate's config): node 0's 3 words go to every other node,
+        // so pair load = send load = 3 and every node hears all 4 words.
+        let mut traced = TracingComm::new(BroadcastComm::measured(Clique::new(4)));
+        traced.phase("bcast", |c| c.exchange(outboxes).unwrap());
+        let p = &traced.phases()["bcast"];
+        assert_eq!(
+            (p.max_pair_words, p.max_node_send, p.max_node_recv),
+            (3, 3, 4)
+        );
+
+        // Golden trace: the congestion JSON is pinned byte-for-byte.
+        let golden = "{\n\
+            \x20 \"max_pair_words\": 3,\n\
+            \x20 \"max_node_send\": 3,\n\
+            \x20 \"max_node_recv\": 4,\n\
+            \x20 \"phases\": [\n\
+            \x20   {\"phase\": \"bcast\", \"rounds\": 3, \"messages\": 3, \"words\": 4, \
+            \"max_pair_words\": 3, \"max_node_send\": 3, \"max_node_recv\": 4, \
+            \"calls\": {\"exchange\": 1, \"phase_enter\": 1, \"phase_exit\": 1}, \
+            \"message_words_hist\": [0, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]}\n\
+            \x20 ]\n}";
+        assert_eq!(traced.congestion_json(), golden);
     }
 
     #[test]

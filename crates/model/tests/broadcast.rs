@@ -1,0 +1,384 @@
+//! Property-based pinning of [`BroadcastComm`], the Broadcast Congested
+//! Clique transport:
+//!
+//! * **measured mode** delivers results bitwise identical to the unicast
+//!   [`Clique`] on randomized workloads over every primitive, and is
+//!   fully bitwise identical — results *and* ledgers — over `Clique`
+//!   versus [`ThreadedComm`] at worker counts 1, 2, and 8;
+//! * **strict mode** rejects every unicast-shaped primitive with the
+//!   typed [`ModelError::UnicastInBroadcastModel`] while the
+//!   broadcast-expressible surface stays identical to measured mode;
+//! * the wrapping transports ([`TracingComm`], [`FaultComm`],
+//!   [`AdversaryComm`]) stack over `BroadcastComm` without changing its
+//!   accounting, and their observability output is substrate-independent.
+
+use cc_model::{
+    AdversaryComm, AdversarySchedule, AdversaryStrategy, BroadcastComm, Clique, Communicator,
+    FaultComm, FaultPlan, ModelError, ThreadedComm, TracingComm,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift stream so every transport replays the exact
+/// same workload from one proptest-drawn seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.0 = x;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn random_outboxes(rng: &mut Lcg, n: usize, max_msgs: usize) -> Vec<Vec<(usize, Vec<u64>)>> {
+    (0..n)
+        .map(|_| {
+            (0..rng.below(max_msgs + 1))
+                .map(|_| {
+                    let dst = rng.below(n);
+                    let words = (0..1 + rng.below(3)).map(|_| rng.next()).collect();
+                    (dst, words)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn random_words_per_node(rng: &mut Lcg, n: usize, max_words: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|_| (0..rng.below(max_words + 1)).map(|_| rng.next()).collect())
+        .collect()
+}
+
+/// Runs the same randomized script over any transport, folding every
+/// observable outcome (values and errors) into a digest. Identical to
+/// the `ThreadedComm` identity script so the two suites pin the same
+/// primitive surface.
+fn run_script<C: Communicator>(comm: &mut C, n: usize, seed: u64, steps: usize) -> u64 {
+    let mut rng = Lcg(seed);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |s: String| {
+        for b in s.bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for step in 0..steps {
+        match rng.below(10) {
+            0 => fold(format!(
+                "{:?}",
+                comm.exchange(random_outboxes(&mut rng, n, 2))
+            )),
+            1 => fold(format!("{:?}", comm.route(random_outboxes(&mut rng, n, 3)))),
+            2 => fold(format!(
+                "{:?}",
+                comm.route_strict(random_outboxes(&mut rng, n, 2))
+            )),
+            3 => {
+                let v: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+                fold(format!("{:?}", comm.broadcast_all(&v)));
+            }
+            4 => fold(format!(
+                "{:?}",
+                comm.broadcast_all_words(&random_words_per_node(&mut rng, n, 3))
+            )),
+            5 => {
+                let src = rng.below(n);
+                let w: Vec<u64> = (0..1 + rng.below(4)).map(|_| rng.next()).collect();
+                fold(format!("{:?}", comm.broadcast_from(src, &w)));
+            }
+            6 => fold(format!(
+                "{:?}",
+                comm.allgather(&random_words_per_node(&mut rng, n, 3))
+            )),
+            7 => fold(format!(
+                "{:?}",
+                comm.sort(&random_words_per_node(&mut rng, n, 3))
+            )),
+            8 => {
+                let dst = rng.below(n);
+                fold(format!(
+                    "{:?}",
+                    comm.gather_to(dst, &random_words_per_node(&mut rng, n, 2))
+                ));
+            }
+            _ => {
+                let name = format!("phase{}", step % 3);
+                let inner = random_outboxes(&mut rng, n, 2);
+                let r = comm.phase(&name, |c| {
+                    c.charge_oracle(1 + (step as u64 % 4));
+                    c.route(inner)
+                });
+                fold(format!("{r:?}"));
+            }
+        }
+    }
+    // Structural error paths must surface identically on every side.
+    fold(format!("{:?}", comm.exchange(vec![Vec::new(); n + 1])));
+    fold(format!("{:?}", comm.broadcast_all(&vec![0u64; n - 1])));
+    let mut bad = vec![Vec::new(); n];
+    bad[n / 2].push((n + 3, vec![1]));
+    bad[n - 1].push((n + 9, vec![2]));
+    fold(format!("{:?}", comm.route(bad)));
+    digest
+}
+
+/// A broadcast-expressible script: only primitives a *strict* broadcast
+/// clique admits (the sparsifier → solver communication shape).
+fn run_broadcast_script<C: Communicator>(comm: &mut C, n: usize, seed: u64, steps: usize) -> u64 {
+    let mut rng = Lcg(seed);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |s: String| {
+        for b in s.bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for step in 0..steps {
+        match rng.below(5) {
+            0 => {
+                let v: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+                fold(format!("{:?}", comm.broadcast_all(&v)));
+            }
+            1 => fold(format!(
+                "{:?}",
+                comm.broadcast_all_words(&random_words_per_node(&mut rng, n, 3))
+            )),
+            2 => {
+                let src = rng.below(n);
+                let w: Vec<u64> = (0..1 + rng.below(5)).map(|_| rng.next()).collect();
+                fold(format!("{:?}", comm.broadcast_from(src, &w)));
+            }
+            3 => fold(format!(
+                "{:?}",
+                comm.allgather(&random_words_per_node(&mut rng, n, 3))
+            )),
+            _ => {
+                let name = format!("phase{}", step % 3);
+                let v: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+                let r = comm.phase(&name, |c| {
+                    c.charge_oracle(1 + (step as u64 % 4));
+                    c.broadcast_all(&v)
+                });
+                fold(format!("{r:?}"));
+            }
+        }
+    }
+    digest
+}
+
+fn assert_ledgers_identical(a: &dyn Communicator, b: &dyn Communicator, ctx: &str) {
+    assert_eq!(a.ledger().phases(), b.ledger().phases(), "{ctx}: phase map");
+    assert_eq!(a.ledger().report(), b.ledger().report(), "{ctx}: report");
+    assert_eq!(
+        a.ledger().total_rounds(),
+        b.ledger().total_rounds(),
+        "{ctx}: totals"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Measured mode delivers bitwise the same results (and errors) as
+    /// the bare unicast `Clique` on the full primitive surface — only
+    /// the charged rounds differ, per the documented cost model.
+    #[test]
+    fn measured_results_match_unicast_clique(
+        n in 2usize..17,
+        seed in 0u64..1_000_000,
+        steps in 4usize..24,
+    ) {
+        let mut unicast = Clique::new(n);
+        let want = run_script(&mut unicast, n, seed, steps);
+        let mut measured = BroadcastComm::measured(Clique::new(n));
+        let got = run_script(&mut measured, n, seed, steps);
+        prop_assert_eq!(want, got);
+    }
+
+    /// Measured `BroadcastComm` is *fully* bitwise identical — results
+    /// and ledgers — over `Clique` versus `ThreadedComm` at workers
+    /// 1, 2, and 8.
+    #[test]
+    fn measured_over_threaded_matches_over_clique(
+        n in 2usize..17,
+        seed in 0u64..1_000_000,
+        steps in 4usize..24,
+    ) {
+        let mut seq = BroadcastComm::measured(Clique::new(n));
+        let want = run_script(&mut seq, n, seed, steps);
+        for workers in [1usize, 2, 8] {
+            let mut par = BroadcastComm::measured(ThreadedComm::with_workers(n, workers));
+            let got = run_script(&mut par, n, seed, steps);
+            prop_assert_eq!(want, got, "workers={}", workers);
+            assert_ledgers_identical(&seq, &par, &format!("workers={workers}"));
+        }
+    }
+
+    /// Strict and measured mode agree bitwise on the broadcast-
+    /// expressible surface, over both substrates at every worker count.
+    #[test]
+    fn strict_matches_measured_on_broadcast_surface(
+        n in 2usize..17,
+        seed in 0u64..1_000_000,
+        steps in 4usize..24,
+    ) {
+        let mut strict = BroadcastComm::strict(Clique::new(n));
+        let want = run_broadcast_script(&mut strict, n, seed, steps);
+        let mut measured = BroadcastComm::measured(Clique::new(n));
+        let got = run_broadcast_script(&mut measured, n, seed, steps);
+        prop_assert_eq!(want, got, "strict vs measured");
+        assert_ledgers_identical(&strict, &measured, "strict vs measured");
+        for workers in [1usize, 2, 8] {
+            let mut par = BroadcastComm::strict(ThreadedComm::with_workers(n, workers));
+            let got = run_broadcast_script(&mut par, n, seed, steps);
+            prop_assert_eq!(want, got, "strict workers={}", workers);
+            assert_ledgers_identical(&strict, &par, &format!("strict workers={workers}"));
+        }
+    }
+
+    /// Stacked wrappers: `TracingComm` and a benign `FaultComm` over
+    /// measured `BroadcastComm` behave exactly as the same stack over
+    /// the `ThreadedComm`-backed broadcast clique, down to the trace
+    /// JSON (which exercises the broadcast congestion attribution).
+    #[test]
+    fn wrapped_broadcast_is_substrate_independent(
+        n in 2usize..13,
+        seed in 0u64..1_000_000,
+        steps in 4usize..16,
+    ) {
+        for workers in [1usize, 2, 8] {
+            let mut seq = TracingComm::new(FaultComm::new(
+                BroadcastComm::measured(Clique::new(n)),
+                FaultPlan::default(),
+            ));
+            let mut par = TracingComm::new(FaultComm::new(
+                BroadcastComm::measured(ThreadedComm::with_workers(n, workers)),
+                FaultPlan::default(),
+            ));
+            let want = run_script(&mut seq, n, seed, steps);
+            let got = run_script(&mut par, n, seed, steps);
+            prop_assert_eq!(want, got, "workers={}", workers);
+            assert_ledgers_identical(&seq, &par, &format!("stacked workers={workers}"));
+            assert_eq!(
+                seq.trace_json(),
+                par.trace_json(),
+                "trace JSON identical through the stack"
+            );
+        }
+    }
+
+    /// An adversary schedule over the broadcast clique injects the same
+    /// events over `Clique` as over `ThreadedComm`: the adversary layer
+    /// is substrate-independent above `BroadcastComm` too.
+    #[test]
+    fn adversary_over_broadcast_is_substrate_independent(
+        n in 3usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let schedule = AdversarySchedule::new(seed).with(1, AdversaryStrategy::Silent);
+        let mut seq = AdversaryComm::new(
+            BroadcastComm::measured(Clique::new(n)),
+            schedule.clone(),
+        );
+        let mut par = AdversaryComm::new(
+            BroadcastComm::measured(ThreadedComm::with_workers(n, 2)),
+            schedule,
+        );
+        let want = run_broadcast_script(&mut seq, n, seed, 12);
+        let got = run_broadcast_script(&mut par, n, seed, 12);
+        prop_assert_eq!(want, got);
+        prop_assert_eq!(seq.omissions(), par.omissions());
+        assert_eq!(seq.events_json(), par.events_json());
+        assert_ledgers_identical(&seq, &par, "adversary");
+    }
+}
+
+/// Every unicast-shaped primitive is a typed strict-mode rejection, and
+/// the rejection leaves the ledger untouched.
+#[test]
+fn strict_mode_rejects_each_unicast_primitive() {
+    let n = 5;
+    let outboxes = || {
+        vec![
+            vec![(1usize, vec![1u64, 2])],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]
+    };
+    let per_node = || vec![vec![3u64], vec![], vec![], vec![], vec![]];
+    let cases: Vec<(&str, ModelError)> = {
+        let mut comm = BroadcastComm::strict(Clique::new(n));
+        vec![
+            ("exchange", comm.exchange(outboxes()).unwrap_err()),
+            ("route", comm.route(outboxes()).unwrap_err()),
+            ("route_strict", comm.route_strict(outboxes()).unwrap_err()),
+            ("sort", comm.sort(&per_node()).unwrap_err()),
+            ("gather_to", comm.gather_to(2, &per_node()).unwrap_err()),
+        ]
+    };
+    for (name, err) in cases {
+        assert_eq!(
+            err,
+            ModelError::UnicastInBroadcastModel { primitive: name },
+            "{name}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(name), "display names the primitive: {msg}");
+    }
+    // Strict rejection also works through the ThreadedComm substrate and
+    // under a TracingComm wrapper (the error is recorded, not masked).
+    let mut traced = TracingComm::new(BroadcastComm::strict(ThreadedComm::with_workers(n, 2)));
+    assert_eq!(
+        traced.sort(&per_node()).unwrap_err(),
+        ModelError::UnicastInBroadcastModel { primitive: "sort" }
+    );
+    assert_eq!(traced.ledger().total_rounds(), 0);
+}
+
+/// The measured-mode cost model, pinned on concrete payloads (the
+/// DESIGN.md §14 table).
+#[test]
+fn measured_cost_table_is_documented_values() {
+    let n = 5;
+    let mut comm = BroadcastComm::measured(Clique::new(n));
+
+    // exchange / route: max per-node send load (node 0 sends 4 words).
+    let outboxes = vec![
+        vec![(1usize, vec![1u64, 2]), (3, vec![3, 4])],
+        vec![(2, vec![5])],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    comm.exchange(outboxes.clone()).unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 4);
+    comm.route(outboxes).unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 8);
+
+    // broadcast_from: w rounds, no scatter doubling.
+    comm.broadcast_from(2, &(0..6).collect()).unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 14);
+
+    // allgather: unbalanced max contribution.
+    comm.allgather(&[vec![1, 2, 3], vec![], vec![4], vec![], vec![]])
+        .unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 17);
+
+    // sort / gather_to: max per-node vector length.
+    comm.sort(&[vec![9, 1], vec![5], vec![], vec![], vec![2]])
+        .unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 19);
+    comm.gather_to(0, &[vec![], vec![1, 2, 3, 4], vec![], vec![5], vec![]])
+        .unwrap();
+    assert_eq!(comm.ledger().total_rounds(), 23);
+}

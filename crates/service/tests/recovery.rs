@@ -11,7 +11,8 @@
 
 use cc_graph::generators;
 use cc_model::{
-    AdversaryComm, AdversarySchedule, AdversaryStrategy, Clique, Communicator, ThreadedComm,
+    AdversaryComm, AdversarySchedule, AdversaryStrategy, BroadcastComm, Clique, Communicator,
+    ThreadedComm,
 };
 use cc_service::{
     EngineConfig, FlowEngine, GraphSpec, Request, Response, RetryPolicy, ServiceErrorKind,
@@ -183,6 +184,50 @@ fn every_pipeline_recovers_to_the_fault_free_result_bitwise() {
                 &threaded.response,
                 &want.response,
                 &format!("{label}@{workers}w"),
+            );
+        }
+    }
+}
+
+/// The same crash–recover scenario over the measured Broadcast
+/// Congested Clique: the retry leg of the service layer must recover to
+/// the fault-free broadcast result bitwise, on `Clique` and on
+/// `ThreadedComm` at every worker count. (Broadcast costs move the
+/// ledger faster, but the opening communication still lands inside the
+/// crash window and `BACKOFF ≥ CRASH_UNTIL` still clears it.)
+#[test]
+fn broadcast_retry_recovers_to_the_fault_free_result_bitwise() {
+    for (label, request) in pipeline_requests() {
+        let mut baseline = FlowEngine::new(BroadcastComm::measured(Clique::new(N)));
+        register_graphs(&mut baseline);
+        let want = baseline.submit(request.clone()).unwrap();
+        assert_eq!(want.stats.attempts, 1);
+
+        let got = run_adversarial(BroadcastComm::measured(Clique::new(N)), request.clone());
+        assert_eq!(
+            got.stats.attempts, 2,
+            "{label}/broadcast: the crash window must fail attempt 1 exactly once"
+        );
+        let degraded = got.stats.degraded.expect("retried request is degraded");
+        assert!(
+            degraded.faults_observed >= 1,
+            "{label}/broadcast: the failed attempt observed the omission"
+        );
+        assert_bits_eq(&got.response, &want.response, &format!("{label}/broadcast"));
+
+        for workers in [1usize, 2, 8] {
+            let threaded = run_adversarial(
+                BroadcastComm::measured(ThreadedComm::with_workers(N, workers)),
+                request.clone(),
+            );
+            assert_eq!(
+                threaded.stats.attempts, 2,
+                "{label}/broadcast@{workers}w: attempt pattern diverged"
+            );
+            assert_bits_eq(
+                &threaded.response,
+                &want.response,
+                &format!("{label}/broadcast@{workers}w"),
             );
         }
     }
